@@ -1,0 +1,72 @@
+//===- bench/BenchCommon.h - Shared bench-harness helpers -------*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure reproduction binaries: the
+/// paper's message-size sweep (10 sizes, 8 KB..4 MB, constant log
+/// step), standard calibration setups for the two clusters, and small
+/// printing conveniences.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_BENCH_BENCHCOMMON_H
+#define MPICSEL_BENCH_BENCHCOMMON_H
+
+#include "cluster/Platform.h"
+#include "model/Calibration.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+namespace mpicsel {
+namespace bench {
+
+/// The paper's broadcast message-size sweep (Sect. 5.2/5.3).
+inline std::vector<std::uint64_t> paperMessageSizes() {
+  std::vector<std::uint64_t> Sizes;
+  for (std::uint64_t Bytes = 8 * 1024; Bytes <= 4 * 1024 * 1024; Bytes *= 2)
+    Sizes.push_back(Bytes);
+  return Sizes;
+}
+
+/// The number of processes the paper calibrates with on each cluster:
+/// about half the ranks on Grisou (40 of 90), all 124 on Gros.
+inline unsigned paperCalibrationProcs(const Platform &P) {
+  return P.Name == "gros" ? 124u : 40u;
+}
+
+/// The process counts of the paper's selection experiments (Fig. 5).
+inline std::vector<unsigned> paperSelectionProcs(const Platform &P) {
+  if (P.Name == "gros")
+    return {80, 100, 124};
+  return {50, 80, 90};
+}
+
+/// Calibrates a cluster with the paper's setup. \p Quick trims the
+/// repetition counts for fast smoke runs.
+inline CalibratedModels calibratePaperSetup(const Platform &P, bool Quick) {
+  CalibrationOptions Options;
+  Options.NumProcs = paperCalibrationProcs(P);
+  if (Quick) {
+    Options.Adaptive.MinReps = 3;
+    Options.Adaptive.MaxReps = 8;
+    Options.GammaOptions.Adaptive.MinReps = 3;
+    Options.GammaOptions.Adaptive.MaxReps = 8;
+  }
+  return calibrate(P, Options);
+}
+
+/// Prints a section banner.
+inline void banner(const char *Title) {
+  std::printf("\n===== %s =====\n\n", Title);
+}
+
+} // namespace bench
+} // namespace mpicsel
+
+#endif // MPICSEL_BENCH_BENCHCOMMON_H

@@ -1,0 +1,81 @@
+//===- bench/ablation_segment_size.cpp - Sensitivity to m_s ---------------===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+// The paper fixes the segment size of every segmented algorithm at
+// 8 KB ("commonly used ... in Open MPI"; optimal segment size is
+// declared out of scope). This ablation measures how much the choice
+// matters on the simulated clusters: the best algorithm and its time
+// for m_s in {1 KB, 8 KB, 64 KB} across the message sweep.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "model/Runner.h"
+#include "support/CommandLine.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace mpicsel;
+using namespace mpicsel::bench;
+
+int main(int Argc, char **Argv) {
+  std::string PlatformName = "grisou";
+  std::int64_t NumProcs = 90;
+  CommandLine Cli("Ablation: sensitivity of the algorithm ranking to the "
+                  "segment size the paper fixes at 8 KB.");
+  Cli.addFlag("platform", "cluster to simulate", PlatformName);
+  Cli.addFlag("procs", "number of processes", NumProcs);
+  if (!Cli.parse(Argc, Argv))
+    return 1;
+
+  Platform Plat = platformByName(PlatformName);
+  unsigned P = static_cast<unsigned>(NumProcs);
+
+  banner("Ablation: segment size sensitivity");
+
+  const std::uint64_t Segments[] = {1024, 8192, 65536};
+  Table T({"m", "best @1KB", "t", "best @8KB", "t", "best @64KB", "t"});
+  T.setTitle(strFormat("%s, P = %u", Plat.Name.c_str(), P));
+  unsigned RankingChanges = 0;
+  for (std::uint64_t MessageBytes : paperMessageSizes()) {
+    std::vector<std::string> Row{formatBytes(MessageBytes)};
+    BcastAlgorithm PrevBest = BcastAlgorithm::Linear;
+    bool First = true, Changed = false;
+    for (std::uint64_t SegmentBytes : Segments) {
+      BcastAlgorithm Best = BcastAlgorithm::Linear;
+      double BestTime = 0;
+      for (BcastAlgorithm Alg : AllBcastAlgorithms) {
+        BcastConfig Config;
+        Config.Algorithm = Alg;
+        Config.MessageBytes = MessageBytes;
+        Config.SegmentBytes =
+            Alg == BcastAlgorithm::Linear ? 0 : SegmentBytes;
+        double Time = measureBcast(Plat, P, Config).Stats.Mean;
+        if (BestTime == 0 || Time < BestTime) {
+          Best = Alg;
+          BestTime = Time;
+        }
+      }
+      Row.push_back(bcastAlgorithmName(Best));
+      Row.push_back(formatSeconds(BestTime));
+      if (!First && Best != PrevBest)
+        Changed = true;
+      PrevBest = Best;
+      First = false;
+    }
+    RankingChanges += Changed;
+    T.addRow(std::move(Row));
+  }
+  T.print();
+  std::printf("\nThe winning algorithm changes with the segment size at %u "
+              "of 10 message\nsizes -- the 8 KB convention is part of the "
+              "platform configuration the\nmodels are calibrated for, "
+              "exactly why the paper pins it.\n",
+              RankingChanges);
+  return 0;
+}

@@ -1,0 +1,78 @@
+//===- bench/table2_alpha_beta.cpp - Reproduce paper Table 2 ---------------===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+// Paper Table 2: "Estimated values of alpha and beta for the Grisou
+// and Gros clusters and Open MPI broadcast algorithms" -- the
+// algorithm-specific Hockney parameters obtained from the Sect. 4.2
+// communication experiments (modelled broadcast + linear gather
+// without synchronisation, 10 message sizes 8 KB..4 MB, Huber
+// regression), using 40 processes on Grisou and 124 on Gros.
+//
+// Absolute values cannot match the physical testbeds; what must
+// reproduce is the *finding*: the estimated (alpha, beta) differ per
+// algorithm, because they capture the context of the point-to-point
+// communications inside each algorithm, not just raw network
+// characteristics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/CommandLine.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace mpicsel;
+using namespace mpicsel::bench;
+
+static void printCluster(const Platform &P, bool Quick, bool Csv) {
+  CalibratedModels M = calibratePaperSetup(P, Quick);
+  Table T({"collective algorithm", "alpha (sec)", "beta (sec/byte)",
+           "fit rmse (sec)"});
+  T.setTitle(strFormat("%s cluster, P = %u", P.Name.c_str(),
+                       paperCalibrationProcs(P)));
+  for (BcastAlgorithm Alg : AllBcastAlgorithms) {
+    const AlgorithmCalibration &C = M.of(Alg);
+    T.addRow({bcastAlgorithmName(Alg), formatSci(C.Alpha),
+              formatSci(C.Beta), formatSci(C.Fit.Rmse)});
+  }
+  if (Csv)
+    std::fputs(T.renderCsv().c_str(), stdout);
+  else
+    T.print();
+  std::printf("\n");
+}
+
+int main(int Argc, char **Argv) {
+  bool Quick = false;
+  bool Csv = false;
+  CommandLine Cli("Reproduces paper Table 2: algorithm-specific alpha/beta "
+                  "for the six broadcast algorithms on both clusters.");
+  Cli.addFlag("quick", "fewer repetitions per measurement", Quick);
+  Cli.addFlag("csv", "emit CSV instead of tables", Csv);
+  if (!Cli.parse(Argc, Argv))
+    return 1;
+
+  banner("Table 2: algorithm-specific alpha and beta");
+  printCluster(makeGrisou(), Quick, Csv);
+  printCluster(makeGros(), Quick, Csv);
+
+  std::printf(
+      "Paper reference (physical clusters, for shape comparison):\n"
+      "  grisou: linear 2.2e-12/1.8e-08, k_chain 5.7e-13/4.7e-09,\n"
+      "          chain 6.1e-13/4.9e-09, split_binary 3.7e-13/3.6e-09,\n"
+      "          binary 5.8e-13/4.7e-09, binomial 5.8e-13/4.8e-09\n"
+      "  gros:   linear 1.4e-12/1.1e-08, k_chain 5.4e-13/4.5e-09,\n"
+      "          chain 4.7e-12/3.8e-08, split_binary 5.5e-13/4.5e-09,\n"
+      "          binary 5.8e-13/4.7e-09, binomial 1.2e-13/1.0e-09\n"
+      "\nThe key observation (Sect. 5.2) is that the parameters vary\n"
+      "by algorithm -- e.g. the linear algorithm's effective beta is\n"
+      "several times the tree algorithms' because its point-to-point\n"
+      "transfers serialise at the root -- which is what makes\n"
+      "per-algorithm estimation necessary.\n");
+  return 0;
+}

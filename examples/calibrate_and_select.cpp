@@ -1,0 +1,94 @@
+//===- examples/calibrate_and_select.cpp - The full paper pipeline --------===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+//
+// Walks the paper end to end on one cluster:
+//   1. estimate gamma(P)                        (Sect. 4.1)
+//   2. estimate per-algorithm (alpha, beta)     (Sect. 4.2, Fig. 4)
+//   3. build the model-based decision function  (Sect. 3)
+//   4. sweep message sizes and compare against the a-posteriori best
+//      algorithm and Open MPI's fixed decision function (Sect. 5.3)
+//
+// Try: calibrate_and_select --platform gros --procs 124
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/Platform.h"
+#include "model/Calibration.h"
+#include "model/Selection.h"
+#include "support/CommandLine.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace mpicsel;
+
+int main(int Argc, char **Argv) {
+  std::string PlatformName = "grisou";
+  std::int64_t CalibProcs = 40;
+  std::int64_t SelectProcs = 90;
+  CommandLine Cli("Run the full calibration + selection pipeline of the "
+                  "paper on one simulated cluster.");
+  Cli.addFlag("platform", "cluster to simulate: grisou or gros",
+              PlatformName);
+  Cli.addFlag("calib-procs", "processes used for calibration", CalibProcs);
+  Cli.addFlag("procs", "processes used for the selection sweep",
+              SelectProcs);
+  if (!Cli.parse(Argc, Argv))
+    return 1;
+
+  Platform Plat = platformByName(PlatformName);
+
+  // --- Stage 1 + 2: calibration --------------------------------------
+  std::printf("Calibrating '%s' with %lld processes...\n\n",
+              Plat.Name.c_str(), static_cast<long long>(CalibProcs));
+  CalibrationOptions Options;
+  Options.NumProcs = static_cast<unsigned>(CalibProcs);
+  CalibratedModels Models = calibrate(Plat, Options);
+
+  Table GammaTable({"P", "gamma(P)"});
+  GammaTable.setTitle("Estimated gamma (Sect. 4.1)");
+  for (unsigned P = 2; P <= Models.Gamma.measuredMax(); ++P)
+    GammaTable.addRow({strFormat("%u", P),
+                       strFormat("%.3f", Models.Gamma(P))});
+  GammaTable.print();
+  std::printf("\n");
+
+  Table ParamTable({"algorithm", "alpha (s)", "beta (s/B)"});
+  ParamTable.setTitle("Algorithm-specific parameters (Sect. 4.2)");
+  for (BcastAlgorithm Alg : AllBcastAlgorithms)
+    ParamTable.addRow({bcastAlgorithmName(Alg),
+                       formatSci(Models.of(Alg).Alpha),
+                       formatSci(Models.of(Alg).Beta)});
+  ParamTable.print();
+  std::printf("\n");
+
+  // --- Stage 3 + 4: runtime selection --------------------------------
+  std::printf("Selecting broadcast algorithms for P = %lld...\n\n",
+              static_cast<long long>(SelectProcs));
+  Table Sweep({"m", "model picks", "predicted", "measured", "best is",
+               "degradation", "ompi picks", "ompi degradation"});
+  for (std::uint64_t MessageBytes = 8 * 1024;
+       MessageBytes <= 4 * 1024 * 1024; MessageBytes *= 2) {
+    SelectionPoint Pt = evaluateSelectionPoint(
+        Plat, static_cast<unsigned>(SelectProcs), MessageBytes, Models);
+    Sweep.addRow({formatBytes(MessageBytes),
+                  bcastAlgorithmName(Pt.ModelChoice),
+                  formatSeconds(Pt.ModelPredictedTime),
+                  formatSeconds(Pt.ModelChoiceTime),
+                  bcastAlgorithmName(Pt.Best),
+                  formatPercent(Pt.modelDegradation()),
+                  bcastAlgorithmName(Pt.OmpiChoice.Algorithm),
+                  formatPercent(Pt.ompiDegradation())});
+  }
+  Sweep.print();
+
+  std::printf("\nThe 'degradation' columns compare each decision function's "
+              "pick with the\nbest measured algorithm at that point -- the "
+              "paper's accuracy metric\n(Table 3).\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+//===- examples/quickstart.cpp - First contact with the library ----------===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs each of the six Open MPI broadcast algorithms once on a
+// simulated cluster and prints their completion times, then shows
+// what the Open MPI decision function would have picked. This is the
+// five-minute tour: Platform -> BcastConfig -> measureBcast.
+//
+// Try: quickstart --platform gros --procs 64 --message 1M
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/Platform.h"
+#include "coll/OmpiDecision.h"
+#include "model/Runner.h"
+#include "support/CommandLine.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace mpicsel;
+
+int main(int Argc, char **Argv) {
+  std::string PlatformName = "grisou";
+  std::int64_t NumProcs = 40;
+  std::uint64_t MessageBytes = 256 * 1024;
+  std::uint64_t SegmentBytes = 8 * 1024;
+
+  CommandLine Cli("Run every broadcast algorithm once on a simulated "
+                  "cluster and compare their times.");
+  Cli.addFlag("platform", "cluster to simulate: grisou or gros",
+              PlatformName);
+  Cli.addFlag("procs", "number of MPI processes", NumProcs);
+  Cli.addByteSizeFlag("message", "broadcast payload", MessageBytes);
+  Cli.addByteSizeFlag("segment", "segment size of segmented algorithms",
+                      SegmentBytes);
+  if (!Cli.parse(Argc, Argv))
+    return 1;
+
+  Platform Plat = platformByName(PlatformName);
+  unsigned P = static_cast<unsigned>(NumProcs);
+
+  std::printf("Broadcasting %s to %u processes on '%s' (%u nodes x %u "
+              "ranks)\n\n",
+              formatBytes(MessageBytes).c_str(), P, Plat.Name.c_str(),
+              Plat.NodeCount, Plat.ProcsPerNode);
+
+  Table Results({"algorithm", "segment", "time", "vs best"});
+  double BestTime = 0.0;
+  std::array<double, NumBcastAlgorithms> Times{};
+  for (BcastAlgorithm Alg : AllBcastAlgorithms) {
+    BcastConfig Config;
+    Config.Algorithm = Alg;
+    Config.MessageBytes = MessageBytes;
+    Config.SegmentBytes = Alg == BcastAlgorithm::Linear ? 0 : SegmentBytes;
+    AdaptiveResult R = measureBcast(Plat, P, Config);
+    double Time = R.Stats.Mean;
+    Times[static_cast<unsigned>(Alg)] = Time;
+    if (BestTime == 0.0 || Time < BestTime)
+      BestTime = Time;
+  }
+  for (BcastAlgorithm Alg : AllBcastAlgorithms) {
+    double Time = Times[static_cast<unsigned>(Alg)];
+    std::string Segment = Alg == BcastAlgorithm::Linear
+                              ? "-"
+                              : formatBytes(SegmentBytes);
+    Results.addRow({bcastAlgorithmName(Alg), Segment, formatSeconds(Time),
+                    formatPercent(Time / BestTime - 1.0)});
+  }
+  Results.print();
+
+  BcastDecision Ompi = ompiBcastDecisionFixed(P, MessageBytes);
+  std::printf("\nOpen MPI 3.1 would pick: %s with %s segments\n",
+              bcastAlgorithmName(Ompi.Algorithm),
+              Ompi.SegmentBytes ? formatBytes(Ompi.SegmentBytes).c_str()
+                                : "no");
+  return 0;
+}

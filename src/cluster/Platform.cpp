@@ -1,0 +1,99 @@
+//===- cluster/Platform.cpp - Simulated cluster descriptions -------------===//
+
+#include "cluster/Platform.h"
+
+#include "support/Error.h"
+
+using namespace mpicsel;
+
+Platform mpicsel::makeGrisou() {
+  Platform P;
+  P.Name = "grisou";
+  // 51 nodes in the physical cluster; the paper uses up to 90 processes
+  // = 45 nodes x 2 CPUs. We expose all 51.
+  P.NodeCount = 51;
+  P.ProcsPerNode = 2;
+  // MPI software stack costs per operation.
+  P.SendOverhead = 2.0e-6;
+  P.RecvOverhead = 2.5e-6;
+  // Two ranks per node, block-mapped (the default --map-by core):
+  // ranks 2i and 2i+1 share node i, so the per-node contention
+  // pattern is the same at every communicator size -- which is what
+  // lets parameters calibrated on half the cluster extrapolate to the
+  // full one, as the paper observes on the real machine.
+  P.Mapping = MappingKind::Block;
+  // 10 GbE with a TCP stack: tens-of-microseconds latency, ~1.1 GB/s
+  // effective per-flow streaming rate, a few microseconds of
+  // per-message framing on each side.
+  P.InterNode.Latency = 55.0e-6;
+  P.InterNode.TxGapPerMessage = 1.5e-6;
+  P.InterNode.TxGapPerByte = 0.85e-9;
+  P.InterNode.RxGapPerMessage = 1.0e-6;
+  P.InterNode.RxGapPerByte = 0.85e-9;
+  // Shared-memory transport between the two ranks of a node.
+  P.IntraNode.Latency = 0.9e-6;
+  P.IntraNode.TxGapPerMessage = 0.3e-6;
+  P.IntraNode.TxGapPerByte = 0.10e-9;
+  P.IntraNode.RxGapPerMessage = 0.2e-6;
+  P.IntraNode.RxGapPerByte = 0.10e-9;
+  P.NoiseSigma = 0.03;
+  return P;
+}
+
+Platform mpicsel::makeGros() {
+  Platform P;
+  P.Name = "gros";
+  P.NodeCount = 124;
+  P.ProcsPerNode = 1;
+  P.SendOverhead = 1.6e-6;
+  P.RecvOverhead = 2.0e-6;
+  // 2 x 25 Gb Ethernet: lower latency than Grisou and roughly 4x the
+  // per-flow bandwidth.
+  P.InterNode.Latency = 22.0e-6;
+  P.InterNode.TxGapPerMessage = 1.2e-6;
+  P.InterNode.TxGapPerByte = 0.22e-9;
+  P.InterNode.RxGapPerMessage = 0.8e-6;
+  P.InterNode.RxGapPerByte = 0.22e-9;
+  // One rank per node: the intra-node transport is never exercised,
+  // but keep it sane in case users re-map.
+  P.IntraNode.Latency = 0.8e-6;
+  P.IntraNode.TxGapPerMessage = 0.3e-6;
+  P.IntraNode.TxGapPerByte = 0.08e-9;
+  P.IntraNode.RxGapPerMessage = 0.2e-6;
+  P.IntraNode.RxGapPerByte = 0.08e-9;
+  P.NoiseSigma = 0.03;
+  return P;
+}
+
+Platform mpicsel::makeTestPlatform(unsigned NodeCount, unsigned ProcsPerNode) {
+  Platform P;
+  P.Name = "test";
+  P.NodeCount = NodeCount;
+  P.ProcsPerNode = ProcsPerNode;
+  // Round numbers so unit tests can hand-compute event timelines:
+  // p2p time of an m-byte inter-node message =
+  //   1u (send ovh) + 2u + m*1n (tx) + 10u (latency) + 1u + m*1n (rx)
+  //   + 1u (recv ovh).
+  P.SendOverhead = 1.0e-6;
+  P.RecvOverhead = 1.0e-6;
+  P.InterNode.Latency = 10.0e-6;
+  P.InterNode.TxGapPerMessage = 2.0e-6;
+  P.InterNode.TxGapPerByte = 1.0e-9;
+  P.InterNode.RxGapPerMessage = 1.0e-6;
+  P.InterNode.RxGapPerByte = 1.0e-9;
+  P.IntraNode.Latency = 1.0e-6;
+  P.IntraNode.TxGapPerMessage = 1.0e-6;
+  P.IntraNode.TxGapPerByte = 0.5e-9;
+  P.IntraNode.RxGapPerMessage = 0.5e-6;
+  P.IntraNode.RxGapPerByte = 0.5e-9;
+  P.NoiseSigma = 0.0;
+  return P;
+}
+
+Platform mpicsel::platformByName(const std::string &Name) {
+  if (Name == "grisou")
+    return makeGrisou();
+  if (Name == "gros")
+    return makeGros();
+  fatalError("unknown platform '" + Name + "' (expected 'grisou' or 'gros')");
+}

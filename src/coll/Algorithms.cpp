@@ -1,0 +1,33 @@
+//===- coll/Algorithms.cpp - Broadcast algorithm registry ------------------===//
+
+#include "coll/Algorithms.h"
+
+#include "support/Error.h"
+
+using namespace mpicsel;
+
+const char *mpicsel::bcastAlgorithmName(BcastAlgorithm Alg) {
+  switch (Alg) {
+  case BcastAlgorithm::Linear:
+    return "linear";
+  case BcastAlgorithm::Chain:
+    return "chain";
+  case BcastAlgorithm::KChain:
+    return "k_chain";
+  case BcastAlgorithm::Binary:
+    return "binary";
+  case BcastAlgorithm::SplitBinary:
+    return "split_binary";
+  case BcastAlgorithm::Binomial:
+    return "binomial";
+  }
+  MPICSEL_UNREACHABLE("unknown broadcast algorithm");
+}
+
+std::optional<BcastAlgorithm>
+mpicsel::parseBcastAlgorithm(const std::string &Name) {
+  for (BcastAlgorithm Alg : AllBcastAlgorithms)
+    if (Name == bcastAlgorithmName(Alg))
+      return Alg;
+  return std::nullopt;
+}

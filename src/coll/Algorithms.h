@@ -1,0 +1,63 @@
+//===- coll/Algorithms.h - Broadcast algorithm registry ---------*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The six tree-based MPI_Bcast algorithms of Open MPI 3.1 that the
+/// paper models (Sect. 3): linear, chain, K-chain, binary,
+/// split-binary and binomial tree. Open MPI's internal names differ
+/// slightly: its "pipeline" is the paper's chain tree and its "chain"
+/// (fanout > 1) is the paper's K-chain tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_COLL_ALGORITHMS_H
+#define MPICSEL_COLL_ALGORITHMS_H
+
+#include <array>
+#include <optional>
+#include <string>
+
+namespace mpicsel {
+
+/// One of Open MPI's tree-based broadcast algorithms.
+enum class BcastAlgorithm : unsigned {
+  /// Flat tree, non-segmented; `bcast_intra_basic_linear`.
+  Linear = 0,
+  /// Fanout-1 pipeline, segmented; `bcast_intra_pipeline`.
+  Chain,
+  /// K parallel chains off the root, segmented; `bcast_intra_chain`.
+  KChain,
+  /// Heap-shaped binary tree, segmented; `bcast_intra_bintree`.
+  Binary,
+  /// In-order binary tree carrying message halves, segmented, with a
+  /// final pairwise exchange; `bcast_intra_split_bintree`.
+  SplitBinary,
+  /// Binomial tree, segmented; `bcast_intra_binomial`.
+  Binomial,
+};
+
+/// Number of broadcast algorithms.
+inline constexpr unsigned NumBcastAlgorithms = 6;
+
+/// All algorithms, in enum order -- handy for range-for sweeps.
+inline constexpr std::array<BcastAlgorithm, NumBcastAlgorithms>
+    AllBcastAlgorithms = {BcastAlgorithm::Linear,      BcastAlgorithm::Chain,
+                          BcastAlgorithm::KChain,      BcastAlgorithm::Binary,
+                          BcastAlgorithm::SplitBinary,
+                          BcastAlgorithm::Binomial};
+
+/// Short stable name ("linear", "chain", "k_chain", "binary",
+/// "split_binary", "binomial") -- the spelling used in the paper's
+/// Table 3.
+const char *bcastAlgorithmName(BcastAlgorithm Alg);
+
+/// Inverse of bcastAlgorithmName; std::nullopt for unknown names.
+std::optional<BcastAlgorithm> parseBcastAlgorithm(const std::string &Name);
+
+} // namespace mpicsel
+
+#endif // MPICSEL_COLL_ALGORITHMS_H

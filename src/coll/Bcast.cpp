@@ -1,0 +1,413 @@
+//===- coll/Bcast.cpp - Segmented tree broadcast schedules -----------------===//
+
+#include "coll/Bcast.h"
+
+#include "support/Error.h"
+#include "topo/Tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mpicsel;
+
+std::uint64_t mpicsel::bcastSegmentCount(std::uint64_t MessageBytes,
+                                         std::uint64_t SegmentBytes) {
+  assert(MessageBytes >= 1 && "empty broadcast");
+  if (SegmentBytes == 0 || SegmentBytes >= MessageBytes)
+    return 1;
+  return (MessageBytes + SegmentBytes - 1) / SegmentBytes;
+}
+
+namespace {
+
+/// Convenience wrapper around the per-rank entry dependencies.
+class EntryDeps {
+public:
+  EntryDeps(std::span<const OpId> EntryOps, unsigned RankCount)
+      : Entry(EntryOps) {
+    assert((EntryOps.empty() || EntryOps.size() == RankCount) &&
+           "entry array must cover every rank");
+  }
+
+  /// Dependency list for the first op of \p Rank (empty or one op).
+  std::vector<OpId> firstDeps(unsigned Rank) const {
+    if (Entry.empty() || Entry[Rank] == InvalidOpId)
+      return {};
+    return {Entry[Rank]};
+  }
+
+private:
+  std::span<const OpId> Entry;
+};
+
+/// Payload size of segment \p Seg out of \p NumSegments covering
+/// \p MessageBytes with nominal segment size \p SegmentBytes.
+std::uint64_t segmentSize(std::uint64_t MessageBytes,
+                          std::uint64_t SegmentBytes,
+                          std::uint64_t NumSegments, std::uint64_t Seg) {
+  assert(Seg < NumSegments && "segment index out of range");
+  if (NumSegments == 1)
+    return MessageBytes;
+  if (Seg + 1 < NumSegments)
+    return SegmentBytes;
+  return MessageBytes - SegmentBytes * (NumSegments - 1);
+}
+
+/// The generic segmented tree broadcast engine, a schedule-level
+/// transcription of `ompi_coll_base_bcast_intra_generic` (Open MPI
+/// 3.1, coll/base/coll_base_bcast.c). Emits ops for every rank of
+/// \p T and returns the per-rank exits.
+///
+/// Roles (request structure matches the Open MPI source):
+///   root:     per segment: isend to each child, waitall.
+///   interior: irecv(0); for s in 1..n_s-1: irecv(s), wait(recv s-1),
+///             isend seg s-1 to children, waitall(sends);
+///             wait(recv n_s-1), isend last seg, waitall.
+///   leaf:     double-buffered receives.
+std::vector<OpId> appendTreeBcast(ScheduleBuilder &B, const Tree &T,
+                                  std::uint64_t MessageBytes,
+                                  std::uint64_t SegmentBytes, int Tag,
+                                  const EntryDeps &Entry) {
+  const unsigned P = B.rankCount();
+  assert(T.Size == P && "tree does not span the communicator");
+  const std::uint64_t NumSegments =
+      bcastSegmentCount(MessageBytes, SegmentBytes);
+
+  std::vector<OpId> Exit(P, InvalidOpId);
+
+  for (unsigned Rank = 0; Rank != P; ++Rank) {
+    const std::vector<unsigned> &Children = T.Children[Rank];
+    const bool IsRoot = Rank == T.Root;
+    const std::vector<OpId> First = Entry.firstDeps(Rank);
+
+    if (IsRoot) {
+      // Root: no receives; per segment isend to every child + waitall.
+      OpId PrevJoin = InvalidOpId;
+      if (Children.empty()) {
+        // Trivial communicator: the call returns immediately.
+        Exit[Rank] = B.addJoin(Rank, First);
+        continue;
+      }
+      for (std::uint64_t Seg = 0; Seg != NumSegments; ++Seg) {
+        std::uint64_t Bytes =
+            segmentSize(MessageBytes, SegmentBytes, NumSegments, Seg);
+        std::vector<OpId> Deps =
+            PrevJoin == InvalidOpId ? First : std::vector<OpId>{PrevJoin};
+        std::vector<OpId> Sends;
+        Sends.reserve(Children.size());
+        for (unsigned Child : Children)
+          Sends.push_back(B.addSend(Rank, Child, Bytes, Tag, Deps));
+        PrevJoin = B.addJoin(Rank, Sends);
+      }
+      Exit[Rank] = PrevJoin;
+      continue;
+    }
+
+    const unsigned Parent = static_cast<unsigned>(T.Parent[Rank]);
+    if (Children.empty()) {
+      // Leaf: double-buffered receives -- irecv(s) is posted after
+      // recv(s-2) completed (two outstanding requests, as in the Open
+      // MPI leaf loop).
+      std::vector<OpId> Recvs(NumSegments, InvalidOpId);
+      for (std::uint64_t Seg = 0; Seg != NumSegments; ++Seg) {
+        std::uint64_t Bytes =
+            segmentSize(MessageBytes, SegmentBytes, NumSegments, Seg);
+        std::vector<OpId> Deps =
+            Seg < 2 ? First : std::vector<OpId>{Recvs[Seg - 2]};
+        Recvs[Seg] = B.addRecv(Rank, Parent, Bytes, Tag, Deps);
+      }
+      Exit[Rank] = B.addJoin(Rank, Recvs);
+      continue;
+    }
+
+    // Interior node.
+    std::vector<OpId> Recvs(NumSegments, InvalidOpId);
+    std::vector<OpId> SendJoins(NumSegments, InvalidOpId);
+    // irecv(0) posted on entry; irecv(1) posted right after (the first
+    // loop iteration posts it before any wait).
+    for (std::uint64_t Seg = 0; Seg != NumSegments; ++Seg) {
+      std::vector<OpId> Deps;
+      if (Seg < 2)
+        Deps = First;
+      else
+        // irecv(s) is posted at the top of loop iteration s, i.e.
+        // after iteration s-1 finished its waitall of the sends of
+        // segment s-2.
+        Deps = {SendJoins[Seg - 2]};
+      std::uint64_t Bytes =
+          segmentSize(MessageBytes, SegmentBytes, NumSegments, Seg);
+      Recvs[Seg] = B.addRecv(Rank, Parent, Bytes, Tag, Deps);
+
+      // Forward segment Seg once received; the isends are also
+      // program-ordered after the previous segment's waitall.
+      std::vector<OpId> SendDeps{Recvs[Seg]};
+      if (Seg > 0)
+        SendDeps.push_back(SendJoins[Seg - 1]);
+      std::vector<OpId> Sends;
+      Sends.reserve(Children.size());
+      std::uint64_t SendBytes = Bytes;
+      for (unsigned Child : Children)
+        Sends.push_back(B.addSend(Rank, Child, SendBytes, Tag, SendDeps));
+      SendJoins[Seg] = B.addJoin(Rank, Sends);
+    }
+    Exit[Rank] = SendJoins[NumSegments - 1];
+  }
+  return Exit;
+}
+
+/// Open MPI basic linear broadcast: the root posts a non-blocking send
+/// of the whole (unsegmented) message to every other rank and waits
+/// for all of them; receivers post one receive.
+std::vector<OpId> appendLinearBcast(ScheduleBuilder &B,
+                                    const BcastConfig &Config,
+                                    const EntryDeps &Entry) {
+  const unsigned P = B.rankCount();
+  Tree T = buildLinearTree(P, Config.Root);
+  std::vector<OpId> Exit(P, InvalidOpId);
+  std::vector<OpId> Sends;
+  Sends.reserve(P - 1);
+  std::vector<OpId> RootDeps = Entry.firstDeps(Config.Root);
+  for (unsigned Child : T.Children[Config.Root])
+    Sends.push_back(
+        B.addSend(Config.Root, Child, Config.MessageBytes, Config.Tag,
+                  RootDeps));
+  Exit[Config.Root] = B.addJoin(Config.Root, Sends);
+  for (unsigned Rank = 0; Rank != P; ++Rank) {
+    if (Rank == Config.Root)
+      continue;
+    Exit[Rank] = B.addRecv(Rank, Config.Root, Config.MessageBytes, Config.Tag,
+                           Entry.firstDeps(Rank));
+  }
+  return Exit;
+}
+
+/// Split-binary broadcast (`bcast_intra_split_bintree`): the message
+/// is split in two halves pipelined down the two subtrees of an
+/// in-order binary tree; afterwards each left-subtree rank exchanges
+/// halves with its positional pair in the right subtree. When the
+/// left subtree is larger, the unpaired rank receives the missing
+/// half directly from the root (a simplification of Open MPI's
+/// remainder handling that preserves the communication volume and the
+/// single extra exchange step).
+std::vector<OpId> appendSplitBinaryBcast(ScheduleBuilder &B,
+                                         const BcastConfig &Config,
+                                         const EntryDeps &Entry) {
+  const unsigned P = B.rankCount();
+  const unsigned Root = Config.Root;
+  const std::uint64_t M = Config.MessageBytes;
+
+  // Tiny communicators degenerate exactly as in Open MPI (which falls
+  // back for size <= 3 or messages that cannot be split).
+  if (P <= 2 || M < 2) {
+    Tree T = buildChainTree(P, Root, 1);
+    return appendTreeBcast(B, T, M, Config.SegmentBytes, Config.Tag, Entry);
+  }
+
+  Tree T = buildInOrderBinaryTree(P, Root);
+  assert(T.Children[Root].size() == 2 && "split tree root must have two "
+                                         "subtrees for P >= 3");
+  const unsigned LeftChild = T.Children[Root][0];
+  const unsigned RightChild = T.Children[Root][1];
+  std::vector<unsigned> LeftRanks = T.subtreeRanks(LeftChild);
+  std::vector<unsigned> RightRanks = T.subtreeRanks(RightChild);
+  // Pair by ascending virtual rank; subtree blocks are contiguous in
+  // vrank space, so sorting by vrank is well defined.
+  auto vrankOf = [&](unsigned Rank) { return (Rank + P - Root) % P; };
+  auto byVrank = [&](unsigned A, unsigned C) { return vrankOf(A) < vrankOf(C); };
+  std::sort(LeftRanks.begin(), LeftRanks.end(), byVrank);
+  std::sort(RightRanks.begin(), RightRanks.end(), byVrank);
+
+  const std::uint64_t HalfBytes[2] = {(M + 1) / 2, M / 2};
+  const std::uint64_t NumSegments[2] = {
+      bcastSegmentCount(HalfBytes[0], Config.SegmentBytes),
+      bcastSegmentCount(HalfBytes[1], Config.SegmentBytes)};
+
+  // Phase 1: pipeline half h down subtree h. Both subtrees are full
+  // tree broadcasts rooted at the global root; the root interleaves
+  // the two halves' segments round by round (matching the round-robin
+  // of the Open MPI implementation). We emit two tree broadcasts over
+  // *sub-communicators* {root} + subtree, with distinct tags.
+  //
+  // Implementing "subtree bcast" with the generic engine requires a
+  // per-half tree over all P ranks; instead emit the ops explicitly
+  // per half, reusing the interior/leaf request patterns.
+  std::vector<OpId> PhaseOneExit(P, InvalidOpId);
+
+  // Root: per round, send segment s of half 0 to LeftChild and
+  // segment s of half 1 to RightChild; waitall per round.
+  {
+    std::vector<OpId> First = Entry.firstDeps(Root);
+    OpId PrevJoin = InvalidOpId;
+    std::uint64_t Rounds = std::max(NumSegments[0], NumSegments[1]);
+    for (std::uint64_t Seg = 0; Seg != Rounds; ++Seg) {
+      std::vector<OpId> Deps =
+          PrevJoin == InvalidOpId ? First : std::vector<OpId>{PrevJoin};
+      std::vector<OpId> Sends;
+      if (Seg < NumSegments[0])
+        Sends.push_back(B.addSend(
+            Root, LeftChild,
+            segmentSize(HalfBytes[0], Config.SegmentBytes, NumSegments[0], Seg),
+            Config.Tag, Deps));
+      if (Seg < NumSegments[1])
+        Sends.push_back(B.addSend(
+            Root, RightChild,
+            segmentSize(HalfBytes[1], Config.SegmentBytes, NumSegments[1], Seg),
+            Config.Tag + 1, Deps));
+      PrevJoin = B.addJoin(Root, Sends);
+    }
+    PhaseOneExit[Root] = PrevJoin;
+  }
+
+  // Subtree members: the generic interior/leaf patterns, with the
+  // half's message size and the half's tag.
+  for (int Half = 0; Half != 2; ++Half) {
+    const std::vector<unsigned> &Members = Half == 0 ? LeftRanks : RightRanks;
+    const std::uint64_t HBytes = HalfBytes[Half];
+    const std::uint64_t HSegments = NumSegments[Half];
+    const int Tag = Config.Tag + Half;
+    for (unsigned Rank : Members) {
+      const unsigned Parent = static_cast<unsigned>(T.Parent[Rank]);
+      const std::vector<unsigned> &Children = T.Children[Rank];
+      const std::vector<OpId> First = Entry.firstDeps(Rank);
+      if (Children.empty()) {
+        std::vector<OpId> Recvs(HSegments, InvalidOpId);
+        for (std::uint64_t Seg = 0; Seg != HSegments; ++Seg) {
+          std::vector<OpId> Deps =
+              Seg < 2 ? First : std::vector<OpId>{Recvs[Seg - 2]};
+          Recvs[Seg] = B.addRecv(
+              Rank, Parent,
+              segmentSize(HBytes, Config.SegmentBytes, HSegments, Seg), Tag,
+              Deps);
+        }
+        PhaseOneExit[Rank] = B.addJoin(Rank, Recvs);
+        continue;
+      }
+      std::vector<OpId> Recvs(HSegments, InvalidOpId);
+      std::vector<OpId> SendJoins(HSegments, InvalidOpId);
+      for (std::uint64_t Seg = 0; Seg != HSegments; ++Seg) {
+        std::vector<OpId> Deps;
+        if (Seg < 2)
+          Deps = First;
+        else
+          Deps = {SendJoins[Seg - 2]};
+        std::uint64_t Bytes =
+            segmentSize(HBytes, Config.SegmentBytes, HSegments, Seg);
+        Recvs[Seg] = B.addRecv(Rank, Parent, Bytes, Tag, Deps);
+        std::vector<OpId> SendDeps{Recvs[Seg]};
+        if (Seg > 0)
+          SendDeps.push_back(SendJoins[Seg - 1]);
+        std::vector<OpId> Sends;
+        for (unsigned Child : Children)
+          Sends.push_back(B.addSend(Rank, Child, Bytes, Tag, SendDeps));
+        SendJoins[Seg] = B.addJoin(Rank, Sends);
+      }
+      PhaseOneExit[Rank] = SendJoins[HSegments - 1];
+    }
+  }
+
+  // Phase 2: pairwise exchange of halves. Left rank i <-> right rank
+  // i swap their halves with a sendrecv; an unpaired left rank (left
+  // subtree is at most one larger) receives the right half from the
+  // root. The exchanged half travels as segments -- on a physical
+  // wire the sendrecv's bytes interleave with other traffic at packet
+  // granularity, and segmenting is how this message-granularity
+  // simulator expresses that (an unsegmented half would head-of-line
+  // block its receiver's still-draining pipeline tail).
+  std::vector<OpId> Exit(P, InvalidOpId);
+  const int XTag = Config.Tag + 2;
+
+  // Emits the segmented one-way transfer Src -> Dst of one half;
+  // returns {send ops, recv ops}.
+  auto addHalfTransfer = [&](unsigned Src, unsigned Dst, int Half)
+      -> std::pair<std::vector<OpId>, std::vector<OpId>> {
+    std::uint64_t Segments = NumSegments[Half];
+    std::vector<OpId> Sends, Recvs;
+    std::vector<OpId> SendDeps{PhaseOneExit[Src]};
+    std::vector<OpId> RecvDeps{PhaseOneExit[Dst]};
+    for (std::uint64_t Seg = 0; Seg != Segments; ++Seg) {
+      std::uint64_t Bytes =
+          segmentSize(HalfBytes[Half], Config.SegmentBytes, Segments, Seg);
+      Sends.push_back(B.addSend(Src, Dst, Bytes, XTag, SendDeps));
+      Recvs.push_back(B.addRecv(Dst, Src, Bytes, XTag, RecvDeps));
+    }
+    return {std::move(Sends), std::move(Recvs)};
+  };
+
+  size_t Pairs = std::min(LeftRanks.size(), RightRanks.size());
+  for (size_t I = 0; I != Pairs; ++I) {
+    unsigned L = LeftRanks[I], R = RightRanks[I];
+    auto [LSends, RRecvs] = addHalfTransfer(L, R, /*Half=*/0);
+    auto [RSends, LRecvs] = addHalfTransfer(R, L, /*Half=*/1);
+    std::vector<OpId> LJoin = LSends;
+    LJoin.insert(LJoin.end(), LRecvs.begin(), LRecvs.end());
+    std::vector<OpId> RJoin = RSends;
+    RJoin.insert(RJoin.end(), RRecvs.begin(), RRecvs.end());
+    Exit[L] = B.addJoin(L, LJoin);
+    Exit[R] = B.addJoin(R, RJoin);
+  }
+
+  std::vector<OpId> RootExtra;
+  assert(LeftRanks.size() >= RightRanks.size() &&
+         "in-order tree puts the larger block on the left");
+  for (size_t I = Pairs; I < LeftRanks.size(); ++I) {
+    unsigned L = LeftRanks[I];
+    auto [RootSends, LRecvs] = addHalfTransfer(Root, L, /*Half=*/1);
+    RootExtra.insert(RootExtra.end(), RootSends.begin(), RootSends.end());
+    Exit[L] = B.addJoin(L, LRecvs);
+  }
+
+  if (RootExtra.empty()) {
+    Exit[Root] = PhaseOneExit[Root];
+  } else {
+    Exit[Root] = B.addJoin(Root, RootExtra);
+  }
+  return Exit;
+}
+
+} // namespace
+
+std::vector<OpId> mpicsel::appendBcast(ScheduleBuilder &B,
+                                       const BcastConfig &Config,
+                                       std::span<const OpId> Entry) {
+  const unsigned P = B.rankCount();
+  assert(Config.Root < P && "broadcast root outside the communicator");
+  assert(Config.MessageBytes >= 1 && "empty broadcast");
+  EntryDeps Deps(Entry, P);
+
+  if (P == 1) {
+    // Single-rank broadcast is a no-op; still emit an exit marker so
+    // composition stays uniform.
+    std::vector<OpId> Exit(1, InvalidOpId);
+    Exit[0] = B.addJoin(0, Deps.firstDeps(0));
+    return Exit;
+  }
+
+  switch (Config.Algorithm) {
+  case BcastAlgorithm::Linear:
+    return appendLinearBcast(B, Config, Deps);
+  case BcastAlgorithm::Chain: {
+    Tree T = buildChainTree(P, Config.Root, 1);
+    return appendTreeBcast(B, T, Config.MessageBytes, Config.SegmentBytes,
+                           Config.Tag, Deps);
+  }
+  case BcastAlgorithm::KChain: {
+    assert(Config.KChainFanout >= 1 && "K-chain needs a positive fanout");
+    Tree T = buildChainTree(P, Config.Root, Config.KChainFanout);
+    return appendTreeBcast(B, T, Config.MessageBytes, Config.SegmentBytes,
+                           Config.Tag, Deps);
+  }
+  case BcastAlgorithm::Binary: {
+    Tree T = buildBinaryTree(P, Config.Root);
+    return appendTreeBcast(B, T, Config.MessageBytes, Config.SegmentBytes,
+                           Config.Tag, Deps);
+  }
+  case BcastAlgorithm::SplitBinary:
+    return appendSplitBinaryBcast(B, Config, Deps);
+  case BcastAlgorithm::Binomial: {
+    Tree T = buildBinomialTree(P, Config.Root);
+    return appendTreeBcast(B, T, Config.MessageBytes, Config.SegmentBytes,
+                           Config.Tag, Deps);
+  }
+  }
+  MPICSEL_UNREACHABLE("unknown broadcast algorithm");
+}

@@ -1,0 +1,46 @@
+//===- coll/OmpiDecision.cpp - Open MPI fixed decision function ------------===//
+
+#include "coll/OmpiDecision.h"
+
+using namespace mpicsel;
+
+BcastDecision mpicsel::ompiBcastDecisionFixed(unsigned CommunicatorSize,
+                                              std::uint64_t MessageBytes) {
+  // Constants from ompi/mca/coll/tuned/coll_tuned_decision_fixed.c
+  // (Open MPI 3.1, ompi_coll_tuned_bcast_intra_dec_fixed).
+  constexpr std::uint64_t SmallMessageSize = 2048;
+  constexpr std::uint64_t IntermediateMessageSize = 370728;
+  constexpr double AP16 = 3.2118e-6, BP16 = 8.7936;
+  constexpr double AP64 = 2.3679e-6, BP64 = 1.1787;
+  constexpr double AP128 = 1.6134e-6, BP128 = 2.1102;
+
+  const double P = static_cast<double>(CommunicatorSize);
+  const double M = static_cast<double>(MessageBytes);
+
+  if (MessageBytes < SmallMessageSize) {
+    // Binomial without segmentation.
+    return {BcastAlgorithm::Binomial, 0};
+  }
+  if (MessageBytes < IntermediateMessageSize) {
+    // Split-binary with 1 KB segments.
+    return {BcastAlgorithm::SplitBinary, 1024};
+  }
+  if (P < AP128 * M + BP128) {
+    // Pipeline (the paper's chain) with 128 KB segments.
+    return {BcastAlgorithm::Chain, 1024ull << 7};
+  }
+  if (CommunicatorSize < 13) {
+    // Split-binary with 8 KB segments.
+    return {BcastAlgorithm::SplitBinary, 1024ull << 3};
+  }
+  if (P < AP64 * M + BP64) {
+    // Pipeline with 64 KB segments.
+    return {BcastAlgorithm::Chain, 1024ull << 6};
+  }
+  if (P < AP16 * M + BP16) {
+    // Pipeline with 16 KB segments.
+    return {BcastAlgorithm::Chain, 1024ull << 4};
+  }
+  // Pipeline with 8 KB segments.
+  return {BcastAlgorithm::Chain, 1024ull << 3};
+}

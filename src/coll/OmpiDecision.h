@@ -1,0 +1,55 @@
+//===- coll/OmpiDecision.h - Open MPI fixed decision function ---*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Faithful port of Open MPI 3.1's empirical broadcast decision
+/// function (`ompi_coll_tuned_bcast_intra_dec_fixed`,
+/// ompi/mca/coll/tuned/coll_tuned_decision_fixed.c). This is the
+/// baseline the paper compares against: the blue curves of Fig. 5 and
+/// the "Open MPI" columns of Table 3.
+///
+/// The function picks both an algorithm and a segment size from the
+/// message size and communicator size, using thresholds tuned years
+/// ago on the developers' machines -- the very reason it degrades on
+/// clusters it was not tuned for (up to 7297% in the paper). Open
+/// MPI's "pipeline" is the paper's chain tree and its "chain" is the
+/// K-chain tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_COLL_OMPIDECISION_H
+#define MPICSEL_COLL_OMPIDECISION_H
+
+#include "coll/Algorithms.h"
+
+#include <cstdint>
+
+namespace mpicsel {
+
+/// An (algorithm, segment size) pair chosen by a decision function.
+struct BcastDecision {
+  BcastAlgorithm Algorithm = BcastAlgorithm::Binomial;
+  /// 0 means unsegmented.
+  std::uint64_t SegmentBytes = 0;
+};
+
+/// The Open MPI 3.1 fixed decision function for MPI_Bcast.
+///
+/// Decision structure (constants verbatim from the source):
+///   message < 2048 B                  -> binomial, unsegmented
+///   message < 370728 B                -> split-binary, 1 KB segments
+///   P < 1.6134e-6 * m + 2.1102        -> pipeline (chain), 128 KB
+///   P < 13                            -> split-binary, 8 KB
+///   P < 2.3679e-6 * m + 1.1787        -> pipeline (chain), 64 KB
+///   P < 3.2118e-6 * m + 8.7936        -> pipeline (chain), 16 KB
+///   otherwise                         -> pipeline (chain), 8 KB
+BcastDecision ompiBcastDecisionFixed(unsigned CommunicatorSize,
+                                     std::uint64_t MessageBytes);
+
+} // namespace mpicsel
+
+#endif // MPICSEL_COLL_OMPIDECISION_H

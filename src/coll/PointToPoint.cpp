@@ -1,0 +1,58 @@
+//===- coll/PointToPoint.cpp - Point-to-point micro-schedules --------------===//
+
+#include "coll/PointToPoint.h"
+
+#include <cassert>
+
+using namespace mpicsel;
+
+static std::vector<OpId> firstDeps(std::span<const OpId> Entry,
+                                   unsigned Rank) {
+  if (Entry.empty() || Entry[Rank] == InvalidOpId)
+    return {};
+  return {Entry[Rank]};
+}
+
+std::vector<OpId> mpicsel::appendPing(ScheduleBuilder &B, unsigned From,
+                                      unsigned To, std::uint64_t Bytes,
+                                      int Tag, std::span<const OpId> Entry) {
+  const unsigned P = B.rankCount();
+  assert(From < P && To < P && From != To && "invalid ping endpoints");
+  assert((Entry.empty() || Entry.size() == P) &&
+         "entry array must cover every rank");
+
+  std::vector<OpId> Exit(P, InvalidOpId);
+  Exit[From] = B.addSend(From, To, Bytes, Tag, firstDeps(Entry, From));
+  Exit[To] = B.addRecv(To, From, Bytes, Tag, firstDeps(Entry, To));
+  // Bystander ranks: a zero-cost join keeps the exit array total.
+  for (unsigned Rank = 0; Rank != P; ++Rank)
+    if (Exit[Rank] == InvalidOpId)
+      Exit[Rank] = B.addJoin(Rank, firstDeps(Entry, Rank));
+  return Exit;
+}
+
+std::vector<OpId> mpicsel::appendPingPong(ScheduleBuilder &B, unsigned RankA,
+                                          unsigned RankB, std::uint64_t Bytes,
+                                          int Tag,
+                                          std::span<const OpId> Entry) {
+  const unsigned P = B.rankCount();
+  assert(RankA < P && RankB < P && RankA != RankB &&
+         "invalid ping-pong endpoints");
+  assert((Entry.empty() || Entry.size() == P) &&
+         "entry array must cover every rank");
+
+  std::vector<OpId> Exit(P, InvalidOpId);
+  OpId ASend = B.addSend(RankA, RankB, Bytes, Tag, firstDeps(Entry, RankA));
+  OpId BRecv = B.addRecv(RankB, RankA, Bytes, Tag, firstDeps(Entry, RankB));
+  std::vector<OpId> BDeps{BRecv};
+  OpId BSend = B.addSend(RankB, RankA, Bytes, Tag + 1, BDeps);
+  std::vector<OpId> ADeps{ASend};
+  OpId ARecv = B.addRecv(RankA, RankB, Bytes, Tag + 1, ADeps);
+  Exit[RankA] = ARecv;
+  std::vector<OpId> BExitDeps{BSend};
+  Exit[RankB] = B.addJoin(RankB, BExitDeps);
+  for (unsigned Rank = 0; Rank != P; ++Rank)
+    if (Exit[Rank] == InvalidOpId)
+      Exit[Rank] = B.addJoin(Rank, firstDeps(Entry, Rank));
+  return Exit;
+}

@@ -1,0 +1,44 @@
+//===- coll/PointToPoint.h - Point-to-point micro-schedules -----*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Point-to-point experiments: a one-way ping and the classic
+/// round-trip ping-pong Hockney uses to measure alpha and beta [9].
+/// These feed the *traditional* parameter estimation the paper argues
+/// is insufficient (Sect. 2.2) -- reproduced here as the baseline and
+/// for the Fig. 1 comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_COLL_POINTTOPOINT_H
+#define MPICSEL_COLL_POINTTOPOINT_H
+
+#include "mpi/Schedule.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mpicsel {
+
+/// Appends one message \p Bytes from \p From to \p To; returns
+/// per-rank exits (the receiver's exit is the receive completion).
+std::vector<OpId> appendPing(ScheduleBuilder &B, unsigned From, unsigned To,
+                             std::uint64_t Bytes, int Tag,
+                             std::span<const OpId> Entry = {});
+
+/// Appends a ping-pong round trip between \p RankA and \p RankB
+/// (A sends, B replies with the same payload). The exit of RankA
+/// completes when the reply has been received, so
+/// `done(exit[A]) - start` is the round-trip time.
+std::vector<OpId> appendPingPong(ScheduleBuilder &B, unsigned RankA,
+                                 unsigned RankB, std::uint64_t Bytes, int Tag,
+                                 std::span<const OpId> Entry = {});
+
+} // namespace mpicsel
+
+#endif // MPICSEL_COLL_POINTTOPOINT_H

@@ -1,0 +1,168 @@
+//===- coll/Reduce.cpp - Reduction algorithm schedules ---------------------===//
+
+#include "coll/Reduce.h"
+
+#include "coll/Bcast.h"
+#include "support/Error.h"
+#include "topo/Tree.h"
+
+#include <cassert>
+
+using namespace mpicsel;
+
+const char *mpicsel::reduceAlgorithmName(ReduceAlgorithm Alg) {
+  switch (Alg) {
+  case ReduceAlgorithm::Linear:
+    return "linear";
+  case ReduceAlgorithm::Chain:
+    return "chain";
+  case ReduceAlgorithm::Binomial:
+    return "binomial";
+  }
+  MPICSEL_UNREACHABLE("unknown reduce algorithm");
+}
+
+std::optional<ReduceAlgorithm>
+mpicsel::parseReduceAlgorithm(const std::string &Name) {
+  for (ReduceAlgorithm Alg : AllReduceAlgorithms)
+    if (Name == reduceAlgorithmName(Alg))
+      return Alg;
+  return std::nullopt;
+}
+
+namespace {
+
+std::vector<OpId> firstDeps(std::span<const OpId> Entry, unsigned Rank) {
+  if (Entry.empty() || Entry[Rank] == InvalidOpId)
+    return {};
+  return {Entry[Rank]};
+}
+
+std::uint64_t segmentSize(std::uint64_t MessageBytes,
+                          std::uint64_t SegmentBytes,
+                          std::uint64_t NumSegments, std::uint64_t Seg) {
+  if (NumSegments == 1)
+    return MessageBytes;
+  if (Seg + 1 < NumSegments)
+    return SegmentBytes;
+  return MessageBytes - SegmentBytes * (NumSegments - 1);
+}
+
+/// The generic segmented tree reduction engine (broadcast reversed).
+/// Per rank and segment s:
+///   leaf:     send its own segment s to the parent (sends issue in
+///             segment order);
+///   interior: receive segment s from every child, combine the c+1
+///             operands (a Compute of c * bytes * rho), then forward
+///             the partial result (root keeps it). Receives from a
+///             child are posted in segment order; the combine of
+///             segment s is also program-ordered after the combine of
+///             segment s-1.
+std::vector<OpId> appendTreeReduce(ScheduleBuilder &B, const Tree &T,
+                                   const ReduceConfig &Config,
+                                   std::span<const OpId> Entry) {
+  const unsigned P = B.rankCount();
+  const std::uint64_t NumSegments =
+      bcastSegmentCount(Config.MessageBytes, Config.SegmentBytes);
+
+  std::vector<OpId> Exit(P, InvalidOpId);
+  for (unsigned Rank = 0; Rank != P; ++Rank) {
+    const std::vector<unsigned> &Children = T.Children[Rank];
+    const bool IsRoot = Rank == T.Root;
+    std::vector<OpId> First = firstDeps(Entry, Rank);
+
+    if (Children.empty()) {
+      if (IsRoot) { // Trivial communicator.
+        Exit[Rank] = B.addJoin(Rank, First);
+        continue;
+      }
+      // Leaf: stream the segments to the parent in order.
+      unsigned Parent = static_cast<unsigned>(T.Parent[Rank]);
+      OpId Prev = InvalidOpId;
+      for (std::uint64_t Seg = 0; Seg != NumSegments; ++Seg) {
+        std::vector<OpId> Deps =
+            Prev == InvalidOpId ? First : std::vector<OpId>{Prev};
+        Prev = B.addSend(Rank, Parent,
+                         segmentSize(Config.MessageBytes,
+                                     Config.SegmentBytes, NumSegments, Seg),
+                         Config.Tag, Deps);
+      }
+      Exit[Rank] = B.addJoin(Rank, std::vector<OpId>{Prev});
+      continue;
+    }
+
+    // Interior (or root): receive, combine, forward.
+    std::vector<OpId> PrevRecvOfChild(Children.size(), InvalidOpId);
+    OpId PrevCombine = InvalidOpId;
+    OpId PrevSend = InvalidOpId;
+    for (std::uint64_t Seg = 0; Seg != NumSegments; ++Seg) {
+      std::uint64_t Bytes = segmentSize(Config.MessageBytes,
+                                        Config.SegmentBytes, NumSegments,
+                                        Seg);
+      std::vector<OpId> CombineDeps;
+      for (std::size_t I = 0; I != Children.size(); ++I) {
+        std::vector<OpId> Deps = PrevRecvOfChild[I] == InvalidOpId
+                                     ? First
+                                     : std::vector<OpId>{PrevRecvOfChild[I]};
+        PrevRecvOfChild[I] =
+            B.addRecv(Rank, Children[I], Bytes, Config.Tag, Deps);
+        CombineDeps.push_back(PrevRecvOfChild[I]);
+      }
+      if (PrevCombine != InvalidOpId)
+        CombineDeps.push_back(PrevCombine);
+      double CombineSeconds = Config.ComputeSecondsPerByte *
+                              static_cast<double>(Bytes) *
+                              static_cast<double>(Children.size());
+      PrevCombine = B.addCompute(Rank, CombineSeconds, CombineDeps);
+      if (!IsRoot) {
+        std::vector<OpId> SendDeps{PrevCombine};
+        if (PrevSend != InvalidOpId)
+          SendDeps.push_back(PrevSend);
+        PrevSend = B.addSend(Rank, static_cast<unsigned>(T.Parent[Rank]),
+                             Bytes, Config.Tag, SendDeps);
+      }
+    }
+    Exit[Rank] = IsRoot ? PrevCombine
+                        : B.addJoin(Rank, std::vector<OpId>{PrevSend});
+  }
+  return Exit;
+}
+
+} // namespace
+
+std::vector<OpId> mpicsel::appendReduce(ScheduleBuilder &B,
+                                        const ReduceConfig &Config,
+                                        std::span<const OpId> Entry) {
+  const unsigned P = B.rankCount();
+  assert(Config.Root < P && "reduce root outside the communicator");
+  assert(Config.MessageBytes >= 1 && "empty reduction");
+  assert(Config.ComputeSecondsPerByte >= 0 && "negative compute cost");
+  assert((Entry.empty() || Entry.size() == P) &&
+         "entry array must cover every rank");
+
+  if (P == 1) {
+    std::vector<OpId> Exit(1);
+    Exit[0] = B.addJoin(0, firstDeps(Entry, 0));
+    return Exit;
+  }
+
+  switch (Config.Algorithm) {
+  case ReduceAlgorithm::Linear: {
+    // Non-segmented flat tree: the root drains every rank's whole
+    // vector and combines in rank order (basic_linear).
+    Tree T = buildLinearTree(P, Config.Root);
+    ReduceConfig Unsegmented = Config;
+    Unsegmented.SegmentBytes = 0;
+    return appendTreeReduce(B, T, Unsegmented, Entry);
+  }
+  case ReduceAlgorithm::Chain: {
+    Tree T = buildChainTree(P, Config.Root, 1);
+    return appendTreeReduce(B, T, Config, Entry);
+  }
+  case ReduceAlgorithm::Binomial: {
+    Tree T = buildBinomialTree(P, Config.Root);
+    return appendTreeReduce(B, T, Config, Entry);
+  }
+  }
+  MPICSEL_UNREACHABLE("unknown reduce algorithm");
+}

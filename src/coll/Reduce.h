@@ -1,0 +1,88 @@
+//===- coll/Reduce.h - Reduction algorithm schedules ------------*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MPI_Reduce algorithms -- the second "future work" collective (the
+/// paper models broadcast; its related work [8] covers reduce with
+/// the traditional approach). Reduction is broadcast reversed plus
+/// arithmetic: data flows up a tree and every interior rank combines
+/// its children's segments with its own before forwarding.
+///
+/// The same tree shapes as the broadcasts are reused:
+///   * linear: every rank sends its full vector to the root, which
+///     combines them in rank order (`reduce_intra_basic_linear`);
+///   * chain: segmented pipeline up the fanout-1 chain
+///     (`reduce_intra_pipeline`);
+///   * binomial: segmented reduction up the binomial tree
+///     (`reduce_intra_binomial`).
+///
+/// The reduction arithmetic appears as Compute ops whose duration is
+/// OperandBytes * ComputeSecondsPerByte, so the simulator charges the
+/// CPU for it and the models must account for it -- which they do
+/// implicitly: the algorithm-specific beta absorbs the per-byte
+/// compute cost, a textbook case of the paper's "parameters capture
+/// more than sheer network characteristics".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_COLL_REDUCE_H
+#define MPICSEL_COLL_REDUCE_H
+
+#include "mpi/Schedule.h"
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mpicsel {
+
+/// The reduce algorithms implemented here.
+enum class ReduceAlgorithm : unsigned {
+  Linear = 0,
+  Chain,
+  Binomial,
+};
+
+inline constexpr unsigned NumReduceAlgorithms = 3;
+
+inline constexpr std::array<ReduceAlgorithm, NumReduceAlgorithms>
+    AllReduceAlgorithms = {ReduceAlgorithm::Linear, ReduceAlgorithm::Chain,
+                           ReduceAlgorithm::Binomial};
+
+/// Short stable name ("linear", "chain", "binomial").
+const char *reduceAlgorithmName(ReduceAlgorithm Alg);
+
+/// Inverse of reduceAlgorithmName.
+std::optional<ReduceAlgorithm> parseReduceAlgorithm(const std::string &Name);
+
+/// Parameters of one reduce invocation.
+struct ReduceConfig {
+  ReduceAlgorithm Algorithm = ReduceAlgorithm::Binomial;
+  /// Vector length in bytes (every rank contributes this much).
+  std::uint64_t MessageBytes = 1;
+  /// Segment size of the segmented algorithms (0 = unsegmented; the
+  /// linear algorithm is never segmented).
+  std::uint64_t SegmentBytes = 8 * 1024;
+  unsigned Root = 0;
+  /// Cost of combining one byte of one operand pair (seconds/byte);
+  /// the harness fills it from Platform::ReduceComputePerByte.
+  double ComputeSecondsPerByte = 0.0;
+  int Tag = 0;
+};
+
+/// Appends one reduction over all B.rankCount() ranks. The root's
+/// exit op completes when the final combined vector is ready.
+/// Returns one exit op per rank.
+std::vector<OpId> appendReduce(ScheduleBuilder &B, const ReduceConfig &Config,
+                               std::span<const OpId> Entry = {});
+
+} // namespace mpicsel
+
+#endif // MPICSEL_COLL_REDUCE_H

@@ -1,0 +1,133 @@
+//===- coll/Scatter.cpp - Scatter algorithm schedules ----------------------===//
+
+#include "coll/Scatter.h"
+
+#include "support/Error.h"
+#include "topo/Tree.h"
+
+#include <cassert>
+
+using namespace mpicsel;
+
+const char *mpicsel::scatterAlgorithmName(ScatterAlgorithm Alg) {
+  switch (Alg) {
+  case ScatterAlgorithm::Linear:
+    return "linear";
+  case ScatterAlgorithm::Binomial:
+    return "binomial";
+  }
+  MPICSEL_UNREACHABLE("unknown scatter algorithm");
+}
+
+std::optional<ScatterAlgorithm>
+mpicsel::parseScatterAlgorithm(const std::string &Name) {
+  for (ScatterAlgorithm Alg : AllScatterAlgorithms)
+    if (Name == scatterAlgorithmName(Alg))
+      return Alg;
+  return std::nullopt;
+}
+
+namespace {
+
+std::vector<OpId> firstDeps(std::span<const OpId> Entry, unsigned Rank) {
+  if (Entry.empty() || Entry[Rank] == InvalidOpId)
+    return {};
+  return {Entry[Rank]};
+}
+
+/// Linear scatter: P-1 non-blocking sends from the root, one block
+/// each; waitall; receivers post one receive.
+std::vector<OpId> appendLinearScatter(ScheduleBuilder &B,
+                                      const ScatterConfig &Config,
+                                      std::span<const OpId> Entry) {
+  const unsigned P = B.rankCount();
+  std::vector<OpId> Exit(P, InvalidOpId);
+  std::vector<OpId> Sends;
+  Sends.reserve(P - 1);
+  std::vector<OpId> RootDeps = firstDeps(Entry, Config.Root);
+  for (unsigned Offset = 1; Offset != P; ++Offset) {
+    unsigned Rank = (Config.Root + Offset) % P;
+    Sends.push_back(B.addSend(Config.Root, Rank, Config.BlockBytes,
+                              Config.Tag, RootDeps));
+    Exit[Rank] = B.addRecv(Rank, Config.Root, Config.BlockBytes, Config.Tag,
+                           firstDeps(Entry, Rank));
+  }
+  Exit[Config.Root] = B.addJoin(Config.Root, Sends);
+  return Exit;
+}
+
+/// Binomial scatter: parents forward each child the concatenation of
+/// the child's subtree blocks, deepest (largest-subtree) child first
+/// as in Open MPI. A non-root interior rank must fully receive its
+/// own bundle before forwarding slices of it.
+std::vector<OpId> appendBinomialScatter(ScheduleBuilder &B,
+                                        const ScatterConfig &Config,
+                                        std::span<const OpId> Entry) {
+  const unsigned P = B.rankCount();
+  Tree T = buildBinomialTree(P, Config.Root);
+  std::vector<OpId> Exit(P, InvalidOpId);
+
+  // Precompute subtree sizes once (they define the transfer sizes).
+  std::vector<unsigned> SubtreeSize(P);
+  for (unsigned Rank = 0; Rank != P; ++Rank)
+    SubtreeSize[Rank] = T.subtreeSize(Rank);
+
+  // Emit per rank: one receive of its bundle (except the root, which
+  // owns the data), then sends to children in decreasing-subtree
+  // order (Open MPI walks the mask downward, i.e. biggest child
+  // first).
+  for (unsigned Rank = 0; Rank != P; ++Rank) {
+    std::vector<OpId> Deps = firstDeps(Entry, Rank);
+    OpId Bundle = InvalidOpId;
+    if (Rank != Config.Root) {
+      std::uint64_t BundleBytes =
+          static_cast<std::uint64_t>(SubtreeSize[Rank]) * Config.BlockBytes;
+      Bundle = B.addRecv(Rank, static_cast<unsigned>(T.Parent[Rank]),
+                         BundleBytes, Config.Tag, Deps);
+      Deps = {Bundle};
+    }
+    if (T.Children[Rank].empty()) {
+      Exit[Rank] = Rank == Config.Root ? B.addJoin(Rank, Deps) : Bundle;
+      continue;
+    }
+    std::vector<OpId> Sends;
+    Sends.reserve(T.Children[Rank].size());
+    // Children in decreasing subtree size = reverse of the builder's
+    // increasing-mask order.
+    for (auto It = T.Children[Rank].rbegin(), E = T.Children[Rank].rend();
+         It != E; ++It) {
+      std::uint64_t Bytes =
+          static_cast<std::uint64_t>(SubtreeSize[*It]) * Config.BlockBytes;
+      Sends.push_back(B.addSend(Rank, *It, Bytes, Config.Tag, Deps));
+    }
+    if (Bundle != InvalidOpId)
+      Sends.push_back(Bundle); // The rank's exit also covers its recv.
+    Exit[Rank] = B.addJoin(Rank, Sends);
+  }
+  return Exit;
+}
+
+} // namespace
+
+std::vector<OpId> mpicsel::appendScatter(ScheduleBuilder &B,
+                                         const ScatterConfig &Config,
+                                         std::span<const OpId> Entry) {
+  const unsigned P = B.rankCount();
+  assert(Config.Root < P && "scatter root outside the communicator");
+  assert(Config.BlockBytes >= 1 && "empty scatter block");
+  assert((Entry.empty() || Entry.size() == P) &&
+         "entry array must cover every rank");
+
+  if (P == 1) {
+    std::vector<OpId> Exit(1);
+    Exit[0] = B.addJoin(0, firstDeps(Entry, 0));
+    return Exit;
+  }
+  switch (Config.Algorithm) {
+  case ScatterAlgorithm::Linear:
+    return appendLinearScatter(B, Config, Entry);
+  case ScatterAlgorithm::Binomial:
+    return appendBinomialScatter(B, Config, Entry);
+  }
+  MPICSEL_UNREACHABLE("unknown scatter algorithm");
+}

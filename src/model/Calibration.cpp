@@ -1,0 +1,155 @@
+//===- model/Calibration.cpp - Algorithm-specific alpha/beta --------------===//
+
+#include "model/Calibration.h"
+
+#include "model/Runner.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mpicsel;
+
+double CalibratedModels::predict(BcastAlgorithm Alg, unsigned NumProcs,
+                                 std::uint64_t MessageBytes) const {
+  BcastModelQuery Query;
+  Query.NumProcs = NumProcs;
+  Query.MessageBytes = MessageBytes;
+  // The linear algorithm is never segmented; the others use the
+  // calibrated segment size (the paper fixes 8 KB for all segmented
+  // algorithms).
+  Query.SegmentBytes = Alg == BcastAlgorithm::Linear ? 0 : SegmentBytes;
+  Query.KChainFanout = KChainFanout;
+  CostCoefficients C = bcastCostCoefficients(Alg, Query, Gamma);
+  const AlgorithmCalibration &Params = of(Alg);
+  return C.evaluate(Params.Alpha, Params.Beta);
+}
+
+BcastAlgorithm CalibratedModels::selectBest(unsigned NumProcs,
+                                            std::uint64_t MessageBytes) const {
+  BcastAlgorithm Best = AllBcastAlgorithms.front();
+  double BestTime = predict(Best, NumProcs, MessageBytes);
+  for (BcastAlgorithm Alg : AllBcastAlgorithms) {
+    double Time = predict(Alg, NumProcs, MessageBytes);
+    if (Time < BestTime) {
+      Best = Alg;
+      BestTime = Time;
+    }
+  }
+  return Best;
+}
+
+static std::vector<std::uint64_t> defaultMessageSizes() {
+  // The paper's sweep: 10 sizes, 8 KB .. 4 MB, constant log step.
+  std::vector<std::uint64_t> Sizes;
+  for (std::uint64_t Bytes = 8 * 1024; Bytes <= 4 * 1024 * 1024; Bytes *= 2)
+    Sizes.push_back(Bytes);
+  return Sizes;
+}
+
+static std::vector<std::uint64_t>
+defaultGatherSizes(const std::vector<std::uint64_t> &MessageSizes,
+                   std::uint64_t SegmentBytes) {
+  // Gather block sizes m_g_i proportional to the broadcast sizes
+  // (m_i / 64, clamped): the ramp spreads the canonical x_i of the
+  // Fig. 4 system enough to identify alpha and beta separately, while
+  // the broadcast still dominates every experiment. None may equal
+  // the segment size (the paper requires m_g != m_s).
+  std::vector<std::uint64_t> Sizes;
+  for (std::uint64_t MessageBytes : MessageSizes) {
+    std::uint64_t Bytes =
+        std::clamp<std::uint64_t>(MessageBytes / 64, 1024, 256 * 1024);
+    if (Bytes == SegmentBytes)
+      Bytes += 512;
+    Sizes.push_back(Bytes);
+  }
+  return Sizes;
+}
+
+CalibratedModels mpicsel::calibrate(const Platform &Plat,
+                                    const CalibrationOptions &Options) {
+  CalibratedModels Models;
+  Models.SegmentBytes = Options.SegmentBytes;
+  Models.KChainFanout = Options.KChainFanout;
+
+  unsigned NumProcs = Options.NumProcs;
+  if (NumProcs == 0)
+    NumProcs = std::max(2u, Plat.maxProcs() / 2);
+  if (NumProcs > Plat.maxProcs())
+    fatalError("calibration requests more processes than the platform hosts");
+
+  std::vector<std::uint64_t> MessageSizes = Options.MessageSizes;
+  if (MessageSizes.empty())
+    MessageSizes = defaultMessageSizes();
+  std::vector<std::uint64_t> GatherSizes = Options.GatherSizes;
+  if (GatherSizes.empty())
+    GatherSizes = defaultGatherSizes(MessageSizes, Options.SegmentBytes);
+  if (GatherSizes.size() != MessageSizes.size())
+    fatalError("calibration needs one gather size per message size");
+
+  // Stage 1 (Sect. 4.1): gamma, measured far enough for every gamma
+  // argument the models can ask for.
+  GammaEstimationOptions GammaOpts = Options.GammaOptions;
+  GammaOpts.MaxP = std::max(
+      GammaOpts.MaxP,
+      maxGammaArgument(Plat.maxProcs(), Options.KChainFanout));
+  GammaOpts.MaxP = std::min(GammaOpts.MaxP, Plat.maxProcs());
+  GammaOpts.SegmentBytes = Options.SegmentBytes;
+  Models.Gamma = estimateGamma(Plat, GammaOpts).Gamma;
+
+  // Stage 2 (Sect. 4.2): one linear system per algorithm.
+  for (BcastAlgorithm Alg : AllBcastAlgorithms) {
+    AlgorithmCalibration &Calib =
+        Models.Algorithms[static_cast<unsigned>(Alg)];
+    Calib.Algorithm = Alg;
+
+    for (std::size_t I = 0; I != MessageSizes.size(); ++I) {
+      const std::uint64_t MessageBytes = MessageSizes[I];
+      const std::uint64_t GatherBytes = GatherSizes[I];
+
+      BcastConfig Bcast;
+      Bcast.Algorithm = Alg;
+      Bcast.MessageBytes = MessageBytes;
+      Bcast.SegmentBytes =
+          Alg == BcastAlgorithm::Linear ? 0 : Options.SegmentBytes;
+      Bcast.Root = 0;
+      Bcast.KChainFanout = Options.KChainFanout;
+
+      AdaptiveOptions Adaptive = Options.Adaptive;
+      Adaptive.BaseSeed = Options.Adaptive.BaseSeed +
+                          0x100000ull * static_cast<unsigned>(Alg) +
+                          0x100ull * I;
+      AdaptiveResult R =
+          measureBcastGather(Plat, NumProcs, Bcast, GatherBytes, Adaptive);
+
+      // Canonical form of Fig. 4: T / (A_tot) = alpha + beta * (B_tot
+      // / A_tot).
+      BcastModelQuery Query;
+      Query.NumProcs = NumProcs;
+      Query.MessageBytes = MessageBytes;
+      Query.SegmentBytes = Bcast.SegmentBytes;
+      Query.KChainFanout = Options.KChainFanout;
+      CostCoefficients BcastCost =
+          bcastCostCoefficients(Alg, Query, Models.Gamma);
+      CostCoefficients GatherCost =
+          linearGatherCostCoefficients(NumProcs, GatherBytes);
+      CostCoefficients Total = BcastCost + GatherCost;
+      assert(Total.A > 0 && "degenerate experiment coefficients");
+      Calib.CanonicalX.push_back(Total.B / Total.A);
+      Calib.CanonicalT.push_back(R.Stats.Mean / Total.A);
+    }
+
+    Calib.Fit = Options.UseHuber
+                    ? fitHuber(Calib.CanonicalX, Calib.CanonicalT)
+                    : fitLeastSquares(Calib.CanonicalX, Calib.CanonicalT);
+    if (!Calib.Fit.Valid)
+      fatalError("alpha/beta regression degenerate for algorithm " +
+                 std::string(bcastAlgorithmName(Alg)));
+    // Physically, both parameters are non-negative; tiny negative
+    // intercepts are regression noise (the paper's alphas are
+    // O(1e-12)).
+    Calib.Alpha = std::max(Calib.Fit.Intercept, 0.0);
+    Calib.Beta = std::max(Calib.Fit.Slope, 0.0);
+  }
+  return Models;
+}

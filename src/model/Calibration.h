@@ -1,0 +1,116 @@
+//===- model/Calibration.h - Algorithm-specific alpha/beta ------*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's second innovation (Sect. 4.2): estimate alpha and beta
+/// *separately for each collective algorithm*, from communication
+/// experiments in which the modelled algorithm itself dominates.
+///
+/// Experiment (one per message size m_i): the modelled broadcast of
+/// m_i over P ranks, immediately followed by a linear gather without
+/// synchronisation of m_g_i per rank, timed on the root. Its model is
+///
+///   T_i = (A_i + P - 1) * alpha + (B_i + (P-1) * m_g_i) * beta,
+///
+/// where (A_i, B_i) are the broadcast's implementation-derived cost
+/// coefficients. Dividing by (A_i + P - 1) puts every equation in the
+/// canonical form `alpha + beta * x_i = t_i` of the paper's Fig. 4;
+/// the stacked system over the 10 message sizes is solved with the
+/// Huber regressor [25].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_MODEL_CALIBRATION_H
+#define MPICSEL_MODEL_CALIBRATION_H
+
+#include "cluster/Platform.h"
+#include "coll/Algorithms.h"
+#include "model/CostModels.h"
+#include "model/Gamma.h"
+#include "stat/AdaptiveBenchmark.h"
+#include "stat/Regression.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace mpicsel {
+
+/// Options of the full calibration pass.
+struct CalibrationOptions {
+  /// Processes used in the alpha/beta experiments. 0 selects the
+  /// paper's choice: roughly half the platform's ranks (the paper
+  /// used 40 of 90 on Grisou and all 124 on Gros; it reports that
+  /// using more nodes does not change the estimates).
+  unsigned NumProcs = 0;
+  /// Segment size of the segmented algorithms (the paper's 8 KB).
+  std::uint64_t SegmentBytes = 8 * 1024;
+  /// K of the K-chain algorithm.
+  unsigned KChainFanout = 4;
+  /// Broadcast message sizes of the experiments; empty selects the
+  /// paper's sweep: 10 sizes from 8 KB to 4 MB, constant step in log
+  /// scale (i.e. doubling).
+  std::vector<std::uint64_t> MessageSizes;
+  /// Gather block sizes m_g_i (must differ from the segment size);
+  /// empty derives a default ramp 4 KB, 6 KB, ... distinct from m_s.
+  std::vector<std::uint64_t> GatherSizes;
+  /// Options of the gamma estimation stage; MaxP is raised
+  /// automatically to cover every gamma argument the models need.
+  GammaEstimationOptions GammaOptions;
+  /// Statistical stopping rules of each timing.
+  AdaptiveOptions Adaptive;
+  /// Solve the canonical system with Huber (paper) or plain OLS
+  /// (ablation).
+  bool UseHuber = true;
+};
+
+/// Calibration result for one algorithm.
+struct AlgorithmCalibration {
+  BcastAlgorithm Algorithm = BcastAlgorithm::Linear;
+  /// The algorithm-specific Hockney parameters (paper Table 2).
+  double Alpha = 0.0;
+  double Beta = 0.0;
+  /// The canonical-form regression (x_i, t_i) actually solved --
+  /// exposed for tests, benches and the EXPERIMENTS.md write-up.
+  std::vector<double> CanonicalX;
+  std::vector<double> CanonicalT;
+  LinearFit Fit;
+};
+
+/// Everything the runtime selection needs: gamma plus per-algorithm
+/// (alpha, beta).
+struct CalibratedModels {
+  GammaFunction Gamma;
+  std::array<AlgorithmCalibration, NumBcastAlgorithms> Algorithms;
+  std::uint64_t SegmentBytes = 8 * 1024;
+  unsigned KChainFanout = 4;
+
+  const AlgorithmCalibration &of(BcastAlgorithm Alg) const {
+    return Algorithms[static_cast<unsigned>(Alg)];
+  }
+
+  /// Predicted broadcast time of \p Alg for \p NumProcs ranks and
+  /// \p MessageBytes, at the calibrated segment size.
+  double predict(BcastAlgorithm Alg, unsigned NumProcs,
+                 std::uint64_t MessageBytes) const;
+
+  /// The model-based decision function: argmin of predict over the
+  /// six algorithms. This is the paper's runtime selection -- two
+  /// multiply-adds per algorithm, no search.
+  BcastAlgorithm selectBest(unsigned NumProcs,
+                            std::uint64_t MessageBytes) const;
+};
+
+/// Runs the full calibration (gamma, then per-algorithm alpha/beta)
+/// on \p P. This is the offline stage of the paper's method; its cost
+/// is independent of the application.
+CalibratedModels calibrate(const Platform &P,
+                           const CalibrationOptions &Options = {});
+
+} // namespace mpicsel
+
+#endif // MPICSEL_MODEL_CALIBRATION_H

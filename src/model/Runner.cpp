@@ -1,0 +1,132 @@
+//===- model/Runner.cpp - Measurement harness over the simulator ----------===//
+
+#include "model/Runner.h"
+
+#include "coll/Barrier.h"
+#include "coll/PointToPoint.h"
+#include "sim/Engine.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mpicsel;
+
+static void checkRanks(const Platform &P, unsigned NumProcs) {
+  assert(NumProcs >= 1 && "experiments need at least one rank");
+  if (NumProcs > P.maxProcs())
+    fatalError("experiment requests more processes than the platform hosts");
+}
+
+double mpicsel::runBcastOnce(const Platform &P, unsigned NumProcs,
+                             const BcastConfig &Config, std::uint64_t Seed) {
+  checkRanks(P, NumProcs);
+  ScheduleBuilder B(NumProcs);
+  std::vector<OpId> Exit = appendBcast(B, Config);
+  Schedule S = B.take();
+  ExecutionResult R = runSchedule(S, P, Seed);
+  if (!R.Completed)
+    fatalError("broadcast schedule deadlocked: " + R.Diagnostic);
+  double Latest = 0.0;
+  for (OpId Id : Exit)
+    Latest = std::max(Latest, R.doneTime(Id));
+  return Latest;
+}
+
+AdaptiveResult mpicsel::measureBcast(const Platform &P, unsigned NumProcs,
+                                     const BcastConfig &Config,
+                                     const AdaptiveOptions &Options) {
+  return measureAdaptively(
+      [&](std::uint64_t Seed) { return runBcastOnce(P, NumProcs, Config, Seed); },
+      Options);
+}
+
+double mpicsel::runBcastGatherOnce(const Platform &P, unsigned NumProcs,
+                                   const BcastConfig &Bcast,
+                                   std::uint64_t GatherBytes,
+                                   std::uint64_t Seed) {
+  checkRanks(P, NumProcs);
+  ScheduleBuilder B(NumProcs);
+  std::vector<OpId> BcastExit = appendBcast(B, Bcast);
+  GatherConfig Gather;
+  Gather.BlockBytes = GatherBytes;
+  Gather.Root = Bcast.Root;
+  Gather.Tag = Bcast.Tag + 8; // Clear of the broadcast's tag range.
+  Gather.Synchronised = false;
+  std::vector<OpId> GatherExit = appendLinearGather(B, Gather, BcastExit);
+  Schedule S = B.take();
+  ExecutionResult R = runSchedule(S, P, Seed);
+  if (!R.Completed)
+    fatalError("bcast+gather schedule deadlocked: " + R.Diagnostic);
+  // The experiment starts and finishes on the root (paper Sect. 4.2).
+  return R.doneTime(GatherExit[Bcast.Root]);
+}
+
+AdaptiveResult mpicsel::measureBcastGather(const Platform &P,
+                                           unsigned NumProcs,
+                                           const BcastConfig &Bcast,
+                                           std::uint64_t GatherBytes,
+                                           const AdaptiveOptions &Options) {
+  return measureAdaptively(
+      [&](std::uint64_t Seed) {
+        return runBcastGatherOnce(P, NumProcs, Bcast, GatherBytes, Seed);
+      },
+      Options);
+}
+
+double mpicsel::runLinearBcastTrainOnce(const Platform &P, unsigned NumProcs,
+                                        std::uint64_t SegmentBytes,
+                                        unsigned Calls, std::uint64_t Seed) {
+  checkRanks(P, NumProcs);
+  assert(Calls >= 1 && "need at least one call");
+  ScheduleBuilder B(NumProcs);
+  BcastConfig Config;
+  Config.Algorithm = BcastAlgorithm::Linear;
+  Config.MessageBytes = SegmentBytes;
+  Config.SegmentBytes = 0;
+  Config.Root = 0;
+
+  std::vector<OpId> Exit;
+  for (unsigned Call = 0; Call != Calls; ++Call) {
+    Config.Tag = static_cast<int>(Call) * 16;
+    Exit = appendBcast(B, Config, Exit);
+    Exit = appendBarrier(B, Config.Tag + 8, Exit);
+  }
+  Schedule S = B.take();
+  ExecutionResult R = runSchedule(S, P, Seed);
+  if (!R.Completed)
+    fatalError("gamma-experiment schedule deadlocked: " + R.Diagnostic);
+  // T1: measured on the root, from the experiment start to the root's
+  // exit from the last barrier (which certifies the last delivery).
+  double T1 = R.doneTime(Exit[0]);
+  return T1 / static_cast<double>(Calls);
+}
+
+double mpicsel::runBarrierTrainOnce(const Platform &P, unsigned NumProcs,
+                                    unsigned Calls, std::uint64_t Seed) {
+  checkRanks(P, NumProcs);
+  assert(Calls >= 1 && "need at least one call");
+  ScheduleBuilder B(NumProcs);
+  std::vector<OpId> Exit;
+  for (unsigned Call = 0; Call != Calls; ++Call)
+    Exit = appendBarrier(B, static_cast<int>(Call) * 16 + 8, Exit);
+  Schedule S = B.take();
+  ExecutionResult R = runSchedule(S, P, Seed);
+  if (!R.Completed)
+    fatalError("barrier-train schedule deadlocked: " + R.Diagnostic);
+  return R.doneTime(Exit[0]) / static_cast<double>(Calls);
+}
+
+double mpicsel::runPingPongOnce(const Platform &P, unsigned RankA,
+                                unsigned RankB, std::uint64_t Bytes,
+                                std::uint64_t Seed) {
+  unsigned NumProcs = std::max(RankA, RankB) + 1;
+  checkRanks(P, NumProcs);
+  ScheduleBuilder B(NumProcs);
+  std::vector<OpId> Exit = appendPingPong(B, RankA, RankB, Bytes, /*Tag=*/0);
+  Schedule S = B.take();
+  ExecutionResult R = runSchedule(S, P, Seed);
+  if (!R.Completed)
+    fatalError("ping-pong schedule deadlocked: " + R.Diagnostic);
+  return R.doneTime(Exit[RankA]) / 2.0;
+}

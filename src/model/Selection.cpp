@@ -1,0 +1,67 @@
+//===- model/Selection.cpp - Selection evaluation harness ------------------===//
+
+#include "model/Selection.h"
+
+#include "model/Runner.h"
+
+#include <cassert>
+
+using namespace mpicsel;
+
+SelectionPoint mpicsel::evaluateSelectionPoint(const Platform &P,
+                                               unsigned NumProcs,
+                                               std::uint64_t MessageBytes,
+                                               const CalibratedModels &Models,
+                                               const AdaptiveOptions &Options) {
+  SelectionPoint Point;
+  Point.NumProcs = NumProcs;
+  Point.MessageBytes = MessageBytes;
+
+  auto measureConfig = [&](BcastAlgorithm Alg, std::uint64_t SegmentBytes,
+                           std::uint64_t SeedSalt) {
+    BcastConfig Config;
+    Config.Algorithm = Alg;
+    Config.MessageBytes = MessageBytes;
+    Config.SegmentBytes = Alg == BcastAlgorithm::Linear ? 0 : SegmentBytes;
+    Config.Root = 0;
+    AdaptiveOptions Opts = Options;
+    Opts.BaseSeed = Options.BaseSeed + SeedSalt + MessageBytes +
+                    0x10000ull * NumProcs;
+    return measureBcast(P, NumProcs, Config, Opts).Stats.Mean;
+  };
+
+  // Measure the full landscape at the calibrated segment size.
+  bool First = true;
+  for (BcastAlgorithm Alg : AllBcastAlgorithms) {
+    unsigned Index = static_cast<unsigned>(Alg);
+    double Time = measureConfig(Alg, Models.SegmentBytes, 0x111ull * Index);
+    Point.MeasuredTime[Index] = Time;
+    if (First || Time < Point.BestTime) {
+      Point.Best = Alg;
+      Point.BestTime = Time;
+      First = false;
+    }
+  }
+
+  // Model-based selection: reuse the landscape measurement (the model
+  // picks among the same configurations).
+  Point.ModelChoice = Models.selectBest(NumProcs, MessageBytes);
+  Point.ModelPredictedTime =
+      Models.predict(Point.ModelChoice, NumProcs, MessageBytes);
+  Point.ModelChoiceTime =
+      Point.MeasuredTime[static_cast<unsigned>(Point.ModelChoice)];
+
+  // Open MPI decision: measure at its own segment size (it may differ
+  // from the calibrated one).
+  Point.OmpiChoice = ompiBcastDecisionFixed(NumProcs, MessageBytes);
+  if (Point.OmpiChoice.SegmentBytes == Models.SegmentBytes ||
+      Point.OmpiChoice.Algorithm == BcastAlgorithm::Linear) {
+    Point.OmpiChoiceTime =
+        Point.MeasuredTime[static_cast<unsigned>(Point.OmpiChoice.Algorithm)];
+  } else {
+    Point.OmpiChoiceTime = measureConfig(Point.OmpiChoice.Algorithm,
+                                         Point.OmpiChoice.SegmentBytes,
+                                         0xBEEFull);
+  }
+  return Point;
+}

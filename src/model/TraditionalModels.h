@@ -1,0 +1,69 @@
+//===- model/TraditionalModels.h - State-of-the-art baselines ---*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The *traditional* analytical models the paper's Fig. 1 shows to be
+/// inadequate: Hockney-parameterised formulas derived from the
+/// high-level mathematical definitions of the algorithms
+/// (Thakur et al. [5], Pjesivac-Grbovic et al. [8]), with alpha and
+/// beta measured from point-to-point round trips (Hockney's method
+/// [9]). They ignore both the implementation details (non-blocking
+/// send serialisation, double buffering) and the context dependence of
+/// the parameters -- precisely the two gaps the paper closes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_MODEL_TRADITIONALMODELS_H
+#define MPICSEL_MODEL_TRADITIONALMODELS_H
+
+#include "cluster/Platform.h"
+#include "stat/AdaptiveBenchmark.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace mpicsel {
+
+/// Hockney point-to-point parameters measured from round trips.
+struct HockneyParams {
+  /// Latency (seconds).
+  double Alpha = 0.0;
+  /// Reciprocal bandwidth (seconds per byte).
+  double Beta = 0.0;
+
+  /// T_p2p(m) = alpha + beta * m.
+  double pointToPoint(std::uint64_t Bytes) const {
+    return Alpha + Beta * static_cast<double>(Bytes);
+  }
+};
+
+/// Measures Hockney alpha/beta on \p P with ping-pong experiments
+/// between ranks \p RankA and \p RankB over \p MessageSizes (ordinary
+/// least squares on the one-way times). Default sizes: 64 B .. 512 KB
+/// doubling.
+HockneyParams measureHockneyParams(const Platform &P, unsigned RankA = 0,
+                                   unsigned RankB = 1,
+                                   std::vector<std::uint64_t> MessageSizes = {},
+                                   const AdaptiveOptions &Options = {});
+
+/// Traditional binomial-tree broadcast model (Thakur et al. [5]):
+/// T = ceil(log2 P) * (alpha + m * beta) -- every level forwards the
+/// whole message once, all transfers of a level assumed parallel.
+double traditionalBinomialBcast(const HockneyParams &H, unsigned NumProcs,
+                                std::uint64_t MessageBytes);
+
+/// Traditional segmented binary-tree broadcast model
+/// (Pjesivac-Grbovic et al. [8]): with n_s segments of m_s bytes,
+/// T = (n_s + ceil(log2 P) - 2) * 2 * (alpha + m_s * beta), clamped to
+/// at least one stage.
+double traditionalBinaryBcast(const HockneyParams &H, unsigned NumProcs,
+                              std::uint64_t MessageBytes,
+                              std::uint64_t SegmentBytes);
+
+} // namespace mpicsel
+
+#endif // MPICSEL_MODEL_TRADITIONALMODELS_H

@@ -1,0 +1,152 @@
+//===- mpi/Schedule.cpp - Communication schedules -------------------------===//
+
+#include "mpi/Schedule.h"
+
+#include "support/Format.h"
+
+#include <deque>
+#include <map>
+#include <tuple>
+
+using namespace mpicsel;
+
+OpId ScheduleBuilder::append(Op NewOp) {
+  assert(NewOp.Rank < RankCount && "op rank out of range");
+  for ([[maybe_unused]] OpId Dep : NewOp.Deps) {
+    assert(Dep < Ops.size() && "dependency on a not-yet-created op");
+    assert(Ops[Dep].Rank == NewOp.Rank &&
+           "dependencies must stay within one rank (MPI processes wait "
+           "only on their own requests)");
+  }
+  Ops.push_back(std::move(NewOp));
+  return static_cast<OpId>(Ops.size() - 1);
+}
+
+OpId ScheduleBuilder::addSend(unsigned Rank, unsigned Peer,
+                              std::uint64_t Bytes, int Tag,
+                              std::span<const OpId> Deps) {
+  assert(Peer < RankCount && "send peer out of range");
+  assert(Peer != Rank && "self-sends are not modelled");
+  Op NewOp;
+  NewOp.Kind = OpKind::Send;
+  NewOp.Rank = Rank;
+  NewOp.Peer = Peer;
+  NewOp.Bytes = Bytes;
+  NewOp.Tag = Tag;
+  NewOp.Deps.assign(Deps.begin(), Deps.end());
+  return append(std::move(NewOp));
+}
+
+OpId ScheduleBuilder::addRecv(unsigned Rank, unsigned Peer,
+                              std::uint64_t Bytes, int Tag,
+                              std::span<const OpId> Deps) {
+  assert(Peer < RankCount && "recv peer out of range");
+  assert(Peer != Rank && "self-receives are not modelled");
+  Op NewOp;
+  NewOp.Kind = OpKind::Recv;
+  NewOp.Rank = Rank;
+  NewOp.Peer = Peer;
+  NewOp.Bytes = Bytes;
+  NewOp.Tag = Tag;
+  NewOp.Deps.assign(Deps.begin(), Deps.end());
+  return append(std::move(NewOp));
+}
+
+OpId ScheduleBuilder::addCompute(unsigned Rank, double Seconds,
+                                 std::span<const OpId> Deps) {
+  assert(Seconds >= 0 && "negative computation time");
+  Op NewOp;
+  NewOp.Kind = OpKind::Compute;
+  NewOp.Rank = Rank;
+  NewOp.Duration = Seconds;
+  NewOp.Deps.assign(Deps.begin(), Deps.end());
+  return append(std::move(NewOp));
+}
+
+OpId ScheduleBuilder::addJoin(unsigned Rank, std::span<const OpId> Deps) {
+  return addCompute(Rank, 0.0, Deps);
+}
+
+Schedule ScheduleBuilder::take() {
+  Schedule S;
+  S.RankCount = RankCount;
+  S.Ops = std::move(Ops);
+  Ops.clear();
+  return S;
+}
+
+bool mpicsel::validateSchedule(const Schedule &S, std::string *WhyNot) {
+  auto fail = [&](std::string Message) {
+    if (WhyNot)
+      *WhyNot = std::move(Message);
+    return false;
+  };
+
+  if (S.RankCount == 0)
+    return fail("schedule has zero ranks");
+
+  // Pair sends and receives per (src, dst, tag) channel in FIFO order.
+  using ChannelKey = std::tuple<unsigned, unsigned, int>;
+  std::map<ChannelKey, std::deque<OpId>> PendingSends;
+  std::map<ChannelKey, std::deque<OpId>> PendingRecvs;
+
+  for (OpId Id = 0, E = static_cast<OpId>(S.Ops.size()); Id != E; ++Id) {
+    const Op &O = S.Ops[Id];
+    if (O.Rank >= S.RankCount)
+      return fail(strFormat("op %u: rank %u out of range", Id, O.Rank));
+    for (OpId Dep : O.Deps) {
+      if (Dep >= Id)
+        return fail(strFormat("op %u: forward/self dependency on %u", Id, Dep));
+      if (S.Ops[Dep].Rank != O.Rank)
+        return fail(strFormat("op %u: cross-rank dependency on %u", Id, Dep));
+    }
+    if (O.Kind == OpKind::Compute)
+      continue;
+    if (O.Peer >= S.RankCount)
+      return fail(strFormat("op %u: peer %u out of range", Id, O.Peer));
+    if (O.Peer == O.Rank)
+      return fail(strFormat("op %u: self-message", Id));
+
+    if (O.Kind == OpKind::Send) {
+      ChannelKey Key{O.Rank, O.Peer, O.Tag};
+      auto &Recvs = PendingRecvs[Key];
+      if (!Recvs.empty()) {
+        OpId RecvId = Recvs.front();
+        Recvs.pop_front();
+        if (S.Ops[RecvId].Bytes != O.Bytes)
+          return fail(strFormat("send op %u (%llu bytes) matches recv op %u "
+                                "(%llu bytes): size mismatch",
+                                Id, (unsigned long long)O.Bytes, RecvId,
+                                (unsigned long long)S.Ops[RecvId].Bytes));
+      } else {
+        PendingSends[Key].push_back(Id);
+      }
+    } else { // Recv
+      ChannelKey Key{O.Peer, O.Rank, O.Tag};
+      auto &Sends = PendingSends[Key];
+      if (!Sends.empty()) {
+        OpId SendId = Sends.front();
+        Sends.pop_front();
+        if (S.Ops[SendId].Bytes != O.Bytes)
+          return fail(strFormat("recv op %u (%llu bytes) matches send op %u "
+                                "(%llu bytes): size mismatch",
+                                Id, (unsigned long long)O.Bytes, SendId,
+                                (unsigned long long)S.Ops[SendId].Bytes));
+      } else {
+        PendingRecvs[Key].push_back(Id);
+      }
+    }
+  }
+
+  for (const auto &[Key, Sends] : PendingSends)
+    if (!Sends.empty())
+      return fail(strFormat("unmatched send op %u (%u -> %u, tag %d)",
+                            Sends.front(), std::get<0>(Key), std::get<1>(Key),
+                            std::get<2>(Key)));
+  for (const auto &[Key, Recvs] : PendingRecvs)
+    if (!Recvs.empty())
+      return fail(strFormat("unmatched recv op %u (%u <- %u, tag %d)",
+                            Recvs.front(), std::get<1>(Key), std::get<0>(Key),
+                            std::get<2>(Key)));
+  return true;
+}

@@ -1,0 +1,142 @@
+//===- mpi/Schedule.h - Communication schedules ------------------*- C++ -*-=//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The intermediate representation between collective algorithms and
+/// the discrete-event simulator. A collective algorithm (coll/) is a
+/// *schedule generator*: it emits, per rank, the exact sequence of
+/// non-blocking sends, receives and waits that the corresponding Open
+/// MPI routine would execute, with explicit intra-rank dependencies.
+/// Inter-rank ordering arises from message matching inside the engine.
+///
+/// This mirrors the paper's core methodological move: models are
+/// derived "from the code implementing the algorithms", so the
+/// implementation must be an explicit artifact one can read the
+/// send/recv structure off of. The schedule IS that artifact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_MPI_SCHEDULE_H
+#define MPICSEL_MPI_SCHEDULE_H
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mpicsel {
+
+/// Index of an operation inside a Schedule.
+using OpId = std::uint32_t;
+
+/// Sentinel for "no operation" (e.g. "no dependency").
+inline constexpr OpId InvalidOpId = std::numeric_limits<OpId>::max();
+
+/// The kind of a scheduled operation.
+enum class OpKind : std::uint8_t {
+  /// Buffered (eager) send: completes locally once the message has
+  /// been handed to the network, like MPI_Isend of a moderate message
+  /// under a buffered/eager protocol.
+  Send,
+  /// Receive: completes when a matching message has fully arrived and
+  /// all dependencies are done.
+  Recv,
+  /// Local computation (or a zero-length join used to represent
+  /// MPI_Waitall: a Compute of duration 0 depending on all pending
+  /// requests).
+  Compute,
+};
+
+/// One operation of one rank.
+struct Op {
+  OpKind Kind = OpKind::Compute;
+  /// Owning rank.
+  unsigned Rank = 0;
+  /// Peer rank: destination for Send, source for Recv. Unused for
+  /// Compute.
+  unsigned Peer = 0;
+  /// Message payload in bytes (Send/Recv).
+  std::uint64_t Bytes = 0;
+  /// MPI-style tag; matching is FIFO per (source, destination, tag).
+  int Tag = 0;
+  /// Duration in seconds (Compute only).
+  double Duration = 0.0;
+  /// Same-rank operations that must complete before this one may
+  /// start. (MPI processes can only wait on their own requests, so
+  /// cross-rank dependencies are expressed through messages.)
+  std::vector<OpId> Deps;
+};
+
+/// A complete communication schedule over RankCount ranks.
+struct Schedule {
+  unsigned RankCount = 0;
+  std::vector<Op> Ops;
+
+  const Op &op(OpId Id) const {
+    assert(Id < Ops.size() && "op id out of range");
+    return Ops[Id];
+  }
+};
+
+/// Incrementally builds a Schedule. Collective generators append their
+/// operations here; experiments compose several collectives back to
+/// back by threading each rank's "exit" op into the next collective's
+/// entry dependencies, which reproduces MPI's per-rank program order
+/// across calls.
+class ScheduleBuilder {
+public:
+  explicit ScheduleBuilder(unsigned NumRanks) : RankCount(NumRanks) {
+    assert(NumRanks >= 1 && "a schedule needs at least one rank");
+  }
+
+  unsigned rankCount() const { return RankCount; }
+
+  /// Number of operations appended so far.
+  std::uint32_t numOps() const {
+    return static_cast<std::uint32_t>(Ops.size());
+  }
+
+  /// Appends a non-blocking send from \p Rank to \p Peer.
+  OpId addSend(unsigned Rank, unsigned Peer, std::uint64_t Bytes, int Tag,
+               std::span<const OpId> Deps = {});
+
+  /// Appends a receive on \p Rank from \p Peer.
+  OpId addRecv(unsigned Rank, unsigned Peer, std::uint64_t Bytes, int Tag,
+               std::span<const OpId> Deps = {});
+
+  /// Appends a local computation of \p Seconds on \p Rank.
+  OpId addCompute(unsigned Rank, double Seconds,
+                  std::span<const OpId> Deps = {});
+
+  /// Appends a zero-duration join on \p Rank depending on \p Deps --
+  /// the schedule-level rendering of MPI_Waitall. Returns the join op,
+  /// which completes exactly when the last dependency does (plus CPU
+  /// availability).
+  OpId addJoin(unsigned Rank, std::span<const OpId> Deps);
+
+  /// Finalises and returns the schedule. The builder is left empty.
+  Schedule take();
+
+private:
+  OpId append(Op NewOp);
+
+  unsigned RankCount;
+  std::vector<Op> Ops;
+};
+
+/// Checks structural invariants of \p S: ranks in range, dependencies
+/// are same-rank back-references (this also guarantees acyclicity),
+/// sends and receives pair up exactly by (src, dst, tag) with equal
+/// byte counts in FIFO order. Returns true if valid; otherwise false
+/// and, if \p WhyNot is non-null, stores a diagnostic.
+bool validateSchedule(const Schedule &S, std::string *WhyNot = nullptr);
+
+} // namespace mpicsel
+
+#endif // MPICSEL_MPI_SCHEDULE_H

@@ -1,0 +1,352 @@
+//===- sim/Engine.cpp - Discrete-event network simulator ------------------===//
+
+#include "sim/Engine.h"
+
+#include "support/Format.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+
+using namespace mpicsel;
+
+namespace {
+
+/// Heap events. Dependency releases are handled inline (they occur at
+/// the same timestamp as the completion that triggered them); only
+/// future effects live on the heap. Channels are acquired at the
+/// moment the contender physically reaches them -- the injection
+/// channel when the CPU hands the message over, the drain channel
+/// when the first byte arrives -- so FIFO order matches physical
+/// arrival order rather than event-processing order.
+enum class EventKind : std::uint8_t {
+  /// A send's CPU work is done; contend for the injection channel.
+  TxAcquire,
+  /// A message's first byte reaches the destination node; contend for
+  /// the drain channel.
+  MsgArrival,
+  /// A message has fully drained and can match a posted receive.
+  MsgAvailable,
+  /// An operation finishes (Send injection done, Compute done, Recv
+  /// completion overhead paid).
+  OpDone,
+};
+
+struct Event {
+  double Time;
+  std::uint64_t Seq; // tie-breaker: creation order => determinism
+  EventKind Kind;
+  OpId Id; // the op concerned (for messages: the sending op)
+};
+
+struct EventLater {
+  bool operator()(const Event &A, const Event &B) const {
+    if (A.Time != B.Time)
+      return A.Time > B.Time;
+    return A.Seq > B.Seq;
+  }
+};
+
+/// FIFO matching state of one (src, dst, tag) channel.
+struct MatchChannel {
+  /// Messages that arrived before a receive was posted: available
+  /// time + payload size of each.
+  std::deque<std::pair<double, std::uint64_t>> ArrivedMsgs;
+  /// Receives posted before their message arrived.
+  std::deque<OpId> PostedRecvs;
+};
+
+/// The executor for one run. Single-threaded and strictly
+/// deterministic: the heap orders by (time, sequence) and dependents
+/// are activated in op-id order.
+class Executor {
+public:
+  Executor(const Schedule &Sched, const Platform &Plat, std::uint64_t Seed)
+      : S(Sched), P(Plat), Rng(Seed) {}
+
+  ExecutionResult run();
+
+private:
+  double noise() { return Rng.nextLogNormalFactor(P.NoiseSigma); }
+
+  void push(double Time, EventKind Kind, OpId Id) {
+    Heap.push(Event{Time, NextSeq++, Kind, Id});
+  }
+
+  /// Called when all deps of \p Id are satisfied at time \p Now.
+  void activateOp(OpId Id, double Now);
+
+  /// Send activation: pay the CPU initiation cost, then contend for
+  /// the injection channel at the moment the CPU is done.
+  void startSend(OpId Id, double Now);
+
+  /// The send's CPU work finished at \p Now: occupy the injection
+  /// channel and emit the message.
+  void onTxAcquire(OpId Id, double Now);
+
+  /// First byte of the message of send op \p Id reached the
+  /// destination at \p Now: occupy the drain channel.
+  void onMsgArrival(OpId Id, double Now);
+
+  /// Runs a Compute op through the CPU.
+  void startCompute(OpId Id, double Now);
+
+  /// A receive whose dependencies are done: match or enqueue.
+  void postRecv(OpId Id, double Now);
+
+  /// Pairs receive \p RecvId with a message fully drained by \p Now.
+  void completeRecv(OpId RecvId, double Now, std::uint64_t Bytes);
+
+  /// Marks \p Id done at \p Now and releases its dependents.
+  void finishOp(OpId Id, double Now);
+
+  std::uint64_t channelKey(unsigned Src, unsigned Dst, int Tag) const {
+    // Ranks are < 2^20 in any realistic platform; tags fit in 24 bits.
+    return (static_cast<std::uint64_t>(Src) << 44) |
+           (static_cast<std::uint64_t>(Dst) << 24) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(Tag) &
+                                      0xffffffu);
+  }
+
+  const Schedule &S;
+  const Platform &P;
+  Xoshiro256 Rng;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> Heap;
+  std::uint64_t NextSeq = 0;
+
+  // Dependency bookkeeping.
+  std::vector<std::uint32_t> PendingDeps;
+  std::vector<std::vector<OpId>> Dependents;
+
+  // Resources: free-at times.
+  std::vector<double> CpuFree;   // per rank
+  std::vector<double> NicTxFree; // per node
+  std::vector<double> NicRxFree; // per node
+  std::vector<double> MemTxFree; // per node
+  std::vector<double> MemRxFree; // per node
+
+  // Per-send-op message state: when its last byte leaves the wire
+  // (drain cannot finish earlier even on an idle channel -- the data
+  // streams in at the injection rate).
+  std::vector<double> LastByteArrival;
+
+  std::unordered_map<std::uint64_t, MatchChannel> Channels;
+
+  ExecutionResult Result;
+  std::uint32_t DoneCount = 0;
+};
+
+} // namespace
+
+void Executor::finishOp(OpId Id, double Now) {
+  OpTiming &T = Result.Timings[Id];
+  assert(!T.Done && "op finished twice");
+  T.Done = true;
+  T.DoneTime = Now;
+  Result.Makespan = std::max(Result.Makespan, Now);
+  ++DoneCount;
+  for (OpId Dep : Dependents[Id]) {
+    assert(PendingDeps[Dep] > 0 && "dependent already released");
+    if (--PendingDeps[Dep] == 0)
+      activateOp(Dep, Now);
+  }
+}
+
+void Executor::activateOp(OpId Id, double Now) {
+  const Op &O = S.op(Id);
+  Result.Timings[Id].ReadyTime = Now;
+  switch (O.Kind) {
+  case OpKind::Send:
+    startSend(Id, Now);
+    return;
+  case OpKind::Compute:
+    startCompute(Id, Now);
+    return;
+  case OpKind::Recv:
+    postRecv(Id, Now);
+    return;
+  }
+}
+
+void Executor::startSend(OpId Id, double Now) {
+  const Op &O = S.op(Id);
+  // CPU: the software cost of initiating the send. Acquisition
+  // happens now (activation order = FIFO on the CPU).
+  double CpuStart = std::max(Now, CpuFree[O.Rank]);
+  double CpuDone = CpuStart + P.SendOverhead * noise();
+  CpuFree[O.Rank] = CpuDone;
+  Result.Timings[Id].StartTime = CpuStart;
+  push(CpuDone, EventKind::TxAcquire, Id);
+}
+
+void Executor::onTxAcquire(OpId Id, double Now) {
+  const Op &O = S.op(Id);
+  const LinkParams &Link = P.linkBetween(O.Rank, O.Peer);
+  bool Intra = P.sameNode(O.Rank, O.Peer);
+  unsigned SrcNode = P.nodeOf(O.Rank);
+
+  // Injection channel of the source node: FIFO in hand-over order.
+  double &TxFree = Intra ? MemTxFree[SrcNode] : NicTxFree[SrcNode];
+  double TxStart = std::max(Now, TxFree);
+  double TxDone = TxStart + Link.txOccupancy(O.Bytes) * noise();
+  TxFree = TxDone;
+
+  // Local (buffered) completion once injected.
+  push(TxDone, EventKind::OpDone, Id);
+  Result.BytesSent[O.Rank] += O.Bytes;
+
+  // The message streams across the wire: its first byte lands
+  // Latency after injection starts, its last byte Latency after
+  // injection ends.
+  double Latency = Link.Latency * noise();
+  LastByteArrival[Id] = TxDone + Latency;
+  push(TxStart + Latency, EventKind::MsgArrival, Id);
+}
+
+void Executor::onMsgArrival(OpId Id, double Now) {
+  const Op &O = S.op(Id);
+  const LinkParams &Link = P.linkBetween(O.Rank, O.Peer);
+  bool Intra = P.sameNode(O.Rank, O.Peer);
+  unsigned DstNode = P.nodeOf(O.Peer);
+
+  // Drain channel of the destination node, acquired in first-byte-
+  // arrival order. The drain overlaps the injection: it cannot finish
+  // before the last byte leaves the wire, but it does not wait for it
+  // to start -- so an uncontended transfer costs one occupancy, not
+  // two (cut-through, not store-and-forward).
+  double &RxFree = Intra ? MemRxFree[DstNode] : NicRxFree[DstNode];
+  double RxStart = std::max(Now, RxFree);
+  double RxDone = std::max(RxStart + Link.rxOccupancy(O.Bytes) * noise(),
+                           LastByteArrival[Id]);
+  RxFree = RxDone;
+  push(RxDone, EventKind::MsgAvailable, Id);
+}
+
+void Executor::startCompute(OpId Id, double Now) {
+  const Op &O = S.op(Id);
+  double CpuStart = std::max(Now, CpuFree[O.Rank]);
+  double CpuDone = CpuStart + O.Duration;
+  CpuFree[O.Rank] = CpuDone;
+  Result.Timings[Id].StartTime = CpuStart;
+  if (CpuDone == Now) {
+    // Zero-length join: finish inline to avoid flooding the heap.
+    finishOp(Id, Now);
+    return;
+  }
+  push(CpuDone, EventKind::OpDone, Id);
+}
+
+void Executor::postRecv(OpId Id, double Now) {
+  const Op &O = S.op(Id);
+  MatchChannel &Channel = Channels[channelKey(O.Peer, O.Rank, O.Tag)];
+  if (!Channel.ArrivedMsgs.empty()) {
+    auto [AvailTime, Bytes] = Channel.ArrivedMsgs.front();
+    Channel.ArrivedMsgs.pop_front();
+    assert(AvailTime <= Now && "message matched before it arrived");
+    completeRecv(Id, Now, Bytes);
+    return;
+  }
+  Channel.PostedRecvs.push_back(Id);
+}
+
+void Executor::completeRecv(OpId RecvId, double Now, std::uint64_t Bytes) {
+  const Op &O = S.op(RecvId);
+  assert(O.Bytes == Bytes && "matched message size mismatch");
+  double CpuStart = std::max(Now, CpuFree[O.Rank]);
+  double CpuDone = CpuStart + P.RecvOverhead * noise();
+  CpuFree[O.Rank] = CpuDone;
+  Result.Timings[RecvId].StartTime = CpuStart;
+  Result.BytesReceived[O.Rank] += Bytes;
+  push(CpuDone, EventKind::OpDone, RecvId);
+}
+
+ExecutionResult Executor::run() {
+  const std::uint32_t NumOps = static_cast<std::uint32_t>(S.Ops.size());
+  Result.Timings.assign(NumOps, OpTiming());
+  Result.BytesReceived.assign(S.RankCount, 0);
+  Result.BytesSent.assign(S.RankCount, 0);
+  LastByteArrival.assign(NumOps, 0.0);
+
+  PendingDeps.assign(NumOps, 0);
+  Dependents.assign(NumOps, {});
+  for (OpId Id = 0; Id != NumOps; ++Id) {
+    const Op &O = S.Ops[Id];
+    PendingDeps[Id] = static_cast<std::uint32_t>(O.Deps.size());
+    for (OpId Dep : O.Deps)
+      Dependents[Dep].push_back(Id);
+  }
+
+  CpuFree.assign(S.RankCount, 0.0);
+  NicTxFree.assign(P.NodeCount, 0.0);
+  NicRxFree.assign(P.NodeCount, 0.0);
+  MemTxFree.assign(P.NodeCount, 0.0);
+  MemRxFree.assign(P.NodeCount, 0.0);
+
+  // Activate the roots of the DAG at t = 0, in op-id order. Gate on
+  // the static dependency list, not the live counter: a zero-duration
+  // root finishing inline during this loop already releases (and
+  // activates) its dependents, whose counters then read zero.
+  for (OpId Id = 0; Id != NumOps; ++Id)
+    if (S.Ops[Id].Deps.empty())
+      activateOp(Id, 0.0);
+
+  while (!Heap.empty()) {
+    Event E = Heap.top();
+    Heap.pop();
+    switch (E.Kind) {
+    case EventKind::TxAcquire:
+      onTxAcquire(E.Id, E.Time);
+      break;
+    case EventKind::MsgArrival:
+      onMsgArrival(E.Id, E.Time);
+      break;
+    case EventKind::OpDone:
+      finishOp(E.Id, E.Time);
+      break;
+    case EventKind::MsgAvailable: {
+      const Op &SendOp = S.op(E.Id);
+      MatchChannel &Channel =
+          Channels[channelKey(SendOp.Rank, SendOp.Peer, SendOp.Tag)];
+      if (!Channel.PostedRecvs.empty()) {
+        OpId RecvId = Channel.PostedRecvs.front();
+        Channel.PostedRecvs.pop_front();
+        completeRecv(RecvId, E.Time, SendOp.Bytes);
+      } else {
+        Channel.ArrivedMsgs.emplace_back(E.Time, SendOp.Bytes);
+      }
+      break;
+    }
+    }
+  }
+
+  Result.Completed = DoneCount == NumOps;
+  if (!Result.Completed) {
+    for (OpId Id = 0; Id != NumOps; ++Id) {
+      if (!Result.Timings[Id].Done) {
+        const Op &O = S.Ops[Id];
+        Result.Diagnostic = strFormat(
+            "deadlock: op %u on rank %u (%s peer=%u tag=%d) never completed",
+            Id, O.Rank,
+            O.Kind == OpKind::Send
+                ? "send"
+                : (O.Kind == OpKind::Recv ? "recv" : "compute"),
+            O.Peer, O.Tag);
+        break;
+      }
+    }
+  }
+  return std::move(Result);
+}
+
+ExecutionResult mpicsel::runSchedule(const Schedule &S, const Platform &P,
+                                     std::uint64_t Seed) {
+  for ([[maybe_unused]] const Op &O : S.Ops)
+    assert(O.Rank < S.RankCount && "schedule rank outside platform");
+  assert(S.RankCount <= P.maxProcs() &&
+         "schedule does not fit on the platform");
+  Executor Exec(S, P, Seed);
+  return Exec.run();
+}

@@ -1,0 +1,39 @@
+//===- sim/Trace.h - Execution timeline export ------------------*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exports an executed schedule as a Chrome-tracing JSON timeline
+/// (load in chrome://tracing or Perfetto): one track per rank, one
+/// complete event per operation spanning [StartTime, DoneTime], with
+/// kind/peer/bytes/tag in the args. Invaluable for eyeballing why a
+/// collective behaves the way it does -- pipeline bubbles, NIC
+/// serialisation and head-of-line blocking are all visible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_SIM_TRACE_H
+#define MPICSEL_SIM_TRACE_H
+
+#include "sim/Engine.h"
+
+#include <string>
+
+namespace mpicsel {
+
+/// Renders the run as a Chrome-tracing "traceEvents" JSON document.
+/// Timestamps are microseconds (the format's native unit). Ops that
+/// never executed (deadlock) are skipped.
+std::string renderChromeTrace(const Schedule &S, const ExecutionResult &R);
+
+/// Convenience: renders and writes to \p Path; returns false (and
+/// leaves no partial file guarantees) on I/O failure.
+bool writeChromeTrace(const Schedule &S, const ExecutionResult &R,
+                      const std::string &Path);
+
+} // namespace mpicsel
+
+#endif // MPICSEL_SIM_TRACE_H

@@ -1,0 +1,34 @@
+//===- stat/AdaptiveBenchmark.cpp - MPIBlib-style measurement --------------===//
+
+#include "stat/AdaptiveBenchmark.h"
+
+#include "support/Random.h"
+
+#include <cassert>
+
+using namespace mpicsel;
+
+AdaptiveResult mpicsel::measureAdaptively(
+    const std::function<double(std::uint64_t Seed)> &Measure,
+    const AdaptiveOptions &Options) {
+  assert(Options.MinReps >= 1 && "need at least one repetition");
+  assert(Options.MaxReps >= Options.MinReps && "MaxReps below MinReps");
+
+  AdaptiveResult Result;
+  SplitMix64 SeedStream(Options.BaseSeed);
+  for (unsigned Rep = 0; Rep != Options.MaxReps; ++Rep) {
+    std::uint64_t Seed = SeedStream.next();
+    Result.Observations.push_back(Measure(Seed));
+    if (Result.Observations.size() < Options.MinReps)
+      continue;
+    Result.Stats = computeStats(Result.Observations);
+    if (Result.Stats.relativePrecision() <= Options.TargetPrecision) {
+      Result.Converged = true;
+      return Result;
+    }
+  }
+  Result.Stats = computeStats(Result.Observations);
+  Result.Converged =
+      Result.Stats.relativePrecision() <= Options.TargetPrecision;
+  return Result;
+}

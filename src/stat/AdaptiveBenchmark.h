@@ -1,0 +1,61 @@
+//===- stat/AdaptiveBenchmark.h - MPIBlib-style measurement -----*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adaptive repetition of a measurement until the sample mean is
+/// statistically settled -- the role MPIBlib [24] plays in the paper's
+/// methodology (Sect. 5.1): repeat until the 95% confidence interval
+/// of the mean is within 2.5% of the mean, with sane minimum and
+/// maximum repetition counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_STAT_ADAPTIVEBENCHMARK_H
+#define MPICSEL_STAT_ADAPTIVEBENCHMARK_H
+
+#include "stat/Statistics.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace mpicsel {
+
+/// Stopping rules for adaptive measurement.
+struct AdaptiveOptions {
+  /// Never stop before this many repetitions.
+  unsigned MinReps = 5;
+  /// Hard cap on repetitions (a noisy measurement stops here even if
+  /// the precision target was not met).
+  unsigned MaxReps = 40;
+  /// Target relative half-width of the 95% CI (the paper's 0.025).
+  double TargetPrecision = 0.025;
+  /// Base seed; repetition i runs with seed mix(BaseSeed, i) so every
+  /// repetition sees an independent noise stream.
+  std::uint64_t BaseSeed = 0x9E3779B97F4A7C15ull;
+};
+
+/// Result of an adaptive measurement.
+struct AdaptiveResult {
+  /// Statistics over all collected repetitions.
+  SampleStats Stats;
+  /// The raw observations, in execution order.
+  std::vector<double> Observations;
+  /// True if the precision target was met before MaxReps.
+  bool Converged = false;
+};
+
+/// Repeatedly evaluates \p Measure (a callable taking the repetition's
+/// seed and returning one observation in seconds) under the stopping
+/// rules of \p Options.
+AdaptiveResult
+measureAdaptively(const std::function<double(std::uint64_t Seed)> &Measure,
+                  const AdaptiveOptions &Options = AdaptiveOptions());
+
+} // namespace mpicsel
+
+#endif // MPICSEL_STAT_ADAPTIVEBENCHMARK_H

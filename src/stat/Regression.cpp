@@ -1,0 +1,113 @@
+//===- stat/Regression.cpp - OLS and Huber linear regression ---------------===//
+
+#include "stat/Regression.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+using namespace mpicsel;
+
+double mpicsel::median(std::span<const double> Values) {
+  if (Values.empty())
+    return 0.0;
+  std::vector<double> Sorted(Values.begin(), Values.end());
+  std::sort(Sorted.begin(), Sorted.end());
+  size_t Mid = Sorted.size() / 2;
+  if (Sorted.size() % 2 == 1)
+    return Sorted[Mid];
+  return 0.5 * (Sorted[Mid - 1] + Sorted[Mid]);
+}
+
+double mpicsel::medianAbsoluteDeviationSigma(std::span<const double> Values) {
+  if (Values.empty())
+    return 0.0;
+  double Center = median(Values);
+  std::vector<double> AbsDev;
+  AbsDev.reserve(Values.size());
+  for (double V : Values)
+    AbsDev.push_back(std::fabs(V - Center));
+  return 1.4826 * median(AbsDev);
+}
+
+LinearFit mpicsel::fitWeightedLeastSquares(std::span<const double> X,
+                                           std::span<const double> Y,
+                                           std::span<const double> W) {
+  assert(X.size() == Y.size() && "mismatched sample arrays");
+  assert((W.empty() || W.size() == X.size()) && "mismatched weight array");
+  LinearFit Fit;
+  if (X.size() < 2)
+    return Fit;
+
+  double SumW = 0, SumX = 0, SumY = 0, SumXX = 0, SumXY = 0;
+  for (size_t I = 0, E = X.size(); I != E; ++I) {
+    double Weight = W.empty() ? 1.0 : W[I];
+    SumW += Weight;
+    SumX += Weight * X[I];
+    SumY += Weight * Y[I];
+    SumXX += Weight * X[I] * X[I];
+    SumXY += Weight * X[I] * Y[I];
+  }
+  double Denominator = SumW * SumXX - SumX * SumX;
+  if (SumW <= 0 || std::fabs(Denominator) < 1e-300)
+    return Fit; // All weight on one x: no unique line.
+
+  Fit.Slope = (SumW * SumXY - SumX * SumY) / Denominator;
+  Fit.Intercept = (SumY - Fit.Slope * SumX) / SumW;
+  Fit.Valid = true;
+
+  double SquaredResiduals = 0;
+  for (size_t I = 0, E = X.size(); I != E; ++I) {
+    double R = Y[I] - Fit(X[I]);
+    SquaredResiduals += R * R;
+  }
+  Fit.Rmse = std::sqrt(SquaredResiduals / static_cast<double>(X.size()));
+  return Fit;
+}
+
+LinearFit mpicsel::fitLeastSquares(std::span<const double> X,
+                                   std::span<const double> Y) {
+  return fitWeightedLeastSquares(X, Y, {});
+}
+
+LinearFit mpicsel::fitHuber(std::span<const double> X,
+                            std::span<const double> Y,
+                            const HuberOptions &Options) {
+  assert(X.size() == Y.size() && "mismatched sample arrays");
+  LinearFit Fit = fitLeastSquares(X, Y);
+  if (!Fit.Valid || X.size() < 3)
+    return Fit; // Too few points to re-weight meaningfully.
+
+  std::vector<double> Residuals(X.size());
+  std::vector<double> Weights(X.size(), 1.0);
+  for (unsigned Iter = 0; Iter != Options.MaxIterations; ++Iter) {
+    for (size_t I = 0, E = X.size(); I != E; ++I)
+      Residuals[I] = Y[I] - Fit(X[I]);
+    double Sigma = medianAbsoluteDeviationSigma(Residuals);
+    if (Sigma <= 0.0)
+      break; // Perfect (or degenerate) fit: nothing to down-weight.
+    double Threshold = Options.Delta * Sigma;
+    for (size_t I = 0, E = X.size(); I != E; ++I) {
+      double AbsR = std::fabs(Residuals[I]);
+      Weights[I] = AbsR <= Threshold ? 1.0 : Threshold / AbsR;
+    }
+    LinearFit Next = fitWeightedLeastSquares(X, Y, Weights);
+    if (!Next.Valid)
+      break;
+    double InterceptMove = std::fabs(Next.Intercept - Fit.Intercept);
+    double SlopeMove = std::fabs(Next.Slope - Fit.Slope);
+    double Scale = std::fabs(Fit.Intercept) + std::fabs(Fit.Slope) + 1e-300;
+    Fit = Next;
+    if ((InterceptMove + SlopeMove) / Scale < Options.Tolerance)
+      break;
+  }
+  // Recompute the RMSE against the final line (unweighted).
+  double SquaredResiduals = 0;
+  for (size_t I = 0, E = X.size(); I != E; ++I) {
+    double R = Y[I] - Fit(X[I]);
+    SquaredResiduals += R * R;
+  }
+  Fit.Rmse = std::sqrt(SquaredResiduals / static_cast<double>(X.size()));
+  return Fit;
+}

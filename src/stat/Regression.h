@@ -1,0 +1,76 @@
+//===- stat/Regression.h - OLS and Huber linear regression ------*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simple linear regression y = Intercept + Slope * x, in two
+/// flavours:
+///
+///  * ordinary least squares, and
+///  * the Huber robust regressor (ref. [25] of the paper) that the
+///    authors use to solve the canonical system `alpha + beta*x_i =
+///    t_i` of Sect. 4.2 -- robust to the occasional contaminated
+///    measurement that OLS would chase.
+///
+/// The Huber fit is computed with iteratively re-weighted least
+/// squares: residuals within Delta (scaled by a robust MAD sigma
+/// estimate) get weight 1; larger residuals get weight Delta/|r|.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_STAT_REGRESSION_H
+#define MPICSEL_STAT_REGRESSION_H
+
+#include <span>
+
+namespace mpicsel {
+
+/// A fitted line y = Intercept + Slope * x.
+struct LinearFit {
+  double Intercept = 0.0;
+  double Slope = 0.0;
+  /// Root-mean-square residual of the fit.
+  double Rmse = 0.0;
+  /// Whether the fit is meaningful (>= 2 distinct x values).
+  bool Valid = false;
+
+  double operator()(double X) const { return Intercept + Slope * X; }
+};
+
+/// Ordinary least squares over (X[i], Y[i]).
+LinearFit fitLeastSquares(std::span<const double> X,
+                          std::span<const double> Y);
+
+/// Weighted least squares with per-point weights \p W.
+LinearFit fitWeightedLeastSquares(std::span<const double> X,
+                                  std::span<const double> Y,
+                                  std::span<const double> W);
+
+/// Options controlling the Huber IRLS iteration.
+struct HuberOptions {
+  /// Residuals within Delta robust sigmas keep full weight. 1.345
+  /// gives 95% efficiency under Gaussian noise (the classic choice).
+  double Delta = 1.345;
+  unsigned MaxIterations = 100;
+  /// Stop when both coefficients move by less than this relative
+  /// amount between iterations.
+  double Tolerance = 1e-10;
+};
+
+/// Huber robust regression over (X[i], Y[i]).
+LinearFit fitHuber(std::span<const double> X, std::span<const double> Y,
+                   const HuberOptions &Options = HuberOptions());
+
+/// Median of \p Values (by copy; empty input returns 0).
+double median(std::span<const double> Values);
+
+/// Median absolute deviation scaled to be consistent with the
+/// standard deviation under normality (x 1.4826).
+double medianAbsoluteDeviationSigma(std::span<const double> Values);
+
+} // namespace mpicsel
+
+#endif // MPICSEL_STAT_REGRESSION_H

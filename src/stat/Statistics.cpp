@@ -1,0 +1,75 @@
+//===- stat/Statistics.cpp - Descriptive statistics ------------------------===//
+
+#include "stat/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace mpicsel;
+
+double mpicsel::tCritical95(std::size_t Df) {
+  // Two-sided 95% critical values of Student's t.
+  static constexpr double Tabulated[] = {
+      // df = 1 .. 30
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (Df == 0)
+    return 0.0;
+  if (Df <= 30)
+    return Tabulated[Df - 1];
+  // Beyond the table: the z value plus a first-order finite-df
+  // correction (Cornish-Fisher), accurate to ~0.001 for df > 30.
+  double Z = 1.959964;
+  return Z + (Z * Z * Z + Z) / (4.0 * static_cast<double>(Df));
+}
+
+SampleStats mpicsel::computeStats(std::span<const double> Values) {
+  SampleStats Stats;
+  Stats.Count = Values.size();
+  if (Values.empty())
+    return Stats;
+
+  double Sum = 0.0;
+  Stats.Min = Values.front();
+  Stats.Max = Values.front();
+  for (double V : Values) {
+    Sum += V;
+    Stats.Min = std::min(Stats.Min, V);
+    Stats.Max = std::max(Stats.Max, V);
+  }
+  Stats.Mean = Sum / static_cast<double>(Values.size());
+
+  if (Values.size() < 2)
+    return Stats;
+  double SquaredDev = 0.0;
+  for (double V : Values) {
+    double Dev = V - Stats.Mean;
+    SquaredDev += Dev * Dev;
+  }
+  Stats.Variance = SquaredDev / static_cast<double>(Values.size() - 1);
+  Stats.StdDev = std::sqrt(Stats.Variance);
+  Stats.Ci95HalfWidth = tCritical95(Values.size() - 1) * Stats.StdDev /
+                        std::sqrt(static_cast<double>(Values.size()));
+  return Stats;
+}
+
+bool mpicsel::looksNormal(std::span<const double> Values) {
+  if (Values.size() < 8)
+    return true;
+  SampleStats Stats = computeStats(Values);
+  if (Stats.StdDev == 0.0)
+    return true; // Degenerate but not evidence against normality.
+
+  double N = static_cast<double>(Values.size());
+  double M3 = 0.0, M4 = 0.0;
+  for (double V : Values) {
+    double Dev = (V - Stats.Mean) / Stats.StdDev;
+    M3 += Dev * Dev * Dev;
+    M4 += Dev * Dev * Dev * Dev;
+  }
+  double Skewness = M3 / N;
+  double ExcessKurtosis = M4 / N - 3.0;
+  return std::fabs(Skewness) < 2.0 && std::fabs(ExcessKurtosis) < 7.0;
+}

@@ -1,0 +1,61 @@
+//===- stat/Statistics.h - Descriptive statistics ---------------*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sample statistics and Student-t confidence intervals, as required
+/// by the paper's measurement methodology (Sect. 5.1): "the sample
+/// mean is used, which is calculated by executing the application
+/// repeatedly until the sample mean lies in the 95% confidence
+/// interval and a precision of 0.025 (2.5%) has been achieved".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_STAT_STATISTICS_H
+#define MPICSEL_STAT_STATISTICS_H
+
+#include <cstddef>
+#include <span>
+
+namespace mpicsel {
+
+/// Summary statistics of a sample.
+struct SampleStats {
+  std::size_t Count = 0;
+  double Mean = 0.0;
+  /// Unbiased (n-1) sample variance.
+  double Variance = 0.0;
+  double StdDev = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+  /// Half-width of the 95% confidence interval of the mean
+  /// (t_{0.975, n-1} * StdDev / sqrt(n)); 0 for samples of size < 2.
+  double Ci95HalfWidth = 0.0;
+
+  /// Relative precision of the mean estimate: Ci95HalfWidth / Mean.
+  /// Returns 0 when the mean is 0.
+  double relativePrecision() const {
+    return Mean != 0.0 ? Ci95HalfWidth / Mean : 0.0;
+  }
+};
+
+/// Computes SampleStats over \p Values (may be empty).
+SampleStats computeStats(std::span<const double> Values);
+
+/// Two-sided 97.5% quantile of Student's t distribution with \p Df
+/// degrees of freedom (the multiplier of a 95% CI). Tabulated for
+/// df <= 30, 1.96 + small correction beyond.
+double tCritical95(std::size_t Df);
+
+/// Lightweight normality screen used by the measurement methodology:
+/// the sample skewness and excess kurtosis must both be moderate
+/// (|skew| < 2, |kurtosis| < 7 -- standard rules of thumb). Small
+/// samples (< 8) pass trivially.
+bool looksNormal(std::span<const double> Values);
+
+} // namespace mpicsel
+
+#endif // MPICSEL_STAT_STATISTICS_H

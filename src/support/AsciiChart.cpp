@@ -1,0 +1,150 @@
+//===- support/AsciiChart.cpp - Terminal line charts ---------------------===//
+
+#include "support/AsciiChart.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+using namespace mpicsel;
+
+void AsciiChart::addSeries(std::string Label, char Glyph, std::vector<double> X,
+                           std::vector<double> Y) {
+  assert(X.size() == Y.size() && "series coordinates must pair up");
+  ChartSeries S;
+  S.Label = std::move(Label);
+  S.Glyph = Glyph;
+  S.X = std::move(X);
+  S.Y = std::move(Y);
+  Series.push_back(std::move(S));
+}
+
+namespace {
+/// Affine map from data space (possibly log-scaled) to grid columns or
+/// rows.
+struct AxisScale {
+  double Lo = 0.0;
+  double Hi = 1.0;
+  bool Log = false;
+
+  double transform(double V) const { return Log ? std::log10(V) : V; }
+
+  bool accepts(double V) const { return !Log || V > 0.0; }
+
+  /// Maps V to [0, Cells-1]; caller guarantees accepts(V).
+  unsigned toCell(double V, unsigned Cells) const {
+    double T = transform(V);
+    double Span = Hi - Lo;
+    double Unit = Span <= 0 ? 0.5 : (T - Lo) / Span;
+    Unit = std::clamp(Unit, 0.0, 1.0);
+    return static_cast<unsigned>(std::lround(Unit * (Cells - 1)));
+  }
+
+  /// Inverse of the grid mapping, for tick labels.
+  double fromUnit(double Unit) const {
+    double T = Lo + Unit * (Hi - Lo);
+    return Log ? std::pow(10.0, T) : T;
+  }
+};
+} // namespace
+
+std::string AsciiChart::render() const {
+  // Establish data ranges in transformed space.
+  AxisScale XS, YS;
+  XS.Log = LogX;
+  YS.Log = LogY;
+  double XLo = std::numeric_limits<double>::infinity(), XHi = -XLo;
+  double YLo = XLo, YHi = -XLo;
+  for (const ChartSeries &S : Series) {
+    for (size_t I = 0, E = S.X.size(); I != E; ++I) {
+      if (!XS.accepts(S.X[I]) || !YS.accepts(S.Y[I]))
+        continue;
+      XLo = std::min(XLo, XS.transform(S.X[I]));
+      XHi = std::max(XHi, XS.transform(S.X[I]));
+      YLo = std::min(YLo, YS.transform(S.Y[I]));
+      YHi = std::max(YHi, YS.transform(S.Y[I]));
+    }
+  }
+  if (!(XLo <= XHi)) { // No plottable data at all.
+    XLo = 0;
+    XHi = 1;
+    YLo = 0;
+    YHi = 1;
+  }
+  if (YLo == YHi) { // Flat series: open up a band around it.
+    YLo -= 0.5;
+    YHi += 0.5;
+  }
+  if (XLo == XHi) {
+    XLo -= 0.5;
+    XHi += 0.5;
+  }
+  XS.Lo = XLo;
+  XS.Hi = XHi;
+  YS.Lo = YLo;
+  YS.Hi = YHi;
+
+  // Paint the grid. Later series overwrite earlier ones on collision.
+  std::vector<std::string> Grid(Height, std::string(Width, ' '));
+  for (const ChartSeries &S : Series) {
+    for (size_t I = 0, E = S.X.size(); I != E; ++I) {
+      if (!XS.accepts(S.X[I]) || !YS.accepts(S.Y[I]))
+        continue;
+      unsigned Col = XS.toCell(S.X[I], Width);
+      unsigned Row = YS.toCell(S.Y[I], Height);
+      Grid[Height - 1 - Row][Col] = S.Glyph;
+    }
+  }
+
+  std::string Out;
+  if (!Title.empty())
+    Out += Title + "\n";
+  if (!YLabel.empty())
+    Out += YLabel + "\n";
+
+  // Y tick labels on the left of each grid row (top, middle, bottom).
+  const unsigned LabelWidth = 10;
+  for (unsigned Row = 0; Row != Height; ++Row) {
+    std::string Label;
+    bool Labelled = Row == 0 || Row == Height - 1 || Row == Height / 2;
+    if (Labelled) {
+      double Unit = 1.0 - static_cast<double>(Row) / (Height - 1);
+      Label = formatSeconds(YS.fromUnit(Unit));
+    }
+    if (Label.size() < LabelWidth)
+      Label = std::string(LabelWidth - Label.size(), ' ') + Label;
+    Out += Label + " |" + Grid[Row] + "\n";
+  }
+  Out += std::string(LabelWidth, ' ') + " +" + std::string(Width, '-') + "\n";
+
+  // X tick labels: left, middle, right.
+  std::string XTicks(LabelWidth + 2 + Width, ' ');
+  auto placeTick = [&](double Unit, unsigned Col) {
+    std::string Text = formatBytes(
+        static_cast<std::uint64_t>(std::llround(XS.fromUnit(Unit))));
+    unsigned Start = LabelWidth + 2 + Col;
+    if (Start + Text.size() > XTicks.size())
+      Start = static_cast<unsigned>(XTicks.size() - Text.size());
+    XTicks.replace(Start, Text.size(), Text);
+  };
+  placeTick(0.0, 0);
+  placeTick(0.5, Width / 2);
+  placeTick(1.0, Width > 8 ? Width - 8 : 0);
+  Out += XTicks + "\n";
+  if (!XLabel.empty())
+    Out += std::string(LabelWidth + 2, ' ') + XLabel + "\n";
+
+  // Legend.
+  for (const ChartSeries &S : Series)
+    Out += strFormat("  %c  %s\n", S.Glyph, S.Label.c_str());
+  return Out;
+}
+
+void AsciiChart::print() const {
+  std::string Text = render();
+  std::fwrite(Text.data(), 1, Text.size(), stdout);
+}

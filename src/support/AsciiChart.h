@@ -1,0 +1,76 @@
+//===- support/AsciiChart.h - Terminal line charts --------------*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders multi-series line charts as text so the bench binaries can
+/// show the *figures* of the paper (Fig. 1 and Fig. 5) directly in the
+/// terminal. Supports logarithmic axes, which the paper uses for both
+/// message size (x) and time (y).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_SUPPORT_ASCIICHART_H
+#define MPICSEL_SUPPORT_ASCIICHART_H
+
+#include <string>
+#include <vector>
+
+namespace mpicsel {
+
+/// One plotted series: a label, a glyph used for its points, and the
+/// (x, y) samples.
+struct ChartSeries {
+  std::string Label;
+  char Glyph = '*';
+  std::vector<double> X;
+  std::vector<double> Y;
+};
+
+/// Renders scatter/line charts on a character grid.
+class AsciiChart {
+public:
+  /// \param Width, Height size of the plotting area in characters
+  /// (axes and labels are added around it).
+  AsciiChart(unsigned GridWidth = 72, unsigned GridHeight = 20)
+      : Width(GridWidth), Height(GridHeight) {}
+
+  /// Chart title printed above the grid.
+  void setTitle(std::string NewTitle) { Title = std::move(NewTitle); }
+
+  /// Axis labels.
+  void setXLabel(std::string Label) { XLabel = std::move(Label); }
+  void setYLabel(std::string Label) { YLabel = std::move(Label); }
+
+  /// Enables log10 scaling of an axis. Non-positive samples are
+  /// dropped in log mode.
+  void setLogX(bool Enable) { LogX = Enable; }
+  void setLogY(bool Enable) { LogY = Enable; }
+
+  /// Adds a series; \p Glyph is the character plotted for its points.
+  void addSeries(std::string Label, char Glyph, std::vector<double> X,
+                 std::vector<double> Y);
+
+  /// Renders the chart (grid, axes, tick labels, legend).
+  std::string render() const;
+
+  /// Convenience: render and write to stdout.
+  void print() const;
+
+private:
+  unsigned Width;
+  unsigned Height;
+  bool LogX = false;
+  bool LogY = false;
+  std::string Title;
+  std::string XLabel;
+  std::string YLabel;
+  std::vector<ChartSeries> Series;
+};
+
+} // namespace mpicsel
+
+#endif // MPICSEL_SUPPORT_ASCIICHART_H

@@ -1,0 +1,158 @@
+//===- support/CommandLine.cpp - Tiny flag parser ------------------------===//
+
+#include "support/CommandLine.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace mpicsel;
+
+void CommandLine::addFlag(const std::string &Name, const std::string &Help,
+                          bool &Storage) {
+  Flags.push_back({Name, Help, FlagKind::Bool, &Storage});
+}
+
+void CommandLine::addFlag(const std::string &Name, const std::string &Help,
+                          std::int64_t &Storage) {
+  Flags.push_back({Name, Help, FlagKind::Int, &Storage});
+}
+
+void CommandLine::addFlag(const std::string &Name, const std::string &Help,
+                          double &Storage) {
+  Flags.push_back({Name, Help, FlagKind::Double, &Storage});
+}
+
+void CommandLine::addFlag(const std::string &Name, const std::string &Help,
+                          std::string &Storage) {
+  Flags.push_back({Name, Help, FlagKind::String, &Storage});
+}
+
+void CommandLine::addByteSizeFlag(const std::string &Name,
+                                  const std::string &Help,
+                                  std::uint64_t &Storage) {
+  Flags.push_back({Name, Help, FlagKind::ByteSize, &Storage});
+}
+
+CommandLine::FlagInfo *CommandLine::findFlag(const std::string &Name) {
+  for (FlagInfo &Flag : Flags)
+    if (Flag.Name == Name)
+      return &Flag;
+  return nullptr;
+}
+
+bool CommandLine::assignValue(FlagInfo &Flag, const std::string &Value) {
+  char *End = nullptr;
+  switch (Flag.Kind) {
+  case FlagKind::Bool: {
+    bool On = Value.empty() || Value == "1" || Value == "true" ||
+              Value == "yes" || Value == "on";
+    bool Off = Value == "0" || Value == "false" || Value == "no" ||
+               Value == "off";
+    if (!On && !Off)
+      return false;
+    *static_cast<bool *>(Flag.Storage) = On;
+    return true;
+  }
+  case FlagKind::Int: {
+    long long Parsed = std::strtoll(Value.c_str(), &End, 0);
+    if (End == Value.c_str() || *End != '\0')
+      return false;
+    *static_cast<std::int64_t *>(Flag.Storage) = Parsed;
+    return true;
+  }
+  case FlagKind::Double: {
+    double Parsed = std::strtod(Value.c_str(), &End);
+    if (End == Value.c_str() || *End != '\0')
+      return false;
+    *static_cast<double *>(Flag.Storage) = Parsed;
+    return true;
+  }
+  case FlagKind::String:
+    *static_cast<std::string *>(Flag.Storage) = Value;
+    return true;
+  case FlagKind::ByteSize:
+    return parseBytes(Value, *static_cast<std::uint64_t *>(Flag.Storage));
+  }
+  return false;
+}
+
+std::string CommandLine::usage() const {
+  std::string Out = Overview + "\n\nFlags:\n";
+  for (const FlagInfo &Flag : Flags) {
+    std::string Default;
+    switch (Flag.Kind) {
+    case FlagKind::Bool:
+      Default = *static_cast<const bool *>(Flag.Storage) ? "true" : "false";
+      break;
+    case FlagKind::Int:
+      Default = strFormat(
+          "%lld",
+          static_cast<long long>(*static_cast<const std::int64_t *>(
+              Flag.Storage)));
+      break;
+    case FlagKind::Double:
+      Default = strFormat("%g", *static_cast<const double *>(Flag.Storage));
+      break;
+    case FlagKind::String:
+      Default = *static_cast<const std::string *>(Flag.Storage);
+      break;
+    case FlagKind::ByteSize:
+      Default =
+          formatBytes(*static_cast<const std::uint64_t *>(Flag.Storage));
+      break;
+    }
+    Out += strFormat("  --%-18s %s (default: %s)\n", Flag.Name.c_str(),
+                     Flag.Help.c_str(), Default.c_str());
+  }
+  Out += "  --help               print this message\n";
+  return Out;
+}
+
+bool CommandLine::parse(int Argc, const char *const *Argv) {
+  assert(Argc >= 1 && "argv must at least contain the program name");
+  ProgramName = Argv[0];
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--", 0) != 0) {
+      Positional.push_back(Arg);
+      continue;
+    }
+    std::string Body = Arg.substr(2);
+    if (Body == "help") {
+      std::string Text = usage();
+      std::fwrite(Text.data(), 1, Text.size(), stdout);
+      return false;
+    }
+    std::string Name = Body, Value;
+    bool HasValue = false;
+    if (size_t Eq = Body.find('='); Eq != std::string::npos) {
+      Name = Body.substr(0, Eq);
+      Value = Body.substr(Eq + 1);
+      HasValue = true;
+    }
+    FlagInfo *Flag = findFlag(Name);
+    if (!Flag) {
+      std::fprintf(stderr, "error: unknown flag '--%s' (see --help)\n",
+                   Name.c_str());
+      return false;
+    }
+    // `--flag value` form for non-bool flags without '='.
+    if (!HasValue && Flag->Kind != FlagKind::Bool) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: flag '--%s' expects a value\n",
+                     Name.c_str());
+        return false;
+      }
+      Value = Argv[++I];
+    }
+    if (!assignValue(*Flag, Value)) {
+      std::fprintf(stderr, "error: invalid value '%s' for flag '--%s'\n",
+                   Value.c_str(), Name.c_str());
+      return false;
+    }
+  }
+  return true;
+}

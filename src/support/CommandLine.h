@@ -1,0 +1,79 @@
+//===- support/CommandLine.h - Tiny flag parser -----------------*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal `--flag=value` / `--flag value` command-line parser used
+/// by the bench and example binaries. All flags are optional and typed
+/// (bool, int64, double, string, byte-size); `--help` prints the
+/// registered set with defaults and exits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_SUPPORT_COMMANDLINE_H
+#define MPICSEL_SUPPORT_COMMANDLINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpicsel {
+
+/// Collects flag registrations, then parses argv. Unknown flags are a
+/// usage error (the binaries have small, fixed flag sets).
+class CommandLine {
+public:
+  /// \param Overview one-line description printed by --help.
+  explicit CommandLine(std::string OverviewText)
+      : Overview(std::move(OverviewText)) {}
+
+  /// Registers a flag bound to \p Storage; the current value of
+  /// \p Storage is the default shown in --help.
+  void addFlag(const std::string &Name, const std::string &Help,
+               bool &Storage);
+  void addFlag(const std::string &Name, const std::string &Help,
+               std::int64_t &Storage);
+  void addFlag(const std::string &Name, const std::string &Help,
+               double &Storage);
+  void addFlag(const std::string &Name, const std::string &Help,
+               std::string &Storage);
+  /// Byte-size flag: accepts "8K", "4MB", "512", ...
+  void addByteSizeFlag(const std::string &Name, const std::string &Help,
+                       std::uint64_t &Storage);
+
+  /// Parses argv. On `--help` prints usage and returns false; on a
+  /// malformed flag prints a diagnostic to stderr and returns false.
+  /// Positional arguments are collected into positionalArgs().
+  bool parse(int Argc, const char *const *Argv);
+
+  /// Positional (non-flag) arguments seen during parse().
+  const std::vector<std::string> &positionalArgs() const { return Positional; }
+
+  /// Renders the --help text.
+  std::string usage() const;
+
+private:
+  enum class FlagKind { Bool, Int, Double, String, ByteSize };
+
+  struct FlagInfo {
+    std::string Name;
+    std::string Help;
+    FlagKind Kind;
+    void *Storage;
+  };
+
+  FlagInfo *findFlag(const std::string &Name);
+  bool assignValue(FlagInfo &Flag, const std::string &Value);
+
+  std::string Overview;
+  std::string ProgramName;
+  std::vector<FlagInfo> Flags;
+  std::vector<std::string> Positional;
+};
+
+} // namespace mpicsel
+
+#endif // MPICSEL_SUPPORT_COMMANDLINE_H

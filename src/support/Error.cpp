@@ -1,0 +1,21 @@
+//===- support/Error.cpp - Fatal-error and unreachable helpers -----------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace mpicsel;
+
+void mpicsel::fatalError(std::string_view Message) {
+  std::fprintf(stderr, "mpicsel fatal error: %.*s\n",
+               static_cast<int>(Message.size()), Message.data());
+  std::abort();
+}
+
+void mpicsel::unreachableInternal(const char *Message, const char *File,
+                                  unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line,
+               Message ? Message : "");
+  std::abort();
+}

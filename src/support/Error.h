@@ -1,0 +1,38 @@
+//===- support/Error.h - Fatal-error and unreachable helpers ---*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal programmatic-error helpers in the spirit of LLVM's
+/// report_fatal_error / llvm_unreachable. Library code does not use
+/// exceptions; invariant violations abort with a diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_SUPPORT_ERROR_H
+#define MPICSEL_SUPPORT_ERROR_H
+
+#include <string_view>
+
+namespace mpicsel {
+
+/// Prints \p Message to stderr and aborts. Used for unrecoverable
+/// usage errors in tools and for broken invariants that must be
+/// diagnosed even in release builds.
+[[noreturn]] void fatalError(std::string_view Message);
+
+/// Internal implementation of MPICSEL_UNREACHABLE.
+[[noreturn]] void unreachableInternal(const char *Message, const char *File,
+                                      unsigned Line);
+
+} // namespace mpicsel
+
+/// Marks a point in code that must never be executed if the program's
+/// invariants hold.
+#define MPICSEL_UNREACHABLE(MSG)                                               \
+  ::mpicsel::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // MPICSEL_SUPPORT_ERROR_H

@@ -1,0 +1,100 @@
+//===- support/Format.cpp - String formatting helpers --------------------===//
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace mpicsel;
+
+std::string mpicsel::strFormatV(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  assert(Needed >= 0 && "invalid format string");
+  std::string Result(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, Args);
+  return Result;
+}
+
+std::string mpicsel::strFormat(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Result = strFormatV(Fmt, Args);
+  va_end(Args);
+  return Result;
+}
+
+std::string mpicsel::formatBytes(std::uint64_t Bytes) {
+  constexpr std::uint64_t KiB = 1024;
+  constexpr std::uint64_t MiB = 1024 * KiB;
+  constexpr std::uint64_t GiB = 1024 * MiB;
+  if (Bytes >= GiB && Bytes % GiB == 0)
+    return strFormat("%lluGB", static_cast<unsigned long long>(Bytes / GiB));
+  if (Bytes >= MiB && Bytes % MiB == 0)
+    return strFormat("%lluMB", static_cast<unsigned long long>(Bytes / MiB));
+  if (Bytes >= KiB && Bytes % KiB == 0)
+    return strFormat("%lluKB", static_cast<unsigned long long>(Bytes / KiB));
+  return strFormat("%lluB", static_cast<unsigned long long>(Bytes));
+}
+
+std::string mpicsel::formatSeconds(double Seconds) {
+  double Abs = std::fabs(Seconds);
+  if (Abs >= 1.0)
+    return strFormat("%.3gs", Seconds);
+  if (Abs >= 1e-3)
+    return strFormat("%.3gms", Seconds * 1e3);
+  if (Abs >= 1e-6)
+    return strFormat("%.3gus", Seconds * 1e6);
+  return strFormat("%.3gns", Seconds * 1e9);
+}
+
+std::string mpicsel::formatSci(double Value, int Digits) {
+  assert(Digits >= 1 && Digits <= 17 && "unreasonable precision");
+  return strFormat("%.*e", Digits - 1, Value);
+}
+
+std::string mpicsel::formatPercent(double Fraction) {
+  double Pct = Fraction * 100.0;
+  if (std::fabs(Pct) >= 10.0)
+    return strFormat("%.0f%%", Pct);
+  return strFormat("%.1f%%", Pct);
+}
+
+bool mpicsel::parseBytes(const std::string &Text, std::uint64_t &BytesOut) {
+  if (Text.empty())
+    return false;
+  char *End = nullptr;
+  double Value = std::strtod(Text.c_str(), &End);
+  if (End == Text.c_str() || Value < 0)
+    return false;
+  std::uint64_t Multiplier = 1;
+  if (*End != '\0') {
+    switch (std::toupper(*End)) {
+    case 'K':
+      Multiplier = 1024;
+      break;
+    case 'M':
+      Multiplier = 1024 * 1024;
+      break;
+    case 'G':
+      Multiplier = 1024ull * 1024 * 1024;
+      break;
+    case 'B':
+      Multiplier = 1;
+      break;
+    default:
+      return false;
+    }
+    ++End;
+    // Allow a trailing "B" after K/M/G ("KB", "MB", "GB").
+    if (*End != '\0' && !(std::toupper(*End) == 'B' && End[1] == '\0'))
+      return false;
+  }
+  BytesOut = static_cast<std::uint64_t>(Value * static_cast<double>(Multiplier));
+  return true;
+}

@@ -1,0 +1,56 @@
+//===- support/Format.h - String formatting helpers ------------*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style string formatting plus human-readable renderings of the
+/// quantities this project prints constantly: byte counts, durations in
+/// seconds, and scientific-notation model parameters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_SUPPORT_FORMAT_H
+#define MPICSEL_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+
+namespace mpicsel {
+
+/// Returns the printf-style rendering of \p Fmt with the given
+/// arguments as a std::string.
+std::string strFormat(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// va_list variant of strFormat.
+std::string strFormatV(const char *Fmt, va_list Args);
+
+/// Renders a byte count the way MPI papers label message sizes:
+/// "8KB", "512KB", "4MB", falling back to plain bytes below 1 KiB.
+/// Uses binary units (KB == 1024 bytes), matching the paper's usage.
+std::string formatBytes(std::uint64_t Bytes);
+
+/// Renders a duration in seconds with an auto-selected unit
+/// (s / ms / us / ns) and three significant digits.
+std::string formatSeconds(double Seconds);
+
+/// Renders a model parameter in scientific notation with \p Digits
+/// significant digits, e.g. "4.7e-09" — the format of the paper's
+/// Table 2.
+std::string formatSci(double Value, int Digits = 2);
+
+/// Renders a percentage with no decimals for values >= 10 and one
+/// decimal below, e.g. "160%", "2.5%".
+std::string formatPercent(double Fraction);
+
+/// Parses strings like "8K", "8KB", "4M", "512", "2MB" into a byte
+/// count (binary units). Returns false on malformed input.
+bool parseBytes(const std::string &Text, std::uint64_t &BytesOut);
+
+} // namespace mpicsel
+
+#endif // MPICSEL_SUPPORT_FORMAT_H

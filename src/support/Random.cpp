@@ -1,0 +1,57 @@
+//===- support/Random.cpp - Deterministic random number generation -------===//
+
+#include "support/Random.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace mpicsel;
+
+static std::uint64_t rotl(std::uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t Seed) {
+  SplitMix64 Seeder(Seed);
+  for (auto &Word : State)
+    Word = Seeder.next();
+}
+
+std::uint64_t Xoshiro256::next() {
+  std::uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  std::uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+double Xoshiro256::nextDouble() {
+  // 53 random bits scaled into [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::nextGaussian() {
+  if (HasCachedGaussian) {
+    HasCachedGaussian = false;
+    return CachedGaussian;
+  }
+  // Box-Muller transform. Draw U1 in (0, 1] to avoid log(0).
+  double U1 = 1.0 - nextDouble();
+  double U2 = nextDouble();
+  double Radius = std::sqrt(-2.0 * std::log(U1));
+  double Angle = 2.0 * M_PI * U2;
+  CachedGaussian = Radius * std::sin(Angle);
+  HasCachedGaussian = true;
+  return Radius * std::cos(Angle);
+}
+
+double Xoshiro256::nextLogNormalFactor(double Sigma) {
+  assert(Sigma >= 0 && "noise level must be non-negative");
+  if (Sigma == 0.0)
+    return 1.0;
+  return std::exp(Sigma * nextGaussian());
+}

@@ -1,0 +1,76 @@
+//===- support/Random.h - Deterministic random number generation -*- C++ -*-=//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable random number generation for the network
+/// simulator's noise model and the statistical tests. std::mt19937 is
+/// avoided because its exact stream is awkward to reason about across
+/// standard-library versions; SplitMix64 and xoshiro256** are tiny,
+/// fully specified, and fast.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_SUPPORT_RANDOM_H
+#define MPICSEL_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace mpicsel {
+
+/// SplitMix64: used to expand a single 64-bit seed into the state of a
+/// larger generator, and as a cheap standalone generator for seeding
+/// independent streams (one per repetition of an experiment).
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit value of the stream.
+  std::uint64_t next() {
+    std::uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  std::uint64_t State;
+};
+
+/// xoshiro256**: the workhorse generator. One instance per simulation
+/// run; the stream is a pure function of the seed, so every experiment
+/// in this repository is reproducible bit for bit.
+class Xoshiro256 {
+public:
+  /// Seeds the four state words via SplitMix64, as recommended by the
+  /// xoshiro authors.
+  explicit Xoshiro256(std::uint64_t Seed);
+
+  /// Returns the next 64-bit value of the stream.
+  std::uint64_t next();
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble();
+
+  /// Returns a standard-normal sample (Box-Muller on the uniform
+  /// stream; one spare value is cached).
+  double nextGaussian();
+
+  /// Returns a log-normal multiplicative noise factor with unit median
+  /// and the given \p Sigma (standard deviation of the underlying
+  /// normal). Sigma == 0 returns exactly 1.0, making noiseless
+  /// simulations bit-exact.
+  double nextLogNormalFactor(double Sigma);
+
+private:
+  std::uint64_t State[4];
+  double CachedGaussian = 0.0;
+  bool HasCachedGaussian = false;
+};
+
+} // namespace mpicsel
+
+#endif // MPICSEL_SUPPORT_RANDOM_H

@@ -1,0 +1,113 @@
+//===- support/Table.cpp - Text table and CSV rendering ------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mpicsel;
+
+Table::Table(std::vector<std::string> TableHeaders)
+    : Headers(std::move(TableHeaders)) {
+  assert(!Headers.empty() && "a table needs at least one column");
+  Aligns.assign(Headers.size(), AlignKind::Right);
+  Aligns[0] = AlignKind::Left;
+}
+
+void Table::setAlign(unsigned Column, AlignKind Kind) {
+  if (Column >= Aligns.size())
+    Aligns.resize(Column + 1, AlignKind::Right);
+  Aligns[Column] = Kind;
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  if (Cells.size() > Headers.size()) {
+    Headers.resize(Cells.size());
+    Aligns.resize(Cells.size(), AlignKind::Right);
+  }
+  Rows.push_back(std::move(Cells));
+}
+
+static std::string padCell(const std::string &Cell, size_t Width,
+                           AlignKind Kind) {
+  if (Cell.size() >= Width)
+    return Cell;
+  std::string Padding(Width - Cell.size(), ' ');
+  if (Kind == AlignKind::Left)
+    return Cell + Padding;
+  return Padding + Cell;
+}
+
+std::string Table::render() const {
+  // Compute column widths over headers and all rows.
+  std::vector<size_t> Widths(Headers.size(), 0);
+  for (size_t I = 0, E = Headers.size(); I != E; ++I)
+    Widths[I] = Headers[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0, E = Row.size(); I != E; ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto renderRule = [&] {
+    std::string Rule = "+";
+    for (size_t Width : Widths)
+      Rule += std::string(Width + 2, '-') + "+";
+    Rule += "\n";
+    return Rule;
+  };
+  auto renderRow = [&](const std::vector<std::string> &Cells) {
+    std::string Line = "|";
+    for (size_t I = 0, E = Widths.size(); I != E; ++I) {
+      const std::string &Cell = I < Cells.size() ? Cells[I] : std::string();
+      Line += " " + padCell(Cell, Widths[I], Aligns[I]) + " |";
+    }
+    Line += "\n";
+    return Line;
+  };
+
+  std::string Out;
+  if (!Title.empty())
+    Out += Title + "\n";
+  Out += renderRule();
+  Out += renderRow(Headers);
+  Out += renderRule();
+  for (const auto &Row : Rows)
+    Out += renderRow(Row);
+  Out += renderRule();
+  return Out;
+}
+
+static std::string csvEscape(const std::string &Cell) {
+  bool NeedsQuoting = Cell.find_first_of(",\"\n") != std::string::npos;
+  if (!NeedsQuoting)
+    return Cell;
+  std::string Escaped = "\"";
+  for (char C : Cell) {
+    if (C == '"')
+      Escaped += '"';
+    Escaped += C;
+  }
+  Escaped += '"';
+  return Escaped;
+}
+
+std::string Table::renderCsv() const {
+  std::string Out;
+  auto appendRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0, E = Headers.size(); I != E; ++I) {
+      if (I != 0)
+        Out += ",";
+      if (I < Cells.size())
+        Out += csvEscape(Cells[I]);
+    }
+    Out += "\n";
+  };
+  appendRow(Headers);
+  for (const auto &Row : Rows)
+    appendRow(Row);
+  return Out;
+}
+
+void Table::print(std::FILE *Out) const {
+  std::string Text = render();
+  std::fwrite(Text.data(), 1, Text.size(), Out);
+}

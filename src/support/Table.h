@@ -1,0 +1,68 @@
+//===- support/Table.h - Text table and CSV rendering ----------*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small text-table builder used by the bench binaries to print the
+/// paper's tables (Table 1, 2, 3) and by the examples. Supports
+/// left/right alignment, a title row, and CSV emission so results can
+/// be post-processed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_SUPPORT_TABLE_H
+#define MPICSEL_SUPPORT_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mpicsel {
+
+/// Column alignment inside a rendered table.
+enum class AlignKind { Left, Right };
+
+/// Accumulates rows of strings and renders them as an aligned text
+/// table or as CSV. Rows shorter than the header are padded with empty
+/// cells; longer rows extend the column set.
+class Table {
+public:
+  /// Creates a table with the given column \p Headers.
+  explicit Table(std::vector<std::string> Headers);
+
+  /// Sets an optional title printed above the table.
+  void setTitle(std::string NewTitle) { Title = std::move(NewTitle); }
+
+  /// Sets the alignment of column \p Column (default: Right for every
+  /// column except the first, which is Left).
+  void setAlign(unsigned Column, AlignKind Kind);
+
+  /// Appends a data row.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Returns the number of data rows added so far.
+  unsigned numRows() const { return static_cast<unsigned>(Rows.size()); }
+
+  /// Renders the table with box-drawing separators.
+  std::string render() const;
+
+  /// Renders the table as RFC-4180-ish CSV (cells containing commas or
+  /// quotes are quoted).
+  std::string renderCsv() const;
+
+  /// Convenience: renders and writes to \p Out (default stdout).
+  void print(std::FILE *Out = stdout) const;
+
+private:
+  std::string Title;
+  std::vector<std::string> Headers;
+  std::vector<AlignKind> Aligns;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace mpicsel
+
+#endif // MPICSEL_SUPPORT_TABLE_H

@@ -1,0 +1,241 @@
+//===- topo/Tree.cpp - Virtual communication topologies -------------------===//
+
+#include "topo/Tree.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace mpicsel;
+
+unsigned Tree::depthOf(unsigned Rank) const {
+  assert(Rank < Size && "rank out of range");
+  unsigned Depth = 0;
+  unsigned Cursor = Rank;
+  while (Parent[Cursor] >= 0) {
+    Cursor = static_cast<unsigned>(Parent[Cursor]);
+    ++Depth;
+    assert(Depth <= Size && "parent chain has a cycle");
+  }
+  return Depth;
+}
+
+unsigned Tree::height() const {
+  unsigned Max = 0;
+  for (unsigned Rank = 0; Rank != Size; ++Rank)
+    Max = std::max(Max, depthOf(Rank));
+  return Max;
+}
+
+unsigned Tree::maxFanout() const {
+  unsigned Max = 0;
+  for (unsigned Rank = 0; Rank != Size; ++Rank)
+    Max = std::max(Max, static_cast<unsigned>(Children[Rank].size()));
+  return Max;
+}
+
+unsigned Tree::subtreeSize(unsigned Rank) const {
+  unsigned Count = 1;
+  for (unsigned Child : Children[Rank])
+    Count += subtreeSize(Child);
+  return Count;
+}
+
+std::vector<unsigned> Tree::subtreeRanks(unsigned Rank) const {
+  std::vector<unsigned> Ranks;
+  Ranks.push_back(Rank);
+  for (size_t I = 0; I != Ranks.size(); ++I)
+    for (unsigned Child : Children[Ranks[I]])
+      Ranks.push_back(Child);
+  return Ranks;
+}
+
+bool mpicsel::validateTree(const Tree &T, std::string *WhyNot) {
+  auto fail = [&](std::string Message) {
+    if (WhyNot)
+      *WhyNot = std::move(Message);
+    return false;
+  };
+  if (T.Size == 0)
+    return fail("tree is empty");
+  if (T.Root >= T.Size)
+    return fail("root out of range");
+  if (T.Parent.size() != T.Size || T.Children.size() != T.Size)
+    return fail("parent/children arrays not sized to the rank count");
+  if (T.Parent[T.Root] != -1)
+    return fail("root has a parent");
+
+  // Parent/child mutual consistency and child uniqueness.
+  std::vector<unsigned> SeenAsChild(T.Size, 0);
+  for (unsigned Rank = 0; Rank != T.Size; ++Rank) {
+    for (unsigned Child : T.Children[Rank]) {
+      if (Child >= T.Size)
+        return fail(strFormat("child %u of rank %u out of range", Child, Rank));
+      if (T.Parent[Child] != static_cast<int>(Rank))
+        return fail(strFormat("rank %u lists child %u whose parent is %d",
+                              Rank, Child, T.Parent[Child]));
+      ++SeenAsChild[Child];
+    }
+  }
+  for (unsigned Rank = 0; Rank != T.Size; ++Rank) {
+    if (Rank == T.Root) {
+      if (SeenAsChild[Rank] != 0)
+        return fail("root appears as a child");
+      continue;
+    }
+    if (SeenAsChild[Rank] != 1)
+      return fail(strFormat("rank %u appears as a child %u times", Rank,
+                            SeenAsChild[Rank]));
+    if (T.Parent[Rank] < 0 || T.Parent[Rank] >= static_cast<int>(T.Size))
+      return fail(strFormat("rank %u has invalid parent %d", Rank,
+                            T.Parent[Rank]));
+  }
+
+  // Reachability (the above almost guarantees it; cycles through the
+  // root are impossible, but check parent chains terminate).
+  for (unsigned Rank = 0; Rank != T.Size; ++Rank) {
+    unsigned Cursor = Rank, Steps = 0;
+    while (T.Parent[Cursor] >= 0) {
+      Cursor = static_cast<unsigned>(T.Parent[Cursor]);
+      if (++Steps > T.Size)
+        return fail(strFormat("parent chain of rank %u does not reach the "
+                              "root",
+                              Rank));
+    }
+    if (Cursor != T.Root)
+      return fail(strFormat("rank %u is rooted at %u, not the root", Rank,
+                            Cursor));
+  }
+  return true;
+}
+
+namespace {
+/// Helper translating virtual ranks (root-relative) to actual ranks.
+struct VrankMap {
+  unsigned Size;
+  unsigned Root;
+  unsigned toRank(unsigned Vrank) const { return (Vrank + Root) % Size; }
+};
+
+Tree makeEmptyTree(unsigned Size, unsigned Root) {
+  assert(Size >= 1 && "tree over zero ranks");
+  assert(Root < Size && "root out of range");
+  Tree T;
+  T.Size = Size;
+  T.Root = Root;
+  T.Parent.assign(Size, -1);
+  T.Children.assign(Size, {});
+  return T;
+}
+
+void link(Tree &T, unsigned ParentRank, unsigned ChildRank) {
+  assert(T.Parent[ChildRank] == -1 && "child linked twice");
+  T.Parent[ChildRank] = static_cast<int>(ParentRank);
+  T.Children[ParentRank].push_back(ChildRank);
+}
+} // namespace
+
+Tree mpicsel::buildLinearTree(unsigned Size, unsigned Root) {
+  Tree T = makeEmptyTree(Size, Root);
+  VrankMap Map{Size, Root};
+  for (unsigned V = 1; V != Size; ++V)
+    link(T, Root, Map.toRank(V));
+  return T;
+}
+
+Tree mpicsel::buildChainTree(unsigned Size, unsigned Root, unsigned Fanout) {
+  assert(Fanout >= 1 && "chain fanout must be positive");
+  Tree T = makeEmptyTree(Size, Root);
+  if (Size == 1)
+    return T;
+  VrankMap Map{Size, Root};
+
+  // Open MPI clamps the fanout to the number of non-root ranks.
+  unsigned NonRoot = Size - 1;
+  unsigned NumChains = std::min(Fanout, NonRoot);
+  // The first `Longer` chains carry one extra rank.
+  unsigned BaseLen = NonRoot / NumChains;
+  unsigned Longer = NonRoot % NumChains;
+
+  unsigned NextVrank = 1;
+  for (unsigned Chain = 0; Chain != NumChains; ++Chain) {
+    unsigned Len = BaseLen + (Chain < Longer ? 1 : 0);
+    unsigned Prev = Root;
+    for (unsigned I = 0; I != Len; ++I) {
+      unsigned Rank = Map.toRank(NextVrank++);
+      link(T, Prev, Rank);
+      Prev = Rank;
+    }
+  }
+  assert(NextVrank == Size && "chain construction missed ranks");
+  return T;
+}
+
+Tree mpicsel::buildBinaryTree(unsigned Size, unsigned Root) {
+  Tree T = makeEmptyTree(Size, Root);
+  VrankMap Map{Size, Root};
+  for (unsigned V = 0; V != Size; ++V) {
+    for (unsigned ChildSlot = 1; ChildSlot <= 2; ++ChildSlot) {
+      unsigned long long ChildV = 2ull * V + ChildSlot;
+      if (ChildV < Size)
+        link(T, Map.toRank(V), Map.toRank(static_cast<unsigned>(ChildV)));
+    }
+  }
+  return T;
+}
+
+namespace {
+/// Recursively shapes the in-order binary tree over the virtual rank
+/// interval [Lo, Hi] whose local root is \p ParentVrank's child; the
+/// interval's own root is its middle-ish element chosen so that the
+/// left block has ceil(n/2) ranks.
+void buildInOrderRange(Tree &T, const VrankMap &Map, unsigned ParentVrank,
+                       unsigned Lo, unsigned Hi) {
+  if (Lo > Hi)
+    return;
+  // Head of this block becomes the subtree root.
+  unsigned HeadV = Lo;
+  link(T, Map.toRank(ParentVrank), Map.toRank(HeadV));
+  if (Lo == Hi)
+    return;
+  unsigned Rest = Hi - Lo; // ranks below the head
+  unsigned LeftCount = (Rest + 1) / 2;
+  // Left block: [Lo+1, Lo+LeftCount]; right block: remainder.
+  buildInOrderRange(T, Map, HeadV, Lo + 1, Lo + LeftCount);
+  if (Lo + LeftCount < Hi)
+    buildInOrderRange(T, Map, HeadV, Lo + LeftCount + 1, Hi);
+}
+} // namespace
+
+Tree mpicsel::buildInOrderBinaryTree(unsigned Size, unsigned Root) {
+  Tree T = makeEmptyTree(Size, Root);
+  if (Size == 1)
+    return T;
+  VrankMap Map{Size, Root};
+  // The root's left subtree covers vranks [1, 1+ceil((Size-2)/2)] ...
+  // i.e. split the non-root vranks into two contiguous blocks, left
+  // one larger on ties.
+  unsigned NonRoot = Size - 1;
+  unsigned LeftCount = (NonRoot + 1) / 2;
+  buildInOrderRange(T, Map, 0, 1, LeftCount);
+  if (LeftCount < NonRoot)
+    buildInOrderRange(T, Map, 0, LeftCount + 1, NonRoot);
+  return T;
+}
+
+Tree mpicsel::buildBinomialTree(unsigned Size, unsigned Root) {
+  Tree T = makeEmptyTree(Size, Root);
+  VrankMap Map{Size, Root};
+  for (unsigned V = 0; V != Size; ++V) {
+    // Children of v: v | Mask for every Mask = 2^k below v's lowest
+    // set bit (for v == 0: every power of two below Size), provided
+    // the child index is in range. Increasing-mask order matches the
+    // order Open MPI's bmtree serves children.
+    for (unsigned long long Mask = 1; (V | Mask) < Size; Mask <<= 1) {
+      if (V & Mask)
+        break; // reached v's own lowest set bit: v is a child beyond it
+      link(T, Map.toRank(V), Map.toRank(static_cast<unsigned>(V | Mask)));
+    }
+  }
+  return T;
+}

@@ -1,0 +1,104 @@
+//===- topo/Tree.h - Virtual communication topologies -----------*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rooted trees over MPI ranks, mirroring Open MPI's
+/// `ompi_coll_base_topo_build_*` family. Every tree-based broadcast
+/// algorithm of the paper is "the generic segmented broadcast engine
+/// run over one of these shapes":
+///
+///   * linear tree      -- root directly parents every other rank
+///   * chain (pipeline) -- fanout-1 chain 0 -> 1 -> ... -> P-1
+///   * K-chain          -- K parallel chains hanging off the root
+///   * binary tree      -- heap-shaped: children of v are 2v+1, 2v+2
+///   * in-order binary  -- left/right subtrees cover contiguous rank
+///                         ranges (used by the split-binary broadcast)
+///   * binomial tree    -- parent of v clears v's lowest set bit
+///
+/// All builders operate on *virtual* ranks (vrank = (rank - root) mod
+/// P) and translate back, so any root is supported, exactly as in Open
+/// MPI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_TOPO_TREE_H
+#define MPICSEL_TOPO_TREE_H
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace mpicsel {
+
+/// A rooted tree over ranks 0..Size-1.
+struct Tree {
+  unsigned Size = 0;
+  unsigned Root = 0;
+  /// Parent[R] is the parent rank of R; Parent[Root] == -1.
+  std::vector<int> Parent;
+  /// Children[R] lists R's children in the order the algorithm
+  /// serves them (this order matters for timing).
+  std::vector<std::vector<unsigned>> Children;
+
+  bool isLeaf(unsigned Rank) const {
+    assert(Rank < Size && "rank out of range");
+    return Children[Rank].empty();
+  }
+
+  /// Number of edges from \p Rank up to the root.
+  unsigned depthOf(unsigned Rank) const;
+
+  /// Maximum depthOf over all ranks.
+  unsigned height() const;
+
+  /// Largest child count over all ranks.
+  unsigned maxFanout() const;
+
+  /// Number of ranks in the subtree rooted at \p Rank (including it).
+  unsigned subtreeSize(unsigned Rank) const;
+
+  /// Ranks of the subtree rooted at \p Rank in preorder.
+  std::vector<unsigned> subtreeRanks(unsigned Rank) const;
+};
+
+/// Checks that \p T is a well-formed tree spanning all Size ranks:
+/// parent/child links are mutually consistent, every rank is reachable
+/// from the root exactly once. Returns true if valid; otherwise false
+/// and stores a diagnostic in \p WhyNot if non-null.
+bool validateTree(const Tree &T, std::string *WhyNot = nullptr);
+
+/// Flat tree: Root parents every other rank, children in increasing
+/// (shifted) rank order. Open MPI: basic linear algorithms.
+Tree buildLinearTree(unsigned Size, unsigned Root);
+
+/// Open MPI `ompi_coll_base_topo_build_chain(Fanout, ...)`: the P-1
+/// non-root ranks are split into \p Fanout chains of near-equal length
+/// (the first (P-1) mod Fanout chains are one longer); the root
+/// parents each chain head. Fanout == 1 yields the pipeline used by
+/// the chain broadcast; Fanout == K yields the paper's K-chain tree.
+Tree buildChainTree(unsigned Size, unsigned Root, unsigned Fanout);
+
+/// Open MPI `ompi_coll_base_topo_build_tree(2, ...)`: heap-shaped
+/// binary tree on virtual ranks (children of v are 2v+1 and 2v+2).
+Tree buildBinaryTree(unsigned Size, unsigned Root);
+
+/// In-order binary tree: the non-root vranks are divided into a left
+/// contiguous block (of ceil((P-1)/2) vranks) and a right block, each
+/// recursively shaped the same way. The split-binary broadcast relies
+/// on the contiguity to pair left-subtree ranks with right-subtree
+/// ranks for the final exchange of message halves.
+Tree buildInOrderBinaryTree(unsigned Size, unsigned Root);
+
+/// Open MPI `ompi_coll_base_topo_build_bmtree`: binomial tree. The
+/// parent of virtual rank v is v with its lowest set bit cleared;
+/// children are emitted in increasing-mask order (1, 2, 4, ...), which
+/// is the order the Open MPI broadcast serves them.
+Tree buildBinomialTree(unsigned Size, unsigned Root);
+
+} // namespace mpicsel
+
+#endif // MPICSEL_TOPO_TREE_H

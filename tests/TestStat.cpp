@@ -1,0 +1,271 @@
+//===- tests/TestStat.cpp - stat/ unit tests -------------------------------===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stat/AdaptiveBenchmark.h"
+#include "stat/Regression.h"
+#include "stat/Statistics.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+using namespace mpicsel;
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+TEST(Statistics, EmptyAndSingleton) {
+  EXPECT_EQ(computeStats({}).Count, 0u);
+  std::vector<double> One{3.5};
+  SampleStats S = computeStats(One);
+  EXPECT_EQ(S.Count, 1u);
+  EXPECT_DOUBLE_EQ(S.Mean, 3.5);
+  EXPECT_DOUBLE_EQ(S.Variance, 0.0);
+  EXPECT_DOUBLE_EQ(S.Ci95HalfWidth, 0.0);
+}
+
+TEST(Statistics, KnownSample) {
+  // Sample {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, sample variance 32/7.
+  std::vector<double> V{2, 4, 4, 4, 5, 5, 7, 9};
+  SampleStats S = computeStats(V);
+  EXPECT_EQ(S.Count, 8u);
+  EXPECT_DOUBLE_EQ(S.Mean, 5.0);
+  EXPECT_NEAR(S.Variance, 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(S.Min, 2.0);
+  EXPECT_DOUBLE_EQ(S.Max, 9.0);
+  // CI = t(7) * sd / sqrt(8).
+  EXPECT_NEAR(S.Ci95HalfWidth, 2.365 * S.StdDev / std::sqrt(8.0), 1e-9);
+}
+
+TEST(Statistics, TCriticalMatchesTables) {
+  EXPECT_NEAR(tCritical95(1), 12.706, 1e-3);
+  EXPECT_NEAR(tCritical95(9), 2.262, 1e-3);
+  EXPECT_NEAR(tCritical95(30), 2.042, 1e-3);
+  // Large df converges to the normal quantile.
+  EXPECT_NEAR(tCritical95(10000), 1.960, 1e-2);
+  // Monotonically decreasing.
+  for (std::size_t Df = 1; Df < 100; ++Df)
+    EXPECT_GE(tCritical95(Df), tCritical95(Df + 1));
+}
+
+TEST(Statistics, RelativePrecision) {
+  std::vector<double> V{10, 10, 10, 10};
+  EXPECT_DOUBLE_EQ(computeStats(V).relativePrecision(), 0.0);
+}
+
+TEST(Statistics, NormalSampleLooksNormal) {
+  Xoshiro256 Rng(3);
+  std::vector<double> V;
+  for (int I = 0; I < 500; ++I)
+    V.push_back(Rng.nextGaussian());
+  EXPECT_TRUE(looksNormal(V));
+}
+
+TEST(Statistics, ExtremeOutlierFailsNormalityScreen) {
+  std::vector<double> V(100, 1.0);
+  for (int I = 0; I < 100; ++I)
+    V[I] = 1.0 + 0.001 * I;
+  V.push_back(1000.0); // One enormous outlier skews the sample.
+  EXPECT_FALSE(looksNormal(V));
+}
+
+TEST(Statistics, TinySamplesPassNormalityTrivially) {
+  std::vector<double> V{1, 100, 10000};
+  EXPECT_TRUE(looksNormal(V));
+}
+
+//===----------------------------------------------------------------------===//
+// Median / MAD
+//===----------------------------------------------------------------------===//
+
+TEST(Regression, MedianOddEven) {
+  std::vector<double> Odd{5, 1, 3};
+  EXPECT_DOUBLE_EQ(median(Odd), 3.0);
+  std::vector<double> Even{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(Even), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Regression, MadSigmaOfConstantIsZero) {
+  std::vector<double> V(10, 7.0);
+  EXPECT_DOUBLE_EQ(medianAbsoluteDeviationSigma(V), 0.0);
+}
+
+TEST(Regression, MadSigmaApproximatesStdDev) {
+  Xoshiro256 Rng(17);
+  std::vector<double> V;
+  for (int I = 0; I < 5000; ++I)
+    V.push_back(3.0 + 2.0 * Rng.nextGaussian());
+  EXPECT_NEAR(medianAbsoluteDeviationSigma(V), 2.0, 0.15);
+}
+
+//===----------------------------------------------------------------------===//
+// Least squares
+//===----------------------------------------------------------------------===//
+
+TEST(Regression, LeastSquaresRecoversExactLine) {
+  std::vector<double> X{1, 2, 3, 4, 5};
+  std::vector<double> Y;
+  for (double V : X)
+    Y.push_back(2.5 + 0.75 * V);
+  LinearFit Fit = fitLeastSquares(X, Y);
+  ASSERT_TRUE(Fit.Valid);
+  EXPECT_NEAR(Fit.Intercept, 2.5, 1e-12);
+  EXPECT_NEAR(Fit.Slope, 0.75, 1e-12);
+  EXPECT_NEAR(Fit.Rmse, 0.0, 1e-12);
+  EXPECT_NEAR(Fit(10.0), 10.0, 1e-12);
+}
+
+TEST(Regression, LeastSquaresDegenerateInputs) {
+  EXPECT_FALSE(fitLeastSquares({}, {}).Valid);
+  std::vector<double> X1{1}, Y1{2};
+  EXPECT_FALSE(fitLeastSquares(X1, Y1).Valid);
+  // All x equal: no unique line.
+  std::vector<double> X2{3, 3, 3}, Y2{1, 2, 3};
+  EXPECT_FALSE(fitLeastSquares(X2, Y2).Valid);
+}
+
+TEST(Regression, WeightedLeastSquaresIgnoresZeroWeightPoints) {
+  std::vector<double> X{1, 2, 3, 100};
+  std::vector<double> Y{1, 2, 3, -50}; // Last point way off the line.
+  std::vector<double> W{1, 1, 1, 0};
+  LinearFit Fit = fitWeightedLeastSquares(X, Y, W);
+  ASSERT_TRUE(Fit.Valid);
+  EXPECT_NEAR(Fit.Intercept, 0.0, 1e-9);
+  EXPECT_NEAR(Fit.Slope, 1.0, 1e-9);
+}
+
+TEST(Regression, HuberMatchesOlsOnCleanData) {
+  Xoshiro256 Rng(23);
+  std::vector<double> X, Y;
+  for (int I = 0; I < 50; ++I) {
+    double V = I * 0.1;
+    X.push_back(V);
+    Y.push_back(1.0 + 2.0 * V + 0.01 * Rng.nextGaussian());
+  }
+  LinearFit Ols = fitLeastSquares(X, Y);
+  LinearFit Huber = fitHuber(X, Y);
+  EXPECT_NEAR(Huber.Intercept, Ols.Intercept, 0.02);
+  EXPECT_NEAR(Huber.Slope, Ols.Slope, 0.02);
+}
+
+TEST(Regression, HuberResistsOutliersWhereOlsDoesNot) {
+  // Clean line y = 5 + 3x with 20% gross outliers.
+  Xoshiro256 Rng(29);
+  std::vector<double> X, Y;
+  for (int I = 0; I < 50; ++I) {
+    double V = 1.0 + I * 0.2;
+    X.push_back(V);
+    double Clean = 5.0 + 3.0 * V + 0.05 * Rng.nextGaussian();
+    Y.push_back(I % 5 == 0 ? Clean + 100.0 : Clean);
+  }
+  LinearFit Ols = fitLeastSquares(X, Y);
+  LinearFit Huber = fitHuber(X, Y);
+  // OLS is dragged far from the truth; Huber stays close.
+  EXPECT_GT(std::fabs(Ols.Intercept - 5.0) + std::fabs(Ols.Slope - 3.0), 1.0);
+  EXPECT_NEAR(Huber.Intercept, 5.0, 0.5);
+  EXPECT_NEAR(Huber.Slope, 3.0, 0.2);
+}
+
+TEST(Regression, HuberPerfectFitTerminatesEarly) {
+  std::vector<double> X{1, 2, 3, 4};
+  std::vector<double> Y{2, 4, 6, 8};
+  LinearFit Fit = fitHuber(X, Y);
+  ASSERT_TRUE(Fit.Valid);
+  EXPECT_NEAR(Fit.Slope, 2.0, 1e-12);
+  EXPECT_NEAR(Fit.Intercept, 0.0, 1e-12);
+}
+
+/// Property sweep: Huber recovers the line for a range of outlier
+/// contamination rates below the breakdown point.
+class HuberContamination : public ::testing::TestWithParam<int> {};
+
+TEST_P(HuberContamination, RecoversSlopeUnderContamination) {
+  int OutlierPeriod = GetParam(); // Every k-th point is an outlier.
+  Xoshiro256 Rng(31 + OutlierPeriod);
+  std::vector<double> X, Y;
+  for (int I = 0; I < 60; ++I) {
+    double V = I * 0.5;
+    X.push_back(V);
+    double Clean = -2.0 + 0.5 * V + 0.02 * Rng.nextGaussian();
+    Y.push_back(I % OutlierPeriod == 0 ? Clean * 10 + 40 : Clean);
+  }
+  LinearFit Fit = fitHuber(X, Y);
+  ASSERT_TRUE(Fit.Valid);
+  EXPECT_NEAR(Fit.Slope, 0.5, 0.15);
+  EXPECT_NEAR(Fit.Intercept, -2.0, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, HuberContamination,
+                         ::testing::Values(4, 5, 6, 8, 10, 15));
+
+//===----------------------------------------------------------------------===//
+// Adaptive benchmark
+//===----------------------------------------------------------------------===//
+
+TEST(AdaptiveBenchmark, NoiselessStopsAtMinReps) {
+  AdaptiveOptions Options;
+  Options.MinReps = 5;
+  Options.MaxReps = 50;
+  int Calls = 0;
+  AdaptiveResult R = measureAdaptively(
+      [&](std::uint64_t) {
+        ++Calls;
+        return 1.0;
+      },
+      Options);
+  EXPECT_TRUE(R.Converged);
+  EXPECT_EQ(Calls, 5);
+  EXPECT_EQ(R.Stats.Count, 5u);
+  EXPECT_DOUBLE_EQ(R.Stats.Mean, 1.0);
+}
+
+TEST(AdaptiveBenchmark, VeryNoisyHitsMaxReps) {
+  AdaptiveOptions Options;
+  Options.MinReps = 3;
+  Options.MaxReps = 12;
+  Options.TargetPrecision = 1e-6;
+  Xoshiro256 Rng(41);
+  AdaptiveResult R = measureAdaptively(
+      [&](std::uint64_t) { return 1.0 + Rng.nextDouble(); }, Options);
+  EXPECT_FALSE(R.Converged);
+  EXPECT_EQ(R.Observations.size(), 12u);
+}
+
+TEST(AdaptiveBenchmark, SeedsAreDistinctPerRepetition) {
+  AdaptiveOptions Options;
+  Options.MinReps = 6;
+  Options.MaxReps = 6;
+  Options.TargetPrecision = 0.0;
+  std::vector<std::uint64_t> Seeds;
+  measureAdaptively(
+      [&](std::uint64_t Seed) {
+        Seeds.push_back(Seed);
+        return 1.0;
+      },
+      Options);
+  ASSERT_EQ(Seeds.size(), 6u);
+  for (size_t I = 0; I < Seeds.size(); ++I)
+    for (size_t J = I + 1; J < Seeds.size(); ++J)
+      EXPECT_NE(Seeds[I], Seeds[J]);
+}
+
+TEST(AdaptiveBenchmark, ModerateNoiseConvergesBeforeCap) {
+  AdaptiveOptions Options;
+  Options.MinReps = 5;
+  Options.MaxReps = 100;
+  Xoshiro256 Rng(43);
+  AdaptiveResult R = measureAdaptively(
+      [&](std::uint64_t) { return 100.0 + Rng.nextGaussian(); }, Options);
+  EXPECT_TRUE(R.Converged);
+  EXPECT_LT(R.Observations.size(), 40u);
+  EXPECT_NEAR(R.Stats.Mean, 100.0, 1.0);
+}

@@ -1,0 +1,298 @@
+//===- tests/TestSupport.cpp - support/ unit tests -------------------------===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AsciiChart.h"
+#include "support/CommandLine.h"
+#include "support/Format.h"
+#include "support/Random.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+using namespace mpicsel;
+
+//===----------------------------------------------------------------------===//
+// Format
+//===----------------------------------------------------------------------===//
+
+TEST(Format, StrFormatBasic) {
+  EXPECT_EQ(strFormat("x=%d y=%s", 42, "ok"), "x=42 y=ok");
+  EXPECT_EQ(strFormat("%s", ""), "");
+  // Long strings are not truncated.
+  std::string Long(1000, 'a');
+  EXPECT_EQ(strFormat("%s", Long.c_str()).size(), 1000u);
+}
+
+TEST(Format, FormatBytesUsesBinaryUnits) {
+  EXPECT_EQ(formatBytes(0), "0B");
+  EXPECT_EQ(formatBytes(512), "512B");
+  EXPECT_EQ(formatBytes(1024), "1KB");
+  EXPECT_EQ(formatBytes(8 * 1024), "8KB");
+  EXPECT_EQ(formatBytes(4 * 1024 * 1024), "4MB");
+  EXPECT_EQ(formatBytes(3ull * 1024 * 1024 * 1024), "3GB");
+  // Non-multiples fall back to the largest exact unit.
+  EXPECT_EQ(formatBytes(1536), "1536B");
+}
+
+TEST(Format, FormatSeconds) {
+  EXPECT_EQ(formatSeconds(1.5), "1.5s");
+  EXPECT_EQ(formatSeconds(2.5e-3), "2.5ms");
+  EXPECT_EQ(formatSeconds(3.25e-6), "3.25us");
+  EXPECT_EQ(formatSeconds(4.0e-9), "4ns");
+}
+
+TEST(Format, FormatSci) {
+  EXPECT_EQ(formatSci(4.7e-9), "4.7e-09");
+  EXPECT_EQ(formatSci(1.23456e-5, 3), "1.23e-05");
+}
+
+TEST(Format, FormatPercent) {
+  EXPECT_EQ(formatPercent(1.6), "160%");
+  EXPECT_EQ(formatPercent(0.025), "2.5%");
+  EXPECT_EQ(formatPercent(0.0), "0.0%");
+}
+
+TEST(Format, ParseBytesAcceptsCommonSpellings) {
+  std::uint64_t Bytes = 0;
+  ASSERT_TRUE(parseBytes("512", Bytes));
+  EXPECT_EQ(Bytes, 512u);
+  ASSERT_TRUE(parseBytes("8K", Bytes));
+  EXPECT_EQ(Bytes, 8192u);
+  ASSERT_TRUE(parseBytes("8KB", Bytes));
+  EXPECT_EQ(Bytes, 8192u);
+  ASSERT_TRUE(parseBytes("4M", Bytes));
+  EXPECT_EQ(Bytes, 4u * 1024 * 1024);
+  ASSERT_TRUE(parseBytes("1G", Bytes));
+  EXPECT_EQ(Bytes, 1ull << 30);
+  ASSERT_TRUE(parseBytes("2b", Bytes));
+  EXPECT_EQ(Bytes, 2u);
+  ASSERT_TRUE(parseBytes("1.5K", Bytes));
+  EXPECT_EQ(Bytes, 1536u);
+}
+
+TEST(Format, ParseBytesRejectsGarbage) {
+  std::uint64_t Bytes = 0;
+  EXPECT_FALSE(parseBytes("", Bytes));
+  EXPECT_FALSE(parseBytes("abc", Bytes));
+  EXPECT_FALSE(parseBytes("12X", Bytes));
+  EXPECT_FALSE(parseBytes("12KBs", Bytes));
+  EXPECT_FALSE(parseBytes("-5K", Bytes));
+}
+
+//===----------------------------------------------------------------------===//
+// Table
+//===----------------------------------------------------------------------===//
+
+TEST(Table, RendersAlignedColumns) {
+  Table T({"name", "value"});
+  T.addRow({"a", "1"});
+  T.addRow({"long-name", "22"});
+  std::string Out = T.render();
+  // Header and both rows present.
+  EXPECT_NE(Out.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(Out.find("| a         |     1 |"), std::string::npos);
+  EXPECT_NE(Out.find("| long-name |    22 |"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table T({"a", "b", "c"});
+  T.addRow({"only"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("only"), std::string::npos);
+  EXPECT_EQ(T.numRows(), 1u);
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table T({"x", "y"});
+  T.addRow({"a,b", "q\"uote"});
+  std::string Csv = T.renderCsv();
+  EXPECT_NE(Csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(Csv.find("\"q\"\"uote\""), std::string::npos);
+  EXPECT_EQ(Csv.substr(0, 4), "x,y\n");
+}
+
+TEST(Table, TitleIsPrinted) {
+  Table T({"c"});
+  T.setTitle("My Table");
+  EXPECT_EQ(T.render().substr(0, 8), "My Table");
+}
+
+//===----------------------------------------------------------------------===//
+// CommandLine
+//===----------------------------------------------------------------------===//
+
+namespace {
+bool parseArgs(CommandLine &Cli, std::vector<const char *> Args) {
+  Args.insert(Args.begin(), "prog");
+  return Cli.parse(static_cast<int>(Args.size()), Args.data());
+}
+} // namespace
+
+TEST(CommandLine, ParsesTypedFlags) {
+  bool Flag = false;
+  std::int64_t Int = 1;
+  double Real = 0.5;
+  std::string Text = "default";
+  std::uint64_t Bytes = 0;
+  CommandLine Cli("test");
+  Cli.addFlag("flag", "a bool", Flag);
+  Cli.addFlag("int", "an int", Int);
+  Cli.addFlag("real", "a double", Real);
+  Cli.addFlag("text", "a string", Text);
+  Cli.addByteSizeFlag("bytes", "a size", Bytes);
+  ASSERT_TRUE(parseArgs(
+      Cli, {"--flag", "--int=42", "--real", "2.5", "--text=hello",
+            "--bytes", "8K", "positional"}));
+  EXPECT_TRUE(Flag);
+  EXPECT_EQ(Int, 42);
+  EXPECT_DOUBLE_EQ(Real, 2.5);
+  EXPECT_EQ(Text, "hello");
+  EXPECT_EQ(Bytes, 8192u);
+  ASSERT_EQ(Cli.positionalArgs().size(), 1u);
+  EXPECT_EQ(Cli.positionalArgs()[0], "positional");
+}
+
+TEST(CommandLine, RejectsUnknownFlag) {
+  CommandLine Cli("test");
+  EXPECT_FALSE(parseArgs(Cli, {"--nope"}));
+}
+
+TEST(CommandLine, RejectsBadValue) {
+  std::int64_t Int = 0;
+  CommandLine Cli("test");
+  Cli.addFlag("int", "an int", Int);
+  EXPECT_FALSE(parseArgs(Cli, {"--int=abc"}));
+}
+
+TEST(CommandLine, MissingValueIsAnError) {
+  std::int64_t Int = 0;
+  CommandLine Cli("test");
+  Cli.addFlag("int", "an int", Int);
+  EXPECT_FALSE(parseArgs(Cli, {"--int"}));
+}
+
+TEST(CommandLine, BoolAcceptsExplicitValues) {
+  bool Flag = true;
+  CommandLine Cli("test");
+  Cli.addFlag("flag", "a bool", Flag);
+  ASSERT_TRUE(parseArgs(Cli, {"--flag=false"}));
+  EXPECT_FALSE(Flag);
+  ASSERT_TRUE(parseArgs(Cli, {"--flag=on"}));
+  EXPECT_TRUE(Flag);
+}
+
+TEST(CommandLine, UsageListsFlagsAndDefaults) {
+  std::int64_t Int = 7;
+  CommandLine Cli("overview line");
+  Cli.addFlag("level", "the level", Int);
+  std::string Usage = Cli.usage();
+  EXPECT_NE(Usage.find("overview line"), std::string::npos);
+  EXPECT_NE(Usage.find("--level"), std::string::npos);
+  EXPECT_NE(Usage.find("default: 7"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Random
+//===----------------------------------------------------------------------===//
+
+TEST(Random, SplitMix64IsDeterministic) {
+  SplitMix64 A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, XoshiroStreamsDifferBySeed) {
+  Xoshiro256 A(1), B(2);
+  int Different = 0;
+  for (int I = 0; I < 64; ++I)
+    Different += A.next() != B.next();
+  EXPECT_GT(Different, 60);
+}
+
+TEST(Random, NextDoubleInUnitInterval) {
+  Xoshiro256 Rng(99);
+  double Sum = 0;
+  for (int I = 0; I < 10000; ++I) {
+    double V = Rng.nextDouble();
+    ASSERT_GE(V, 0.0);
+    ASSERT_LT(V, 1.0);
+    Sum += V;
+  }
+  // Mean of U(0,1) is 0.5; 10k samples pin it to ~0.5 +- 0.01.
+  EXPECT_NEAR(Sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Random, GaussianMoments) {
+  Xoshiro256 Rng(7);
+  double Sum = 0, SumSq = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I) {
+    double V = Rng.nextGaussian();
+    Sum += V;
+    SumSq += V * V;
+  }
+  EXPECT_NEAR(Sum / N, 0.0, 0.05);
+  EXPECT_NEAR(SumSq / N, 1.0, 0.05);
+}
+
+TEST(Random, LogNormalFactorZeroSigmaIsExactlyOne) {
+  Xoshiro256 Rng(5);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(Rng.nextLogNormalFactor(0.0), 1.0);
+}
+
+TEST(Random, LogNormalFactorHasUnitMedian) {
+  Xoshiro256 Rng(11);
+  int Above = 0;
+  const int N = 10000;
+  for (int I = 0; I < N; ++I)
+    Above += Rng.nextLogNormalFactor(0.3) > 1.0;
+  // Median 1 => about half the draws above 1.
+  EXPECT_NEAR(static_cast<double>(Above) / N, 0.5, 0.03);
+}
+
+//===----------------------------------------------------------------------===//
+// AsciiChart
+//===----------------------------------------------------------------------===//
+
+TEST(AsciiChart, RendersSeriesGlyphsAndLegend) {
+  AsciiChart Chart(40, 10);
+  Chart.setTitle("demo");
+  Chart.addSeries("up", '*', {1, 2, 3}, {1, 2, 3});
+  Chart.addSeries("down", 'o', {1, 2, 3}, {3, 2, 1});
+  std::string Out = Chart.render();
+  EXPECT_NE(Out.find("demo"), std::string::npos);
+  EXPECT_NE(Out.find('*'), std::string::npos);
+  EXPECT_NE(Out.find('o'), std::string::npos);
+  EXPECT_NE(Out.find("up"), std::string::npos);
+  EXPECT_NE(Out.find("down"), std::string::npos);
+}
+
+TEST(AsciiChart, LogAxesDropNonPositiveSamples) {
+  AsciiChart Chart(20, 5);
+  Chart.setLogX(true);
+  Chart.setLogY(true);
+  Chart.addSeries("s", '#', {0.0, 10.0, 100.0}, {-1.0, 1.0, 10.0});
+  // Must not crash; the (0, -1) sample is skipped.
+  std::string Out = Chart.render();
+  EXPECT_NE(Out.find('#'), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyChartStillRenders) {
+  AsciiChart Chart(20, 5);
+  EXPECT_FALSE(Chart.render().empty());
+}
+
+TEST(AsciiChart, FlatSeriesDoesNotDivideByZero) {
+  AsciiChart Chart(20, 5);
+  Chart.addSeries("flat", '-', {1, 2, 3}, {5, 5, 5});
+  EXPECT_NE(Chart.render().find('-'), std::string::npos);
+}

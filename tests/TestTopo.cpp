@@ -1,0 +1,244 @@
+//===- tests/TestTopo.cpp - topo/ tree builder tests ------------------------===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "topo/Tree.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <tuple>
+
+using namespace mpicsel;
+
+namespace {
+
+unsigned floorLog2(unsigned V) {
+  unsigned Log = 0;
+  while (V >>= 1)
+    ++Log;
+  return Log;
+}
+
+/// Sizes and roots every builder is swept over.
+using SizeRoot = std::tuple<unsigned, unsigned>;
+
+std::vector<SizeRoot> sweepCases() {
+  std::vector<SizeRoot> Cases;
+  for (unsigned Size :
+       {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 12u, 13u, 16u, 17u, 31u, 32u,
+        33u, 64u, 90u, 124u})
+    for (unsigned Root : {0u, 1u, 5u})
+      if (Root < Size)
+        Cases.emplace_back(Size, Root);
+  return Cases;
+}
+
+} // namespace
+
+class TreeSweep : public ::testing::TestWithParam<SizeRoot> {};
+
+TEST_P(TreeSweep, LinearTreeShape) {
+  auto [Size, Root] = GetParam();
+  Tree T = buildLinearTree(Size, Root);
+  std::string Why;
+  ASSERT_TRUE(validateTree(T, &Why)) << Why;
+  EXPECT_EQ(T.Children[Root].size(), Size - 1);
+  EXPECT_EQ(T.height(), Size > 1 ? 1u : 0u);
+  EXPECT_EQ(T.subtreeSize(Root), Size);
+}
+
+TEST_P(TreeSweep, ChainTreeIsASinglePath) {
+  auto [Size, Root] = GetParam();
+  Tree T = buildChainTree(Size, Root, 1);
+  std::string Why;
+  ASSERT_TRUE(validateTree(T, &Why)) << Why;
+  EXPECT_EQ(T.height(), Size - 1);
+  EXPECT_LE(T.maxFanout(), 1u);
+  // The path visits the shifted ranks in order.
+  if (Size > 1) {
+    EXPECT_EQ(T.Children[Root].size(), 1u);
+    EXPECT_EQ(T.Children[Root][0], (Root + 1) % Size);
+  }
+}
+
+TEST_P(TreeSweep, KChainBalancesChains) {
+  auto [Size, Root] = GetParam();
+  for (unsigned Fanout : {2u, 4u, 7u}) {
+    Tree T = buildChainTree(Size, Root, Fanout);
+    std::string Why;
+    ASSERT_TRUE(validateTree(T, &Why)) << Why;
+    if (Size == 1)
+      continue;
+    unsigned NumChains = std::min(Fanout, Size - 1);
+    EXPECT_EQ(T.Children[Root].size(), NumChains);
+    // Chains lengths differ by at most one; everyone below the root
+    // has at most one child.
+    unsigned MinLen = Size, MaxLen = 0;
+    for (unsigned Head : T.Children[Root]) {
+      unsigned Len = T.subtreeSize(Head);
+      MinLen = std::min(MinLen, Len);
+      MaxLen = std::max(MaxLen, Len);
+    }
+    EXPECT_LE(MaxLen - MinLen, 1u);
+    for (unsigned Rank = 0; Rank != Size; ++Rank) {
+      if (Rank != Root) {
+        EXPECT_LE(T.Children[Rank].size(), 1u);
+      }
+    }
+    // Height is the longest chain.
+    EXPECT_EQ(T.height(), (Size - 1 + NumChains - 1) / NumChains);
+  }
+}
+
+TEST_P(TreeSweep, BinaryTreeIsHeapShaped) {
+  auto [Size, Root] = GetParam();
+  Tree T = buildBinaryTree(Size, Root);
+  std::string Why;
+  ASSERT_TRUE(validateTree(T, &Why)) << Why;
+  EXPECT_LE(T.maxFanout(), 2u);
+  if (Size > 1) {
+    EXPECT_EQ(T.height(), floorLog2(Size));
+  }
+  // Heap property on virtual ranks: parent(v) = (v-1)/2.
+  for (unsigned Rank = 0; Rank != Size; ++Rank) {
+    if (Rank == Root)
+      continue;
+    unsigned V = (Rank + Size - Root) % Size;
+    unsigned ParentV = (V - 1) / 2;
+    EXPECT_EQ(static_cast<unsigned>(T.Parent[Rank]),
+              (ParentV + Root) % Size);
+  }
+}
+
+TEST_P(TreeSweep, InOrderBinaryTreeHasContiguousSubtrees) {
+  auto [Size, Root] = GetParam();
+  Tree T = buildInOrderBinaryTree(Size, Root);
+  std::string Why;
+  ASSERT_TRUE(validateTree(T, &Why)) << Why;
+  EXPECT_LE(T.maxFanout(), 2u);
+  if (Size < 3)
+    return;
+  ASSERT_EQ(T.Children[Root].size(), 2u);
+  auto vrank = [&](unsigned Rank) { return (Rank + Size - Root) % Size; };
+  // Every subtree covers a contiguous virtual-rank interval.
+  for (unsigned Rank = 0; Rank != Size; ++Rank) {
+    if (Rank == Root)
+      continue;
+    std::vector<unsigned> Ranks = T.subtreeRanks(Rank);
+    unsigned Lo = Size, Hi = 0;
+    for (unsigned Member : Ranks) {
+      Lo = std::min(Lo, vrank(Member));
+      Hi = std::max(Hi, vrank(Member));
+    }
+    EXPECT_EQ(Hi - Lo + 1, Ranks.size())
+        << "subtree of rank " << Rank << " is not contiguous";
+  }
+  // The left block is the larger one on ties (at most one larger).
+  unsigned LeftSize = T.subtreeSize(T.Children[Root][0]);
+  unsigned RightSize = T.subtreeSize(T.Children[Root][1]);
+  EXPECT_EQ(LeftSize + RightSize, Size - 1);
+  EXPECT_TRUE(LeftSize == RightSize || LeftSize == RightSize + 1);
+  // Balanced: logarithmic height.
+  EXPECT_LE(T.height(), 2 * floorLog2(Size) + 2);
+}
+
+TEST_P(TreeSweep, BinomialTreeStructure) {
+  auto [Size, Root] = GetParam();
+  Tree T = buildBinomialTree(Size, Root);
+  std::string Why;
+  ASSERT_TRUE(validateTree(T, &Why)) << Why;
+  auto vrank = [&](unsigned Rank) { return (Rank + Size - Root) % Size; };
+  for (unsigned Rank = 0; Rank != Size; ++Rank) {
+    unsigned V = vrank(Rank);
+    if (Rank != Root) {
+      // Parent of v clears v's lowest set bit.
+      unsigned ParentV = V & (V - 1);
+      EXPECT_EQ(static_cast<unsigned>(T.Parent[Rank]),
+                (ParentV + Root) % Size);
+      // Depth of v is its popcount.
+      EXPECT_EQ(T.depthOf(Rank), static_cast<unsigned>(std::popcount(V)));
+    }
+    // Children are served in increasing-mask order.
+    unsigned PrevV = 0;
+    bool First = true;
+    for (unsigned Child : T.Children[Rank]) {
+      unsigned ChildV = vrank(Child);
+      if (!First) {
+        EXPECT_GT(ChildV, PrevV);
+      }
+      PrevV = ChildV;
+      First = false;
+    }
+  }
+  if (Size > 1) {
+    // Height is the largest popcount over the virtual ranks.
+    unsigned MaxPop = 0;
+    for (unsigned V = 0; V != Size; ++V)
+      MaxPop = std::max(MaxPop, static_cast<unsigned>(std::popcount(V)));
+    EXPECT_EQ(T.height(), MaxPop);
+    // Root fanout: number of powers of two below Size.
+    EXPECT_EQ(T.Children[Root].size(), floorLog2(Size - 1) + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TreeSweep, ::testing::ValuesIn(sweepCases()));
+
+TEST(Tree, DepthHeightSubtreeHelpers) {
+  Tree T = buildBinomialTree(8, 0);
+  EXPECT_EQ(T.depthOf(0), 0u);
+  EXPECT_EQ(T.depthOf(7), 3u); // 7 = 111b.
+  EXPECT_EQ(T.height(), 3u);
+  EXPECT_EQ(T.maxFanout(), 3u);
+  EXPECT_EQ(T.subtreeSize(0), 8u);
+  EXPECT_EQ(T.subtreeSize(4), 4u); // {4, 5, 6, 7}.
+  std::vector<unsigned> Sub = T.subtreeRanks(4);
+  EXPECT_EQ(Sub.size(), 4u);
+  EXPECT_EQ(Sub[0], 4u);
+}
+
+TEST(Tree, ValidatorCatchesBrokenLinks) {
+  Tree T = buildBinaryTree(5, 0);
+  ASSERT_TRUE(validateTree(T));
+  Tree Broken = T;
+  Broken.Parent[3] = 4; // Child/parent mismatch.
+  std::string Why;
+  EXPECT_FALSE(validateTree(Broken, &Why));
+  EXPECT_FALSE(Why.empty());
+
+  Broken = T;
+  Broken.Parent[Broken.Root] = 1; // Root must have no parent.
+  EXPECT_FALSE(validateTree(Broken));
+
+  Broken = T;
+  Broken.Children[0].push_back(1); // Rank appears as child twice.
+  EXPECT_FALSE(validateTree(Broken));
+}
+
+TEST(Tree, RootShiftIsConsistent) {
+  // Shifting the root permutes ranks but preserves the shape.
+  Tree A = buildBinomialTree(13, 0);
+  Tree B = buildBinomialTree(13, 4);
+  EXPECT_EQ(A.height(), B.height());
+  EXPECT_EQ(A.maxFanout(), B.maxFanout());
+  for (unsigned V = 0; V != 13; ++V) {
+    unsigned RankA = V;
+    unsigned RankB = (V + 4) % 13;
+    EXPECT_EQ(A.Children[RankA].size(), B.Children[RankB].size());
+  }
+}
+
+TEST(Tree, SingleRankTrees) {
+  for (auto Build : {buildLinearTree, buildBinaryTree,
+                     buildInOrderBinaryTree, buildBinomialTree}) {
+    Tree T = Build(1, 0);
+    EXPECT_TRUE(validateTree(T));
+    EXPECT_EQ(T.height(), 0u);
+    EXPECT_TRUE(T.isLeaf(0));
+  }
+  Tree Chain = buildChainTree(1, 0, 4);
+  EXPECT_TRUE(validateTree(Chain));
+}
