@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_gamma_fit"
+  "../bench/ablation_gamma_fit.pdb"
+  "CMakeFiles/ablation_gamma_fit.dir/ablation_gamma_fit.cpp.o"
+  "CMakeFiles/ablation_gamma_fit.dir/ablation_gamma_fit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gamma_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

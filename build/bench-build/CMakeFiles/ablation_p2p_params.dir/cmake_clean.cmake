@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_p2p_params"
+  "../bench/ablation_p2p_params.pdb"
+  "CMakeFiles/ablation_p2p_params.dir/ablation_p2p_params.cpp.o"
+  "CMakeFiles/ablation_p2p_params.dir/ablation_p2p_params.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_p2p_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_reduce_scatter"
+  "../bench/extension_reduce_scatter.pdb"
+  "CMakeFiles/extension_reduce_scatter.dir/extension_reduce_scatter.cpp.o"
+  "CMakeFiles/extension_reduce_scatter.dir/extension_reduce_scatter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_reduce_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_traditional_models"
+  "../bench/fig1_traditional_models.pdb"
+  "CMakeFiles/fig1_traditional_models.dir/fig1_traditional_models.cpp.o"
+  "CMakeFiles/fig1_traditional_models.dir/fig1_traditional_models.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_traditional_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_selection"
+  "../bench/fig5_selection.pdb"
+  "CMakeFiles/fig5_selection.dir/fig5_selection.cpp.o"
+  "CMakeFiles/fig5_selection.dir/fig5_selection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

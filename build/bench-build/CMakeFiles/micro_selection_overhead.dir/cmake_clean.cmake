@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_selection_overhead"
+  "../bench/micro_selection_overhead.pdb"
+  "CMakeFiles/micro_selection_overhead.dir/micro_selection_overhead.cpp.o"
+  "CMakeFiles/micro_selection_overhead.dir/micro_selection_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_selection_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

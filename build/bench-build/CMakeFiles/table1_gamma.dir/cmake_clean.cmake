@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_gamma"
+  "../bench/table1_gamma.pdb"
+  "CMakeFiles/table1_gamma.dir/table1_gamma.cpp.o"
+  "CMakeFiles/table1_gamma.dir/table1_gamma.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

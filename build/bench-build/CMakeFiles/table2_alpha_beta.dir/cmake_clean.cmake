@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_alpha_beta"
+  "../bench/table2_alpha_beta.pdb"
+  "CMakeFiles/table2_alpha_beta.dir/table2_alpha_beta.cpp.o"
+  "CMakeFiles/table2_alpha_beta.dir/table2_alpha_beta.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_alpha_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_selection"
+  "../bench/table3_selection.pdb"
+  "CMakeFiles/table3_selection.dir/table3_selection.cpp.o"
+  "CMakeFiles/table3_selection.dir/table3_selection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

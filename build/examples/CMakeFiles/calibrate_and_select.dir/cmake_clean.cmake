@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_and_select.dir/calibrate_and_select.cpp.o"
+  "CMakeFiles/calibrate_and_select.dir/calibrate_and_select.cpp.o.d"
+  "calibrate_and_select"
+  "calibrate_and_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_and_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decision_table_export.dir/decision_table_export.cpp.o"
+  "CMakeFiles/decision_table_export.dir/decision_table_export.cpp.o.d"
+  "decision_table_export"
+  "decision_table_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decision_table_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

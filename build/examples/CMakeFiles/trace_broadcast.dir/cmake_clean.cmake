@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_broadcast.dir/trace_broadcast.cpp.o"
+  "CMakeFiles/trace_broadcast.dir/trace_broadcast.cpp.o.d"
+  "trace_broadcast"
+  "trace_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

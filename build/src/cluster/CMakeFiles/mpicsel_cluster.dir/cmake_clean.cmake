@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpicsel_cluster.dir/Platform.cpp.o"
+  "CMakeFiles/mpicsel_cluster.dir/Platform.cpp.o.d"
+  "libmpicsel_cluster.a"
+  "libmpicsel_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpicsel_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coll/Algorithms.cpp" "src/coll/CMakeFiles/mpicsel_coll.dir/Algorithms.cpp.o" "gcc" "src/coll/CMakeFiles/mpicsel_coll.dir/Algorithms.cpp.o.d"
+  "/root/repo/src/coll/Barrier.cpp" "src/coll/CMakeFiles/mpicsel_coll.dir/Barrier.cpp.o" "gcc" "src/coll/CMakeFiles/mpicsel_coll.dir/Barrier.cpp.o.d"
+  "/root/repo/src/coll/Bcast.cpp" "src/coll/CMakeFiles/mpicsel_coll.dir/Bcast.cpp.o" "gcc" "src/coll/CMakeFiles/mpicsel_coll.dir/Bcast.cpp.o.d"
+  "/root/repo/src/coll/Gather.cpp" "src/coll/CMakeFiles/mpicsel_coll.dir/Gather.cpp.o" "gcc" "src/coll/CMakeFiles/mpicsel_coll.dir/Gather.cpp.o.d"
+  "/root/repo/src/coll/OmpiDecision.cpp" "src/coll/CMakeFiles/mpicsel_coll.dir/OmpiDecision.cpp.o" "gcc" "src/coll/CMakeFiles/mpicsel_coll.dir/OmpiDecision.cpp.o.d"
+  "/root/repo/src/coll/PointToPoint.cpp" "src/coll/CMakeFiles/mpicsel_coll.dir/PointToPoint.cpp.o" "gcc" "src/coll/CMakeFiles/mpicsel_coll.dir/PointToPoint.cpp.o.d"
+  "/root/repo/src/coll/Reduce.cpp" "src/coll/CMakeFiles/mpicsel_coll.dir/Reduce.cpp.o" "gcc" "src/coll/CMakeFiles/mpicsel_coll.dir/Reduce.cpp.o.d"
+  "/root/repo/src/coll/Scatter.cpp" "src/coll/CMakeFiles/mpicsel_coll.dir/Scatter.cpp.o" "gcc" "src/coll/CMakeFiles/mpicsel_coll.dir/Scatter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/mpicsel_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mpicsel_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mpicsel_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpicsel_coll.dir/Algorithms.cpp.o"
+  "CMakeFiles/mpicsel_coll.dir/Algorithms.cpp.o.d"
+  "CMakeFiles/mpicsel_coll.dir/Barrier.cpp.o"
+  "CMakeFiles/mpicsel_coll.dir/Barrier.cpp.o.d"
+  "CMakeFiles/mpicsel_coll.dir/Bcast.cpp.o"
+  "CMakeFiles/mpicsel_coll.dir/Bcast.cpp.o.d"
+  "CMakeFiles/mpicsel_coll.dir/Gather.cpp.o"
+  "CMakeFiles/mpicsel_coll.dir/Gather.cpp.o.d"
+  "CMakeFiles/mpicsel_coll.dir/OmpiDecision.cpp.o"
+  "CMakeFiles/mpicsel_coll.dir/OmpiDecision.cpp.o.d"
+  "CMakeFiles/mpicsel_coll.dir/PointToPoint.cpp.o"
+  "CMakeFiles/mpicsel_coll.dir/PointToPoint.cpp.o.d"
+  "CMakeFiles/mpicsel_coll.dir/Reduce.cpp.o"
+  "CMakeFiles/mpicsel_coll.dir/Reduce.cpp.o.d"
+  "CMakeFiles/mpicsel_coll.dir/Scatter.cpp.o"
+  "CMakeFiles/mpicsel_coll.dir/Scatter.cpp.o.d"
+  "libmpicsel_coll.a"
+  "libmpicsel_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpicsel_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/Calibration.cpp" "src/model/CMakeFiles/mpicsel_model.dir/Calibration.cpp.o" "gcc" "src/model/CMakeFiles/mpicsel_model.dir/Calibration.cpp.o.d"
+  "/root/repo/src/model/CostModels.cpp" "src/model/CMakeFiles/mpicsel_model.dir/CostModels.cpp.o" "gcc" "src/model/CMakeFiles/mpicsel_model.dir/CostModels.cpp.o.d"
+  "/root/repo/src/model/Gamma.cpp" "src/model/CMakeFiles/mpicsel_model.dir/Gamma.cpp.o" "gcc" "src/model/CMakeFiles/mpicsel_model.dir/Gamma.cpp.o.d"
+  "/root/repo/src/model/ReduceSelection.cpp" "src/model/CMakeFiles/mpicsel_model.dir/ReduceSelection.cpp.o" "gcc" "src/model/CMakeFiles/mpicsel_model.dir/ReduceSelection.cpp.o.d"
+  "/root/repo/src/model/Runner.cpp" "src/model/CMakeFiles/mpicsel_model.dir/Runner.cpp.o" "gcc" "src/model/CMakeFiles/mpicsel_model.dir/Runner.cpp.o.d"
+  "/root/repo/src/model/ScatterSelection.cpp" "src/model/CMakeFiles/mpicsel_model.dir/ScatterSelection.cpp.o" "gcc" "src/model/CMakeFiles/mpicsel_model.dir/ScatterSelection.cpp.o.d"
+  "/root/repo/src/model/Selection.cpp" "src/model/CMakeFiles/mpicsel_model.dir/Selection.cpp.o" "gcc" "src/model/CMakeFiles/mpicsel_model.dir/Selection.cpp.o.d"
+  "/root/repo/src/model/TraditionalModels.cpp" "src/model/CMakeFiles/mpicsel_model.dir/TraditionalModels.cpp.o" "gcc" "src/model/CMakeFiles/mpicsel_model.dir/TraditionalModels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coll/CMakeFiles/mpicsel_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpicsel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stat/CMakeFiles/mpicsel_stat.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mpicsel_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mpicsel_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mpicsel_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mpicsel_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

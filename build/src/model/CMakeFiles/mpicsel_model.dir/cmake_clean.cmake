@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpicsel_model.dir/Calibration.cpp.o"
+  "CMakeFiles/mpicsel_model.dir/Calibration.cpp.o.d"
+  "CMakeFiles/mpicsel_model.dir/CostModels.cpp.o"
+  "CMakeFiles/mpicsel_model.dir/CostModels.cpp.o.d"
+  "CMakeFiles/mpicsel_model.dir/Gamma.cpp.o"
+  "CMakeFiles/mpicsel_model.dir/Gamma.cpp.o.d"
+  "CMakeFiles/mpicsel_model.dir/ReduceSelection.cpp.o"
+  "CMakeFiles/mpicsel_model.dir/ReduceSelection.cpp.o.d"
+  "CMakeFiles/mpicsel_model.dir/Runner.cpp.o"
+  "CMakeFiles/mpicsel_model.dir/Runner.cpp.o.d"
+  "CMakeFiles/mpicsel_model.dir/ScatterSelection.cpp.o"
+  "CMakeFiles/mpicsel_model.dir/ScatterSelection.cpp.o.d"
+  "CMakeFiles/mpicsel_model.dir/Selection.cpp.o"
+  "CMakeFiles/mpicsel_model.dir/Selection.cpp.o.d"
+  "CMakeFiles/mpicsel_model.dir/TraditionalModels.cpp.o"
+  "CMakeFiles/mpicsel_model.dir/TraditionalModels.cpp.o.d"
+  "libmpicsel_model.a"
+  "libmpicsel_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpicsel_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpicsel_mpi.dir/Schedule.cpp.o"
+  "CMakeFiles/mpicsel_mpi.dir/Schedule.cpp.o.d"
+  "libmpicsel_mpi.a"
+  "libmpicsel_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpicsel_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

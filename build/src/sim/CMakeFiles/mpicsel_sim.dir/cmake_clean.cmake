@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpicsel_sim.dir/Engine.cpp.o"
+  "CMakeFiles/mpicsel_sim.dir/Engine.cpp.o.d"
+  "CMakeFiles/mpicsel_sim.dir/Trace.cpp.o"
+  "CMakeFiles/mpicsel_sim.dir/Trace.cpp.o.d"
+  "libmpicsel_sim.a"
+  "libmpicsel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpicsel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

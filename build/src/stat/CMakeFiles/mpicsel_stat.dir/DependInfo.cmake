@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stat/AdaptiveBenchmark.cpp" "src/stat/CMakeFiles/mpicsel_stat.dir/AdaptiveBenchmark.cpp.o" "gcc" "src/stat/CMakeFiles/mpicsel_stat.dir/AdaptiveBenchmark.cpp.o.d"
+  "/root/repo/src/stat/Regression.cpp" "src/stat/CMakeFiles/mpicsel_stat.dir/Regression.cpp.o" "gcc" "src/stat/CMakeFiles/mpicsel_stat.dir/Regression.cpp.o.d"
+  "/root/repo/src/stat/Statistics.cpp" "src/stat/CMakeFiles/mpicsel_stat.dir/Statistics.cpp.o" "gcc" "src/stat/CMakeFiles/mpicsel_stat.dir/Statistics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mpicsel_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpicsel_stat.dir/AdaptiveBenchmark.cpp.o"
+  "CMakeFiles/mpicsel_stat.dir/AdaptiveBenchmark.cpp.o.d"
+  "CMakeFiles/mpicsel_stat.dir/Regression.cpp.o"
+  "CMakeFiles/mpicsel_stat.dir/Regression.cpp.o.d"
+  "CMakeFiles/mpicsel_stat.dir/Statistics.cpp.o"
+  "CMakeFiles/mpicsel_stat.dir/Statistics.cpp.o.d"
+  "libmpicsel_stat.a"
+  "libmpicsel_stat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpicsel_stat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

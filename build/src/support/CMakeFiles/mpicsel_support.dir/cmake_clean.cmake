@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpicsel_support.dir/AsciiChart.cpp.o"
+  "CMakeFiles/mpicsel_support.dir/AsciiChart.cpp.o.d"
+  "CMakeFiles/mpicsel_support.dir/CommandLine.cpp.o"
+  "CMakeFiles/mpicsel_support.dir/CommandLine.cpp.o.d"
+  "CMakeFiles/mpicsel_support.dir/Error.cpp.o"
+  "CMakeFiles/mpicsel_support.dir/Error.cpp.o.d"
+  "CMakeFiles/mpicsel_support.dir/Format.cpp.o"
+  "CMakeFiles/mpicsel_support.dir/Format.cpp.o.d"
+  "CMakeFiles/mpicsel_support.dir/Random.cpp.o"
+  "CMakeFiles/mpicsel_support.dir/Random.cpp.o.d"
+  "CMakeFiles/mpicsel_support.dir/Table.cpp.o"
+  "CMakeFiles/mpicsel_support.dir/Table.cpp.o.d"
+  "libmpicsel_support.a"
+  "libmpicsel_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpicsel_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

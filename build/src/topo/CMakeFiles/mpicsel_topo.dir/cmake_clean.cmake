@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpicsel_topo.dir/Tree.cpp.o"
+  "CMakeFiles/mpicsel_topo.dir/Tree.cpp.o.d"
+  "libmpicsel_topo.a"
+  "libmpicsel_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpicsel_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/TestCalibration.cpp" "tests/CMakeFiles/TestCalibration.dir/TestCalibration.cpp.o" "gcc" "tests/CMakeFiles/TestCalibration.dir/TestCalibration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mpicsel_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/mpicsel_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mpicsel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stat/CMakeFiles/mpicsel_stat.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mpicsel_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/mpicsel_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mpicsel_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mpicsel_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

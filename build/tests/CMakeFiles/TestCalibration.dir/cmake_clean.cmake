@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TestCalibration.dir/TestCalibration.cpp.o"
+  "CMakeFiles/TestCalibration.dir/TestCalibration.cpp.o.d"
+  "TestCalibration"
+  "TestCalibration.pdb"
+  "TestCalibration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TestCalibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TestColl.dir/TestColl.cpp.o"
+  "CMakeFiles/TestColl.dir/TestColl.cpp.o.d"
+  "TestColl"
+  "TestColl.pdb"
+  "TestColl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TestColl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TestEngine.dir/TestEngine.cpp.o"
+  "CMakeFiles/TestEngine.dir/TestEngine.cpp.o.d"
+  "TestEngine"
+  "TestEngine.pdb"
+  "TestEngine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TestEngine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

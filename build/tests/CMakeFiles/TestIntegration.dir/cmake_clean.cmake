@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TestIntegration.dir/TestIntegration.cpp.o"
+  "CMakeFiles/TestIntegration.dir/TestIntegration.cpp.o.d"
+  "TestIntegration"
+  "TestIntegration.pdb"
+  "TestIntegration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TestIntegration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

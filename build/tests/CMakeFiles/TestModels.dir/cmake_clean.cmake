@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TestModels.dir/TestModels.cpp.o"
+  "CMakeFiles/TestModels.dir/TestModels.cpp.o.d"
+  "TestModels"
+  "TestModels.pdb"
+  "TestModels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TestModels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TestReduce.dir/TestReduce.cpp.o"
+  "CMakeFiles/TestReduce.dir/TestReduce.cpp.o.d"
+  "TestReduce"
+  "TestReduce.pdb"
+  "TestReduce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TestReduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

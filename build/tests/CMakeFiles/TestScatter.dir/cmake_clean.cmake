@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TestScatter.dir/TestScatter.cpp.o"
+  "CMakeFiles/TestScatter.dir/TestScatter.cpp.o.d"
+  "TestScatter"
+  "TestScatter.pdb"
+  "TestScatter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TestScatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TestSchedule.dir/TestSchedule.cpp.o"
+  "CMakeFiles/TestSchedule.dir/TestSchedule.cpp.o.d"
+  "TestSchedule"
+  "TestSchedule.pdb"
+  "TestSchedule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TestSchedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

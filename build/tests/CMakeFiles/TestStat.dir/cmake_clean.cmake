@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TestStat.dir/TestStat.cpp.o"
+  "CMakeFiles/TestStat.dir/TestStat.cpp.o.d"
+  "TestStat"
+  "TestStat.pdb"
+  "TestStat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TestStat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for TestStat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TestSupport.dir/TestSupport.cpp.o"
+  "CMakeFiles/TestSupport.dir/TestSupport.cpp.o.d"
+  "TestSupport"
+  "TestSupport.pdb"
+  "TestSupport[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TestSupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

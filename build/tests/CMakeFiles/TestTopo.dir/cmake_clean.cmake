@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TestTopo.dir/TestTopo.cpp.o"
+  "CMakeFiles/TestTopo.dir/TestTopo.cpp.o.d"
+  "TestTopo"
+  "TestTopo.pdb"
+  "TestTopo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TestTopo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TestTrace.dir/TestTrace.cpp.o"
+  "CMakeFiles/TestTrace.dir/TestTrace.cpp.o.d"
+  "TestTrace"
+  "TestTrace.pdb"
+  "TestTrace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TestTrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

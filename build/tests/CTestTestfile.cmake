@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/TestSupport[1]_include.cmake")
+include("/root/repo/build/tests/TestStat[1]_include.cmake")
+include("/root/repo/build/tests/TestSchedule[1]_include.cmake")
+include("/root/repo/build/tests/TestEngine[1]_include.cmake")
+include("/root/repo/build/tests/TestTopo[1]_include.cmake")
+include("/root/repo/build/tests/TestColl[1]_include.cmake")
+include("/root/repo/build/tests/TestModels[1]_include.cmake")
+include("/root/repo/build/tests/TestCalibration[1]_include.cmake")
+include("/root/repo/build/tests/TestScatter[1]_include.cmake")
+include("/root/repo/build/tests/TestTrace[1]_include.cmake")
+include("/root/repo/build/tests/TestIntegration[1]_include.cmake")
+include("/root/repo/build/tests/TestReduce[1]_include.cmake")
