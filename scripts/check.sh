@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+#===- scripts/check.sh - Full local verification sweep -------------------===#
+#
+# Part of the mpicsel project: model-based selection of MPI collective
+# algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+#
+# Runs everything a PR must pass, in order of increasing cost:
+#
+#   1. Normal build + full ctest (with MPICSEL_VERIFY=1 preflight).
+#   2. schedlint sweep over every registered collective algorithm.
+#   3. AddressSanitizer + UBSan build (build-asan/) + full ctest.
+#   4. clang-tidy over the sources, if clang-tidy is installed.
+#
+# Usage: scripts/check.sh [--no-asan] [--no-tidy]
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUN_ASAN=1
+RUN_TIDY=1
+for Arg in "$@"; do
+  case "$Arg" in
+  --no-asan) RUN_ASAN=0 ;;
+  --no-tidy) RUN_TIDY=0 ;;
+  *)
+    echo "usage: scripts/check.sh [--no-asan] [--no-tidy]" >&2
+    exit 2
+    ;;
+  esac
+done
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "build (default flags)"
+cmake -B build -S . >/dev/null
+cmake --build build -j
+
+step "ctest (MPICSEL_VERIFY=1 is set per-test by CMake)"
+ctest --test-dir build --output-on-failure -j
+
+step "schedlint sweep"
+./build/tools/schedlint
+
+if [ "$RUN_ASAN" -eq 1 ]; then
+  step "build with AddressSanitizer + UBSan"
+  cmake -B build-asan -S . -DMPICSEL_SANITIZE=address >/dev/null
+  cmake --build build-asan -j
+
+  step "ctest under ASan/UBSan"
+  ctest --test-dir build-asan --output-on-failure -j
+
+  step "schedlint under ASan/UBSan"
+  ./build-asan/tools/schedlint
+fi
+
+if [ "$RUN_TIDY" -eq 1 ]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    step "clang-tidy"
+    # The compile database comes from the normal build tree.
+    find src tools -name '*.cpp' -print0 |
+      xargs -0 clang-tidy -p build --quiet
+  else
+    echo "clang-tidy not installed; skipping (config: .clang-tidy)"
+  fi
+fi
+
+step "all checks passed"

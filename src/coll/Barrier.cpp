@@ -2,6 +2,8 @@
 
 #include "coll/Barrier.h"
 
+#include "support/Format.h"
+
 #include <cassert>
 
 using namespace mpicsel;
@@ -42,4 +44,20 @@ std::vector<OpId> mpicsel::appendBarrier(ScheduleBuilder &B, int Tag,
     Current = std::move(Next);
   }
   return Current;
+}
+
+ScheduleContract mpicsel::barrierContract(unsigned RankCount) {
+  ScheduleContract C = ScheduleContract::unchecked(
+      strFormat("barrier(dissemination, P=%u)", RankCount), RankCount);
+  std::uint32_t Rounds = 0;
+  for (unsigned Distance = 1; Distance < RankCount; Distance <<= 1)
+    ++Rounds;
+  for (unsigned Rank = 0; Rank != RankCount; ++Rank) {
+    C.RecvBytes[Rank] = 0;
+    C.SentBytes[Rank] = 0;
+    C.NetBytes[Rank] = 0;
+    C.RecvMsgs[Rank] = Rounds;
+    C.SentMsgs[Rank] = Rounds;
+  }
+  return C;
 }

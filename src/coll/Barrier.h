@@ -18,6 +18,7 @@
 #define MPICSEL_COLL_BARRIER_H
 
 #include "mpi/Schedule.h"
+#include "verify/Contract.h"
 
 #include <span>
 #include <vector>
@@ -28,6 +29,10 @@ namespace mpicsel {
 /// zero-byte. Returns per-rank exits.
 std::vector<OpId> appendBarrier(ScheduleBuilder &B, int Tag,
                                 std::span<const OpId> Entry = {});
+
+/// The barrier's contract: no payload moves at all, and every rank
+/// sends and receives exactly ceil(log2 P) zero-byte messages.
+ScheduleContract barrierContract(unsigned RankCount);
 
 } // namespace mpicsel
 

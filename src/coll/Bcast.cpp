@@ -3,6 +3,7 @@
 #include "coll/Bcast.h"
 
 #include "support/Error.h"
+#include "support/Format.h"
 #include "topo/Tree.h"
 
 #include <algorithm>
@@ -410,4 +411,21 @@ std::vector<OpId> mpicsel::appendBcast(ScheduleBuilder &B,
   }
   }
   MPICSEL_UNREACHABLE("unknown broadcast algorithm");
+}
+
+ScheduleContract mpicsel::bcastContract(const BcastConfig &Config,
+                                        unsigned RankCount) {
+  assert(Config.Root < RankCount && "broadcast root outside the communicator");
+  ScheduleContract C = ScheduleContract::unchecked(
+      strFormat("bcast(%s, m=%s, seg=%s)",
+                bcastAlgorithmName(Config.Algorithm),
+                formatBytes(Config.MessageBytes).c_str(),
+                formatBytes(Config.SegmentBytes).c_str()),
+      RankCount);
+  C.Root = Config.Root;
+  C.Flow = FlowRequirement::RootToAll;
+  for (unsigned Rank = 0; Rank != RankCount; ++Rank)
+    C.RecvBytes[Rank] = Rank == Config.Root ? 0 : Config.MessageBytes;
+  C.RecvMsgs[Config.Root] = 0;
+  return C;
 }

@@ -36,6 +36,7 @@
 
 #include "coll/Algorithms.h"
 #include "mpi/Schedule.h"
+#include "verify/Contract.h"
 
 #include <cstdint>
 #include <span>
@@ -72,6 +73,15 @@ std::uint64_t bcastSegmentCount(std::uint64_t MessageBytes,
 /// \returns one exit op per rank.
 std::vector<OpId> appendBcast(ScheduleBuilder &B, const BcastConfig &Config,
                               std::span<const OpId> Entry = {});
+
+/// The broadcast's data-movement contract for the static verifier
+/// (verify/Verifier.h): every non-root rank receives exactly
+/// MessageBytes originating (transitively) from the root, and the root
+/// receives nothing -- true of all six algorithms, including
+/// split-binary's half-exchange. Verify a schedule built by
+/// appendBcast *alone*; composed schedules accumulate several
+/// collectives' traffic.
+ScheduleContract bcastContract(const BcastConfig &Config, unsigned RankCount);
 
 } // namespace mpicsel
 

@@ -2,6 +2,8 @@
 
 #include "coll/Gather.h"
 
+#include "support/Format.h"
+
 #include <cassert>
 
 using namespace mpicsel;
@@ -53,4 +55,29 @@ std::vector<OpId> mpicsel::appendLinearGather(ScheduleBuilder &B,
   }
   Exit[Config.Root] = B.addJoin(Config.Root, RootRecvs);
   return Exit;
+}
+
+ScheduleContract mpicsel::gatherContract(const GatherConfig &Config,
+                                         unsigned RankCount) {
+  assert(Config.Root < RankCount && "gather root outside the communicator");
+  ScheduleContract C = ScheduleContract::unchecked(
+      strFormat("gather(linear%s, m=%s)",
+                Config.Synchronised ? ", sync" : "",
+                formatBytes(Config.BlockBytes).c_str()),
+      RankCount);
+  C.Root = Config.Root;
+  C.Flow = FlowRequirement::AllToRoot;
+  const unsigned Contributors = RankCount - 1;
+  for (unsigned Rank = 0; Rank != RankCount; ++Rank) {
+    bool IsRoot = Rank == Config.Root;
+    C.RecvBytes[Rank] = IsRoot ? Contributors * Config.BlockBytes : 0;
+    C.SentBytes[Rank] = IsRoot ? 0 : Config.BlockBytes;
+    C.RecvMsgs[Rank] =
+        IsRoot ? Contributors : (Config.Synchronised ? 1u : 0u);
+    C.SentMsgs[Rank] = IsRoot ? (Config.Synchronised ? Contributors : 0u)
+                              : (RankCount == 1 ? 0u : 1u);
+  }
+  if (RankCount == 1) // Degenerate: no traffic at all.
+    C.RecvMsgs[Config.Root] = C.SentMsgs[Config.Root] = 0;
+  return C;
 }

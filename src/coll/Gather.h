@@ -18,6 +18,7 @@
 #define MPICSEL_COLL_GATHER_H
 
 #include "mpi/Schedule.h"
+#include "verify/Contract.h"
 
 #include <cstdint>
 #include <span>
@@ -43,6 +44,14 @@ struct GatherConfig {
 std::vector<OpId> appendLinearGather(ScheduleBuilder &B,
                                      const GatherConfig &Config,
                                      std::span<const OpId> Entry = {});
+
+/// The gather's contract: the root receives exactly (P-1) * BlockBytes
+/// in P-1 messages, every non-root rank contributes exactly
+/// BlockBytes, and every rank's data reaches the root. The
+/// synchronised variant additionally exchanges one zero-byte ready
+/// message per contributor.
+ScheduleContract gatherContract(const GatherConfig &Config,
+                                unsigned RankCount);
 
 } // namespace mpicsel
 

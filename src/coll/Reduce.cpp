@@ -4,6 +4,7 @@
 
 #include "coll/Bcast.h"
 #include "support/Error.h"
+#include "support/Format.h"
 #include "topo/Tree.h"
 
 #include <cassert>
@@ -165,4 +166,33 @@ std::vector<OpId> mpicsel::appendReduce(ScheduleBuilder &B,
   }
   }
   MPICSEL_UNREACHABLE("unknown reduce algorithm");
+}
+
+ScheduleContract mpicsel::reduceContract(const ReduceConfig &Config,
+                                         unsigned RankCount) {
+  assert(Config.Root < RankCount && "reduce root outside the communicator");
+  ScheduleContract C = ScheduleContract::unchecked(
+      strFormat("reduce(%s, m=%s, seg=%s)",
+                reduceAlgorithmName(Config.Algorithm),
+                formatBytes(Config.MessageBytes).c_str(),
+                formatBytes(Config.SegmentBytes).c_str()),
+      RankCount);
+  C.Root = Config.Root;
+  C.Flow = FlowRequirement::AllToRoot;
+  // Every non-root rank streams its (partial) result to its parent —
+  // one message per segment, with the linear algorithm unsegmented.
+  const std::uint64_t Segments =
+      Config.Algorithm == ReduceAlgorithm::Linear
+          ? 1
+          : bcastSegmentCount(Config.MessageBytes, Config.SegmentBytes);
+  for (unsigned Rank = 0; Rank != RankCount; ++Rank) {
+    bool IsRoot = Rank == Config.Root;
+    C.SentBytes[Rank] = IsRoot || RankCount == 1 ? 0 : Config.MessageBytes;
+    C.SentMsgs[Rank] = IsRoot || RankCount == 1
+                           ? 0
+                           : static_cast<std::uint32_t>(Segments);
+  }
+  C.RecvBytes[Config.Root] =
+      RankCount == 1 ? 0 : ScheduleContract::UncheckedBytes;
+  return C;
 }

@@ -33,6 +33,7 @@
 #define MPICSEL_COLL_REDUCE_H
 
 #include "mpi/Schedule.h"
+#include "verify/Contract.h"
 
 #include <array>
 #include <cstdint>
@@ -82,6 +83,12 @@ struct ReduceConfig {
 /// Returns one exit op per rank.
 std::vector<OpId> appendReduce(ScheduleBuilder &B, const ReduceConfig &Config,
                                std::span<const OpId> Entry = {});
+
+/// The reduction's contract: every non-root rank sends exactly
+/// MessageBytes up its tree (in one message per segment), the root
+/// sends nothing, and every rank's contribution reaches the root.
+ScheduleContract reduceContract(const ReduceConfig &Config,
+                                unsigned RankCount);
 
 } // namespace mpicsel
 

@@ -3,6 +3,7 @@
 #include "coll/Scatter.h"
 
 #include "support/Error.h"
+#include "support/Format.h"
 #include "topo/Tree.h"
 
 #include <cassert>
@@ -130,4 +131,29 @@ std::vector<OpId> mpicsel::appendScatter(ScheduleBuilder &B,
     return appendBinomialScatter(B, Config, Entry);
   }
   MPICSEL_UNREACHABLE("unknown scatter algorithm");
+}
+
+ScheduleContract mpicsel::scatterContract(const ScatterConfig &Config,
+                                          unsigned RankCount) {
+  assert(Config.Root < RankCount && "scatter root outside the communicator");
+  ScheduleContract C = ScheduleContract::unchecked(
+      strFormat("scatter(%s, b=%s)", scatterAlgorithmName(Config.Algorithm),
+                formatBytes(Config.BlockBytes).c_str()),
+      RankCount);
+  C.Root = Config.Root;
+  C.Flow = FlowRequirement::RootToAll;
+  const std::int64_t Block = static_cast<std::int64_t>(Config.BlockBytes);
+  for (unsigned Rank = 0; Rank != RankCount; ++Rank) {
+    bool IsRoot = Rank == Config.Root;
+    // Relaying is allowed (binomial interior ranks forward subtree
+    // bundles); what each rank *keeps* is pinned instead of the raw
+    // received total.
+    C.NetBytes[Rank] =
+        IsRoot ? -static_cast<std::int64_t>(RankCount - 1) * Block : Block;
+    C.RecvMsgs[Rank] = IsRoot ? 0 : 1; // Exactly one bundle each.
+  }
+  C.RecvBytes[Config.Root] = 0;
+  C.SentBytes[Config.Root] =
+      static_cast<std::uint64_t>(RankCount - 1) * Config.BlockBytes;
+  return C;
 }

@@ -26,6 +26,7 @@
 #define MPICSEL_COLL_SCATTER_H
 
 #include "mpi/Schedule.h"
+#include "verify/Contract.h"
 
 #include <array>
 #include <cstdint>
@@ -71,6 +72,14 @@ struct ScatterConfig {
 std::vector<OpId> appendScatter(ScheduleBuilder &B,
                                 const ScatterConfig &Config,
                                 std::span<const OpId> Entry = {});
+
+/// The scatter's contract, phrased so relaying is allowed: each
+/// non-root rank *keeps* (receives minus forwards) exactly BlockBytes
+/// and the root parts with (P-1) * BlockBytes -- true of both the
+/// linear algorithm and the binomial one, where interior ranks relay
+/// whole subtree bundles. All data originates at the root.
+ScheduleContract scatterContract(const ScatterConfig &Config,
+                                 unsigned RankCount);
 
 } // namespace mpicsel
 

@@ -2,10 +2,14 @@
 
 #include "sim/Engine.h"
 
+#include "support/Error.h"
 #include "support/Format.h"
 #include "support/Random.h"
+#include "verify/Verifier.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <deque>
 #include <queue>
 #include <unordered_map>
@@ -324,21 +328,59 @@ ExecutionResult Executor::run() {
 
   Result.Completed = DoneCount == NumOps;
   if (!Result.Completed) {
+    // List every never-completed operation (capped), not just the
+    // first: the shape of the stuck set is usually what identifies
+    // the bug (one stuck rank vs. a cross-rank wait cycle).
+    constexpr unsigned MaxListed = 8;
+    unsigned Stuck = 0;
+    std::string Detail;
     for (OpId Id = 0; Id != NumOps; ++Id) {
-      if (!Result.Timings[Id].Done) {
+      if (Result.Timings[Id].Done)
+        continue;
+      if (Stuck++ < MaxListed) {
         const Op &O = S.Ops[Id];
-        Result.Diagnostic = strFormat(
-            "deadlock: op %u on rank %u (%s peer=%u tag=%d) never completed",
-            Id, O.Rank,
+        Detail += strFormat(
+            "\n  op %u on rank %u (%s peer=%u tag=%d bytes=%llu)", Id,
+            O.Rank,
             O.Kind == OpKind::Send
                 ? "send"
                 : (O.Kind == OpKind::Recv ? "recv" : "compute"),
-            O.Peer, O.Tag);
-        break;
+            O.Peer, O.Tag,
+            static_cast<unsigned long long>(O.Bytes));
       }
     }
+    if (Stuck > MaxListed)
+      Detail += strFormat("\n  ... and %u more", Stuck - MaxListed);
+    Result.Diagnostic =
+        strFormat("deadlock: %u of %u ops never completed:%s", Stuck,
+                  static_cast<unsigned>(NumOps), Detail.c_str());
   }
   return std::move(Result);
+}
+
+namespace {
+
+bool envRequestsVerification() {
+  const char *Value = std::getenv("MPICSEL_VERIFY");
+  if (!Value)
+    return false;
+  std::string V(Value);
+  return V == "1" || V == "on" || V == "true" || V == "yes";
+}
+
+std::atomic<bool> &preflightFlag() {
+  static std::atomic<bool> Flag{envRequestsVerification()};
+  return Flag;
+}
+
+} // namespace
+
+void mpicsel::setPreflightVerification(bool Enabled) {
+  preflightFlag().store(Enabled, std::memory_order_relaxed);
+}
+
+bool mpicsel::preflightVerificationEnabled() {
+  return preflightFlag().load(std::memory_order_relaxed);
 }
 
 ExecutionResult mpicsel::runSchedule(const Schedule &S, const Platform &P,
@@ -347,6 +389,33 @@ ExecutionResult mpicsel::runSchedule(const Schedule &S, const Platform &P,
     assert(O.Rank < S.RankCount && "schedule rank outside platform");
   assert(S.RankCount <= P.maxProcs() &&
          "schedule does not fit on the platform");
+
+  // Optional static pre-flight: prove the schedule deadlock-free (or
+  // not) before spending any simulated time on it, then cross-check
+  // the prediction against what actually happened. The static
+  // analysis is exact for this IR (sends are buffered), so any
+  // disagreement is a bug in the engine or the verifier.
+  const bool Preflight = preflightVerificationEnabled();
+  VerifyReport Report;
+  if (Preflight)
+    Report = verifySchedule(S);
+
   Executor Exec(S, P, Seed);
-  return Exec.run();
+  ExecutionResult Result = Exec.run();
+
+  if (Preflight) {
+    if (Result.Completed && Report.deadlocks())
+      fatalError(strFormat("schedule completed but the static verifier "
+                           "predicted deadlock:\n%s",
+                           Report.str().c_str()));
+    if (!Result.Completed) {
+      if (Report.deadlocks())
+        Result.Diagnostic +=
+            strFormat("\nstatic verifier agrees:\n%s", Report.str().c_str());
+      else
+        Result.Diagnostic += "\nstatic verifier did NOT predict this "
+                             "deadlock (analyzer gap)";
+    }
+  }
+  return Result;
 }

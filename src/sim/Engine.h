@@ -83,8 +83,24 @@ struct ExecutionResult {
 /// Executes \p S on \p P. \p Seed selects the noise stream; runs with
 /// equal (schedule, platform, seed) are bit-identical. With
 /// P.NoiseSigma == 0 the seed is irrelevant.
+///
+/// When pre-flight verification is enabled (see
+/// setPreflightVerification), the static schedule verifier runs
+/// first and its verdict is cross-checked against the engine's
+/// outcome: a completed run that the verifier proved deadlocked (or
+/// vice versa) is a bug in one of the two and aborts loudly.
 ExecutionResult runSchedule(const Schedule &S, const Platform &P,
                             std::uint64_t Seed = 0);
+
+/// Enables or disables the static pre-flight verification inside
+/// runSchedule process-wide. The initial value is taken from the
+/// MPICSEL_VERIFY environment variable ("1"/"on"/"true" enable it);
+/// tests set it to exercise the verifier against every executed
+/// schedule.
+void setPreflightVerification(bool Enabled);
+
+/// Whether runSchedule currently performs static pre-flight checks.
+bool preflightVerificationEnabled();
 
 } // namespace mpicsel
 

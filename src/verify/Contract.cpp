@@ -1,0 +1,17 @@
+//===- verify/Contract.cpp - Collective data-movement contracts ------------===//
+
+#include "verify/Contract.h"
+
+using namespace mpicsel;
+
+ScheduleContract ScheduleContract::unchecked(std::string ContractName,
+                                             unsigned RankCount) {
+  ScheduleContract C;
+  C.Name = std::move(ContractName);
+  C.RecvBytes.assign(RankCount, UncheckedBytes);
+  C.SentBytes.assign(RankCount, UncheckedBytes);
+  C.NetBytes.assign(RankCount, UncheckedNet);
+  C.RecvMsgs.assign(RankCount, UncheckedCount);
+  C.SentMsgs.assign(RankCount, UncheckedCount);
+  return C;
+}

@@ -1,0 +1,94 @@
+//===- verify/Contract.h - Collective data-movement contracts ---*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A ScheduleContract states what a collective schedule must achieve
+/// in terms of data movement, independent of the algorithm used: after
+/// a broadcast every non-root rank has received exactly m bytes that
+/// originate (transitively) from the root; a linear gather delivers
+/// (P-1)*m to the root; a binomial scatter leaves each rank holding
+/// exactly its block even though interior ranks relay whole subtree
+/// bundles; a barrier moves no payload but ceil(log2 P) messages per
+/// rank per direction.
+///
+/// Contracts are *registered by the coll/ builders*: each builder
+/// header exposes a factory (bcastContract, gatherContract, ...) that
+/// derives the obligations from the same Config the schedule was built
+/// from. The verifier (verify/Verifier.h) then checks the obligations
+/// against the statically computed message flow of the schedule.
+///
+/// Quantities a contract can pin per rank (sentinels mean unchecked):
+///   * total payload bytes received / sent;
+///   * net payload (received - sent), the "what the rank keeps" view
+///     that makes relaying algorithms like binomial scatter checkable;
+///   * message counts received / sent (zero-byte messages included);
+/// plus a rank-level reachability obligation over the message graph
+/// (root reaches all ranks / all ranks reach the root).
+///
+//======---------------------------------------------------------------===----//
+
+#ifndef MPICSEL_VERIFY_CONTRACT_H
+#define MPICSEL_VERIFY_CONTRACT_H
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mpicsel {
+
+/// Rank-level reachability obligation over the directed "rank A sent a
+/// payload-carrying message to rank B" graph.
+enum class FlowRequirement : std::uint8_t {
+  /// No reachability obligation.
+  None,
+  /// Every rank must be reachable from the root: the broadcast /
+  /// scatter guarantee that all delivered data originates at the root.
+  RootToAll,
+  /// The root must be reachable from every rank: the gather / reduce
+  /// guarantee that every rank's contribution arrives at the root.
+  AllToRoot,
+};
+
+/// Data-movement obligations of one collective schedule. Default
+/// constructed, nothing is checked; factories fill in what the
+/// collective promises.
+struct ScheduleContract {
+  /// Sentinel: this per-rank quantity is not checked.
+  static constexpr std::uint64_t UncheckedBytes =
+      std::numeric_limits<std::uint64_t>::max();
+  static constexpr std::int64_t UncheckedNet =
+      std::numeric_limits<std::int64_t>::min();
+  static constexpr std::uint32_t UncheckedCount =
+      std::numeric_limits<std::uint32_t>::max();
+
+  /// Human-readable collective name for diagnostics, e.g.
+  /// "bcast(binomial, m=64KB, seg=8KB)".
+  std::string Name;
+  /// The collective's root (ignored when Flow == None).
+  unsigned Root = 0;
+  /// Rank-level reachability obligation.
+  FlowRequirement Flow = FlowRequirement::None;
+
+  /// Per-rank expected totals; empty vector = quantity unchecked for
+  /// every rank, sentinel entries = unchecked for that rank.
+  std::vector<std::uint64_t> RecvBytes;
+  std::vector<std::uint64_t> SentBytes;
+  /// Expected (received - sent) payload; what the rank "keeps".
+  std::vector<std::int64_t> NetBytes;
+  std::vector<std::uint32_t> RecvMsgs;
+  std::vector<std::uint32_t> SentMsgs;
+
+  /// Convenience: a contract named \p ContractName over \p RankCount
+  /// ranks with every quantity initialised to unchecked.
+  static ScheduleContract unchecked(std::string ContractName,
+                                    unsigned RankCount);
+};
+
+} // namespace mpicsel
+
+#endif // MPICSEL_VERIFY_CONTRACT_H

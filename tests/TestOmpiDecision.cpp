@@ -1,0 +1,109 @@
+//===- tests/TestOmpiDecision.cpp - Fixed decision function boundaries ----===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+// Pins ompi_coll_tuned_bcast_intra_dec_fixed (Open MPI 3.1) at its
+// exact thresholds: the 2048 B and 370728 B message boundaries, the
+// P = 13 communicator split, and the linear separators that pick the
+// chain segment size. The paper's comparison baseline (Fig. 5,
+// Table 3) is only faithful if these constants match the source
+// verbatim, so every boundary is tested from both sides.
+//
+//===----------------------------------------------------------------------===//
+
+#include "coll/OmpiDecision.h"
+
+#include <gtest/gtest.h>
+
+using namespace mpicsel;
+
+namespace {
+
+void expectDecision(unsigned P, std::uint64_t M, BcastAlgorithm Alg,
+                    std::uint64_t Segment) {
+  BcastDecision D = ompiBcastDecisionFixed(P, M);
+  EXPECT_EQ(D.Algorithm, Alg) << "P=" << P << " m=" << M;
+  EXPECT_EQ(D.SegmentBytes, Segment) << "P=" << P << " m=" << M;
+}
+
+} // namespace
+
+TEST(OmpiDecision, SmallMessageBoundaryAt2048) {
+  // message < 2048 -> binomial unsegmented, regardless of P.
+  for (unsigned P : {2u, 13u, 100u}) {
+    expectDecision(P, 0, BcastAlgorithm::Binomial, 0);
+    expectDecision(P, 2047, BcastAlgorithm::Binomial, 0);
+    expectDecision(P, 2048, BcastAlgorithm::SplitBinary, 1024);
+  }
+}
+
+TEST(OmpiDecision, IntermediateMessageBoundaryAt370728) {
+  // 2048 <= message < 370728 -> split-binary with 1 KB segments.
+  for (unsigned P : {2u, 13u, 100u}) {
+    expectDecision(P, 2048, BcastAlgorithm::SplitBinary, 1024);
+    expectDecision(P, 370727, BcastAlgorithm::SplitBinary, 1024);
+  }
+  // At exactly 370728 the linear separators take over. For P = 2:
+  // 1.6134e-6 * 370728 + 2.1102 = 2.708 > 2 -> chain with 128 KB.
+  expectDecision(2, 370728, BcastAlgorithm::Chain, 128 * 1024);
+  // For P = 3..12 the 128 KB separator fails but P < 13 holds.
+  expectDecision(3, 370728, BcastAlgorithm::SplitBinary, 8 * 1024);
+  expectDecision(12, 370728, BcastAlgorithm::SplitBinary, 8 * 1024);
+  // For P = 13 every separator fails at this size -> chain with 8 KB.
+  expectDecision(13, 370728, BcastAlgorithm::Chain, 8 * 1024);
+}
+
+TEST(OmpiDecision, Chain128KSeparator) {
+  // P < 1.6134e-6 * m + 2.1102. At m = 11e6 the right-hand side is
+  // 19.8576: P = 19 picks the 128 KB chain, P = 20 falls through to
+  // the 64 KB separator (2.3679e-6 * 11e6 + 1.1787 = 27.25 > 20).
+  expectDecision(19, 11000000, BcastAlgorithm::Chain, 128 * 1024);
+  expectDecision(20, 11000000, BcastAlgorithm::Chain, 64 * 1024);
+}
+
+TEST(OmpiDecision, SplitBinary8KRegion) {
+  // Below the 128 KB separator and P < 13 -> split-binary with 8 KB.
+  // m = 400000: 1.6134e-6 * m + 2.1102 = 2.7556, so any P >= 3 fails
+  // the separator.
+  expectDecision(4, 400000, BcastAlgorithm::SplitBinary, 8 * 1024);
+  expectDecision(12, 400000, BcastAlgorithm::SplitBinary, 8 * 1024);
+  // P = 13 at the same size: 64 KB separator gives 2.126, 16 KB gives
+  // 10.078, both below 13 -> chain with 8 KB segments.
+  expectDecision(13, 400000, BcastAlgorithm::Chain, 8 * 1024);
+}
+
+TEST(OmpiDecision, Chain64KAnd16KSeparators) {
+  // m = 6e6, P = 14: 128 KB separator = 11.79 (fails), 64 KB
+  // separator = 15.386 (holds) -> chain with 64 KB.
+  expectDecision(14, 6000000, BcastAlgorithm::Chain, 64 * 1024);
+  // m = 5e6, P = 14: 64 KB separator = 13.018 (fails), 16 KB
+  // separator = 24.85 (holds) -> chain with 16 KB.
+  expectDecision(14, 5000000, BcastAlgorithm::Chain, 16 * 1024);
+  // m = 5e6, P = 30: every separator fails -> chain with 8 KB.
+  expectDecision(30, 5000000, BcastAlgorithm::Chain, 8 * 1024);
+}
+
+TEST(OmpiDecision, SegmentSizeSwitchPointsAreMonotoneInP) {
+  // Walking P upward at a fixed large message crosses the separators
+  // in order 128 KB -> 64 KB -> 16 KB -> 8 KB (never backwards), with
+  // the split-binary window below P = 13 absorbed by the first
+  // separator at this size.
+  const std::uint64_t M = 8000000; // 128K sep: 15.02; 64K: 20.12; 16K: 34.49
+  std::uint64_t LastSegment = ~0ull;
+  bool SeenChain = false;
+  for (unsigned P = 2; P <= 64; ++P) {
+    BcastDecision D = ompiBcastDecisionFixed(P, M);
+    if (D.Algorithm != BcastAlgorithm::Chain)
+      continue;
+    if (SeenChain) {
+      EXPECT_LE(D.SegmentBytes, LastSegment) << "P=" << P;
+    }
+    SeenChain = true;
+    LastSegment = D.SegmentBytes;
+  }
+  expectDecision(15, M, BcastAlgorithm::Chain, 128 * 1024);
+  expectDecision(16, M, BcastAlgorithm::Chain, 64 * 1024);
+  expectDecision(21, M, BcastAlgorithm::Chain, 16 * 1024);
+  expectDecision(35, M, BcastAlgorithm::Chain, 8 * 1024);
+}

@@ -1,0 +1,182 @@
+//===- tools/schedlint.cpp - Static lint of all collective schedules ------===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+//
+// Sweeps every registered collective algorithm across a grid of
+// communicator sizes, message sizes and segment sizes, runs the static
+// verifier (verify/Verifier.h) on each generated schedule together
+// with the collective's contract, and prints a findings table. A clean
+// tree prints one summary line per collective and exits 0; any finding
+// (error, warning or lint) is listed with its operation id and makes
+// the exit status 1, so the tool can gate CI.
+//
+// The grid intentionally includes the paper's decision-function
+// boundary sizes (2 KB, 370728 B) and a non-power-of-two, prime
+// communicator size (51) to exercise the tree builders' remainder
+// handling.
+//
+//===----------------------------------------------------------------------===//
+
+#include "coll/Barrier.h"
+#include "coll/Bcast.h"
+#include "coll/Gather.h"
+#include "coll/Reduce.h"
+#include "coll/Scatter.h"
+#include "support/CommandLine.h"
+#include "support/Format.h"
+#include "support/Table.h"
+#include "verify/Verifier.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace mpicsel;
+
+namespace {
+
+/// Accumulated sweep state: the findings table plus counters.
+struct Sweep {
+  explicit Sweep(bool ListCleanRows)
+      : Findings({"collective", "P", "findings", "worst", "diagnostic"}),
+        ListClean(ListCleanRows) {}
+
+  /// Verifies \p S against \p C and records the outcome.
+  void check(const Schedule &S, const ScheduleContract &C, unsigned P) {
+    ++Schedules;
+    VerifyReport Report = verifySchedule(S, &C);
+    TotalFindings += static_cast<unsigned>(Report.Findings.size());
+    if (Report.Findings.empty()) {
+      if (ListClean)
+        Findings.addRow({C.Name, strFormat("%u", P), "0", "", "clean"});
+      return;
+    }
+    for (const VerifyFinding &F : Report.Findings)
+      Findings.addRow({C.Name, strFormat("%u", P),
+                       strFormat("%zu", Report.Findings.size()),
+                       severityName(F.Sev), F.str()});
+  }
+
+  Table Findings;
+  bool ListClean;
+  unsigned Schedules = 0;
+  unsigned TotalFindings = 0;
+};
+
+/// Builds and checks one standalone collective schedule.
+template <typename AppendFn>
+void checkOne(Sweep &SW, unsigned P, const ScheduleContract &C,
+              AppendFn Append) {
+  ScheduleBuilder B(P);
+  Append(B);
+  Schedule S = B.take();
+  SW.check(S, C, P);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool ListClean = false;
+  bool Csv = false;
+  std::uint64_t MaxBytes = 16ull * 1024 * 1024;
+  std::string ProcsFlag = "2,4,8,16,51";
+
+  CommandLine Cli("Statically verify every registered collective algorithm "
+                  "across a (P, message, segment) grid; exit 1 on findings.");
+  Cli.addFlag("list-clean", "also list schedules with zero findings",
+              ListClean);
+  Cli.addFlag("csv", "emit the table as CSV", Csv);
+  Cli.addByteSizeFlag("max-bytes", "largest message size swept", MaxBytes);
+  Cli.addFlag("procs", "comma-separated communicator sizes", ProcsFlag);
+  if (!Cli.parse(Argc, Argv))
+    return 2;
+
+  std::vector<unsigned> Procs;
+  for (std::size_t Pos = 0; Pos <= ProcsFlag.size();) {
+    std::size_t Comma = ProcsFlag.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = ProcsFlag.size();
+    std::string Token = ProcsFlag.substr(Pos, Comma - Pos);
+    unsigned P = 0;
+    for (char C : Token) {
+      if (C < '0' || C > '9') {
+        P = 0;
+        break;
+      }
+      P = P * 10 + static_cast<unsigned>(C - '0');
+    }
+    if (Token.empty() || P == 0) {
+      std::fprintf(stderr,
+                   "error: --procs expects comma-separated counts >= 1, "
+                   "got '%s'\n",
+                   ProcsFlag.c_str());
+      return 2;
+    }
+    Procs.push_back(P);
+    Pos = Comma + 1;
+  }
+
+  // Message grid: powers spanning eager to bulk, plus the Open MPI
+  // decision-function thresholds. Segment grid: unsegmented plus the
+  // segment sizes the decision function can select.
+  std::vector<std::uint64_t> Messages;
+  for (std::uint64_t M : {8ull, 2047ull, 2048ull, 65536ull, 370728ull,
+                          1048576ull, 16ull * 1024 * 1024})
+    if (M <= MaxBytes)
+      Messages.push_back(M);
+  const std::uint64_t Segments[] = {0, 8 * 1024, 64 * 1024, 128 * 1024};
+
+  Sweep SW(ListClean);
+  for (unsigned P : Procs) {
+    for (std::uint64_t M : Messages) {
+      for (std::uint64_t Seg : Segments) {
+        for (BcastAlgorithm Alg : AllBcastAlgorithms) {
+          BcastConfig Config;
+          Config.Algorithm = Alg;
+          Config.MessageBytes = M;
+          Config.SegmentBytes = Seg;
+          checkOne(SW, P, bcastContract(Config, P),
+                   [&](ScheduleBuilder &B) { appendBcast(B, Config); });
+        }
+        for (ReduceAlgorithm Alg : AllReduceAlgorithms) {
+          ReduceConfig Config;
+          Config.Algorithm = Alg;
+          Config.MessageBytes = M;
+          Config.SegmentBytes = Seg;
+          checkOne(SW, P, reduceContract(Config, P),
+                   [&](ScheduleBuilder &B) { appendReduce(B, Config); });
+        }
+      }
+      // Unsegmented collectives: sweep message sizes only.
+      for (bool Sync : {false, true}) {
+        GatherConfig Config;
+        Config.BlockBytes = M;
+        Config.Synchronised = Sync;
+        checkOne(SW, P, gatherContract(Config, P),
+                 [&](ScheduleBuilder &B) { appendLinearGather(B, Config); });
+      }
+      for (ScatterAlgorithm Alg : AllScatterAlgorithms) {
+        ScatterConfig Config;
+        Config.Algorithm = Alg;
+        Config.BlockBytes = M;
+        checkOne(SW, P, scatterContract(Config, P),
+                 [&](ScheduleBuilder &B) { appendScatter(B, Config); });
+      }
+    }
+    checkOne(SW, P, barrierContract(P),
+             [&](ScheduleBuilder &B) { appendBarrier(B, /*Tag=*/0); });
+  }
+
+  if (SW.Findings.numRows() != 0) {
+    if (Csv)
+      std::fputs(SW.Findings.renderCsv().c_str(), stdout);
+    else
+      SW.Findings.print();
+  }
+  std::printf("schedlint: %u schedules verified, %u findings\n", SW.Schedules,
+              SW.TotalFindings);
+  return SW.TotalFindings == 0 ? 0 : 1;
+}
