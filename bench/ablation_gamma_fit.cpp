@@ -50,7 +50,7 @@ int main(int Argc, char **Argv) {
                   "extrapolation vs gamma == 1.");
   Cli.addFlag("quick", "fewer repetitions per measurement", Quick);
   if (!Cli.parse(Argc, Argv))
-    return 1;
+    return Cli.helpRequested() ? 0 : 1;
 
   banner("Ablation: gamma estimation variants");
 

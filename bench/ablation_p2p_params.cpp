@@ -60,7 +60,7 @@ int main(int Argc, char **Argv) {
                   "collective experiments.");
   Cli.addFlag("quick", "fewer repetitions per measurement", Quick);
   if (!Cli.parse(Argc, Argv))
-    return 1;
+    return Cli.helpRequested() ? 0 : 1;
 
   banner("Ablation: point-to-point vs per-algorithm parameter estimation");
 

@@ -31,7 +31,7 @@ int main(int Argc, char **Argv) {
   Cli.addFlag("platform", "cluster to simulate", PlatformName);
   Cli.addFlag("procs", "number of processes", NumProcs);
   if (!Cli.parse(Argc, Argv))
-    return 1;
+    return Cli.helpRequested() ? 0 : 1;
 
   Platform Plat = platformByName(PlatformName);
   unsigned P = static_cast<unsigned>(NumProcs);

@@ -49,7 +49,7 @@ int main(int Argc, char **Argv) {
                   "algorithms vs the paper's per-algorithm parameters.");
   Cli.addFlag("quick", "fewer repetitions per measurement", Quick);
   if (!Cli.parse(Argc, Argv))
-    return 1;
+    return Cli.helpRequested() ? 0 : 1;
 
   banner("Ablation: pooled vs per-algorithm alpha/beta");
 

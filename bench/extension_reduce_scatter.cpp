@@ -113,7 +113,7 @@ int main(int Argc, char **Argv) {
   CommandLine Cli("Extension: the paper's selection method applied to "
                   "MPI_Reduce and MPI_Scatter on both clusters.");
   if (!Cli.parse(Argc, Argv))
-    return 1;
+    return Cli.helpRequested() ? 0 : 1;
 
   banner("Extension: model-based selection for MPI_Reduce / MPI_Scatter");
   for (const Platform &Plat : {makeGrisou(), makeGros()}) {

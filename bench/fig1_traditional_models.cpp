@@ -43,7 +43,7 @@ int main(int Argc, char **Argv) {
   Cli.addFlag("procs", "number of processes (paper: 90)", NumProcs);
   Cli.addFlag("csv", "emit CSV instead of charts", Csv);
   if (!Cli.parse(Argc, Argv))
-    return 1;
+    return Cli.helpRequested() ? 0 : 1;
 
   Platform Plat = platformByName(PlatformName);
   unsigned P = static_cast<unsigned>(NumProcs);

@@ -93,7 +93,7 @@ int main(int Argc, char **Argv) {
   Cli.addFlag("csv", "emit CSV instead of charts", Csv);
   Cli.addFlag("platform", "restrict to one cluster (grisou|gros)", Only);
   if (!Cli.parse(Argc, Argv))
-    return 1;
+    return Cli.helpRequested() ? 0 : 1;
 
   banner("Fig. 5: selection accuracy, Open MPI vs model-based vs best");
 

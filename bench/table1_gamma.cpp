@@ -40,7 +40,7 @@ int main(int Argc, char **Argv) {
   Cli.addByteSizeFlag("segment", "segment size m_s", SegmentBytes);
   Cli.addFlag("csv", "emit CSV instead of a table", Csv);
   if (!Cli.parse(Argc, Argv))
-    return 1;
+    return Cli.helpRequested() ? 0 : 1;
 
   banner("Table 1: estimated gamma(P) on Grisou and Gros");
 

@@ -68,7 +68,7 @@ int main(int Argc, char **Argv) {
   Cli.addFlag("quick", "fewer repetitions per measurement", Quick);
   Cli.addFlag("csv", "emit CSV instead of tables", Csv);
   if (!Cli.parse(Argc, Argv))
-    return 1;
+    return Cli.helpRequested() ? 0 : 1;
 
   banner("Table 3: selections vs the best performing algorithm");
   runPanel(makeGrisou(), 90, Quick, Csv);

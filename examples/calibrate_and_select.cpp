@@ -39,7 +39,7 @@ int main(int Argc, char **Argv) {
   Cli.addFlag("procs", "processes used for the selection sweep",
               SelectProcs);
   if (!Cli.parse(Argc, Argv))
-    return 1;
+    return Cli.helpRequested() ? 0 : 1;
 
   Platform Plat = platformByName(PlatformName);
 

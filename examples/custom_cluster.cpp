@@ -73,7 +73,7 @@ int main(int Argc, char **Argv) {
                   "clusters and compare the selections.");
   Cli.addFlag("procs", "number of MPI processes", NumProcs);
   if (!Cli.parse(Argc, Argv))
-    return 1;
+    return Cli.helpRequested() ? 0 : 1;
   unsigned P = static_cast<unsigned>(NumProcs);
 
   Table T({"m", "fatpipe model", "fatpipe best", "thinpipe model",

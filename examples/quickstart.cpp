@@ -41,7 +41,7 @@ int main(int Argc, char **Argv) {
   Cli.addByteSizeFlag("segment", "segment size of segmented algorithms",
                       SegmentBytes);
   if (!Cli.parse(Argc, Argv))
-    return 1;
+    return Cli.helpRequested() ? 0 : 1;
 
   Platform Plat = platformByName(PlatformName);
   unsigned P = static_cast<unsigned>(NumProcs);

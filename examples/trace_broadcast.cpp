@@ -46,7 +46,7 @@ int main(int Argc, char **Argv) {
   Cli.addByteSizeFlag("segment", "segment size", SegmentBytes);
   Cli.addFlag("out", "output JSON path", OutPath);
   if (!Cli.parse(Argc, Argv))
-    return 1;
+    return Cli.helpRequested() ? 0 : 1;
 
   auto Algorithm = parseBcastAlgorithm(AlgorithmName);
   if (!Algorithm) {

@@ -7,7 +7,9 @@
 # Runs everything a PR must pass, in order of increasing cost:
 #
 #   1. Normal build + full ctest (with MPICSEL_VERIFY=1 preflight).
-#   2. schedlint sweep over every registered collective algorithm.
+#   2. schedlint sweep over every registered collective algorithm,
+#      plus the fault-injected sweep (schedules must stay deadlock-free
+#      when messages hang).
 #   3. AddressSanitizer + UBSan build (build-asan/) + full ctest.
 #   4. clang-tidy over the sources, if clang-tidy is installed.
 #
@@ -42,6 +44,9 @@ ctest --test-dir build --output-on-failure -j
 
 step "schedlint sweep"
 ./build/tools/schedlint
+
+step "schedlint fault sweep (deadlock-freedom under hung messages)"
+./build/tools/schedlint --faults stall-storm
 
 if [ "$RUN_ASAN" -eq 1 ]; then
   step "build with AddressSanitizer + UBSan"

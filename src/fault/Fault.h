@@ -1,0 +1,220 @@
+//===- fault/Fault.h - Deterministic fault injection ------------*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for the simulator: a FaultSchedule is
+/// a set of seeded, time-windowed fault events that perturb the
+/// engine's cost model -- straggler ranks (CPU overhead multipliers),
+/// degraded links (injection/drain gap and latency multipliers,
+/// modelling background traffic bursts), latency spikes on individual
+/// messages, noise-regime shifts (sigma multipliers), and hung-message
+/// faults that stall a transfer for a configurable duration.
+///
+/// The design mirrors the measurement-reliability concerns of the
+/// paper's methodology (Sect. 5.1 repeats until a 95%/2.5% bound;
+/// Sect. 5.2 uses Huber precisely because real clusters contaminate
+/// timings): degraded conditions become a first-class, reproducible
+/// part of the simulator so that calibration and selection can be
+/// validated under them (DESIGN.md S6 "failure injection").
+///
+/// Everything is deterministic: per-message decisions (spike/stall
+/// draws) hash the fault seed, the engine run seed and the sending
+/// op's id, so equal (schedule, platform, run seed, fault schedule)
+/// give bit-identical timelines. A null/empty schedule is exactly
+/// zero-cost: the engine takes the unperturbed code path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_FAULT_FAULT_H
+#define MPICSEL_FAULT_FAULT_H
+
+#include "mpi/Schedule.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mpicsel {
+
+/// The fault taxonomy.
+enum class FaultKind : std::uint8_t {
+  /// A rank's CPU runs slow: send/recv overheads and compute durations
+  /// are multiplied while the window is active (OS noise, a co-located
+  /// job, thermal throttling).
+  StragglerRank,
+  /// A node's NIC is congested: injection/drain occupancies and wire
+  /// latency are multiplied (background traffic burst).
+  DegradedLink,
+  /// Individual messages hit a latency spike: each message injected
+  /// inside the window is independently delayed by SpikeSeconds with
+  /// probability SpikeProbability (deterministic per seed).
+  LatencySpike,
+  /// The platform's noise regime shifts: the log-normal sigma is
+  /// multiplied while the window is active.
+  NoiseRegimeShift,
+  /// Hung message: a transfer injected inside the window stalls --
+  /// its first byte arrives only after StallSeconds have elapsed --
+  /// with probability SpikeProbability. The message is delayed, never
+  /// dropped, so a deadlock-free schedule stays deadlock-free.
+  MessageStall,
+};
+
+/// Human-readable name of a fault kind ("straggler", "degraded-link",
+/// ...).
+const char *faultKindName(FaultKind Kind);
+
+/// Wildcard for "every rank" / "every node".
+inline constexpr unsigned AnyTarget = std::numeric_limits<unsigned>::max();
+
+/// One seeded, time-windowed fault. Only the fields relevant to Kind
+/// are consulted; the rest keep their neutral defaults.
+struct FaultEvent {
+  FaultKind Kind = FaultKind::NoiseRegimeShift;
+  /// Active window [Start, End) in simulated seconds. The defaults
+  /// cover the whole run.
+  double Start = 0.0;
+  double End = std::numeric_limits<double>::infinity();
+  /// StragglerRank: the afflicted rank (AnyTarget = all ranks).
+  unsigned Rank = AnyTarget;
+  /// DegradedLink: the afflicted node (AnyTarget = all nodes).
+  unsigned Node = AnyTarget;
+  /// StragglerRank: CPU overhead/duration multiplier (>= 1).
+  double CpuMultiplier = 1.0;
+  /// DegradedLink: injection/drain occupancy multiplier (>= 1).
+  double GapMultiplier = 1.0;
+  /// DegradedLink: wire latency multiplier (>= 1).
+  double LatencyMultiplier = 1.0;
+  /// NoiseRegimeShift: sigma multiplier (>= 1).
+  double SigmaMultiplier = 1.0;
+  /// LatencySpike / MessageStall: per-message probability in [0, 1].
+  double SpikeProbability = 0.0;
+  /// LatencySpike: added delay of a struck message (seconds).
+  double SpikeSeconds = 0.0;
+  /// MessageStall: stall duration of a hung message (seconds).
+  double StallSeconds = 0.0;
+
+  /// True if the window covers \p Now.
+  bool active(double Now) const { return Now >= Start && Now < End; }
+};
+
+/// A fault window exported into ExecutionResult so traces can tag the
+/// degraded intervals (sim/Trace renders one track entry per window).
+struct FaultWindow {
+  FaultKind Kind = FaultKind::NoiseRegimeShift;
+  double Start = 0.0;
+  double End = 0.0;
+  /// The afflicted rank or node (AnyTarget when global).
+  unsigned Target = AnyTarget;
+};
+
+/// A deterministic set of fault events the engine consults when
+/// costing operations. Queries are O(#events); schedules are small
+/// (a handful of events) so no index is kept.
+class FaultSchedule {
+public:
+  FaultSchedule() = default;
+  FaultSchedule(std::string ScenarioName, std::uint64_t ScenarioSeed)
+      : Name(std::move(ScenarioName)), Seed(ScenarioSeed) {}
+
+  /// Scenario name ("clean", "straggler-root", ...); informational.
+  const std::string &name() const { return Name; }
+
+  /// The seed mixed into per-message spike/stall decisions.
+  std::uint64_t seed() const { return Seed; }
+
+  /// Appends \p Event to the schedule.
+  void add(const FaultEvent &Event) { Events.push_back(Event); }
+
+  const std::vector<FaultEvent> &events() const { return Events; }
+
+  /// True when no event can ever perturb a run.
+  bool empty() const { return Events.empty(); }
+
+  /// CPU multiplier for \p Rank at time \p Now (product over active
+  /// straggler events; 1.0 when none).
+  double cpuMultiplier(unsigned Rank, double Now) const;
+
+  /// Injection-channel occupancy multiplier for \p Node at \p Now.
+  double txGapMultiplier(unsigned Node, double Now) const;
+
+  /// Drain-channel occupancy multiplier for \p Node at \p Now.
+  double rxGapMultiplier(unsigned Node, double Now) const;
+
+  /// Wire-latency multiplier for a message from \p SrcNode to
+  /// \p DstNode at \p Now.
+  double latencyMultiplier(unsigned SrcNode, unsigned DstNode,
+                           double Now) const;
+
+  /// Noise sigma multiplier at \p Now.
+  double sigmaMultiplier(double Now) const;
+
+  /// Extra delay (seconds) added to the message of send op \p SendOp
+  /// injected at \p Now: the sum of latency spikes and stalls that
+  /// strike it. Deterministic in (fault seed, \p RunSeed, \p SendOp).
+  double messageDelay(std::uint64_t RunSeed, OpId SendOp, double Now) const;
+
+  /// The fault windows for trace tagging (one per event, clamped to
+  /// \p Makespan so open-ended windows render with finite extent).
+  std::vector<FaultWindow> windows(double Makespan) const;
+
+private:
+  std::string Name = "clean";
+  std::uint64_t Seed = 0;
+  std::vector<FaultEvent> Events;
+};
+
+/// Builds one of the named fault scenarios:
+///  * "clean"                    -- no events (a no-op schedule);
+///  * "noisy"                    -- noise sigma x4 for the whole run;
+///  * "straggler-root"           -- rank 0 CPU x8 over a mid-run window;
+///  * "degraded-link"            -- node 0 gaps x4 and latency x8;
+///  * "contaminated-calibration" -- heavy-tailed contamination: latency
+///    spikes and stalls on individual messages plus a sigma shift, the
+///    regime the paper's Huber regressor exists for;
+///  * "stall-storm"              -- aggressive message stalls only,
+///    used by `schedlint --faults` to check schedules stay
+///    deadlock-free under hung-transfer timing.
+/// Aborts on unknown names (the scenario list is fixed).
+FaultSchedule makeFaultScenario(const std::string &Name,
+                                std::uint64_t Seed = 0);
+
+/// True if \p Name names a scenario makeFaultScenario accepts.
+bool isFaultScenarioName(const std::string &Name);
+
+/// All scenario names, for --help texts and sweeps.
+std::vector<std::string> faultScenarioNames();
+
+/// Process-wide fault schedule consulted by runSchedule when the
+/// caller does not pass one explicitly. Null by default; initialised
+/// from the MPICSEL_FAULTS environment variable ("scenario" or
+/// "scenario:seed") on first use. Returns the previous schedule.
+/// The pointer must stay valid until replaced (ScopedFaultInjection
+/// handles this for the scoped case).
+const FaultSchedule *setGlobalFaultSchedule(const FaultSchedule *Faults);
+
+/// The current process-wide fault schedule (null when fault-free).
+const FaultSchedule *globalFaultSchedule();
+
+/// RAII: installs a fault schedule for the current scope -- the
+/// mechanism behind "calibrate under scenario X" in benches and
+/// tests -- and restores the previous one on destruction.
+class ScopedFaultInjection {
+public:
+  explicit ScopedFaultInjection(const FaultSchedule &Faults)
+      : Previous(setGlobalFaultSchedule(&Faults)) {}
+  ~ScopedFaultInjection() { setGlobalFaultSchedule(Previous); }
+  ScopedFaultInjection(const ScopedFaultInjection &) = delete;
+  ScopedFaultInjection &operator=(const ScopedFaultInjection &) = delete;
+
+private:
+  const FaultSchedule *Previous;
+};
+
+} // namespace mpicsel
+
+#endif // MPICSEL_FAULT_FAULT_H

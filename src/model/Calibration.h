@@ -36,9 +36,49 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace mpicsel {
+
+/// Robustness policy of the calibration pass: per-experiment outlier
+/// screening and retries, plus per-algorithm quality gates on the
+/// canonical fit. Disabled by default -- the plain pass assumes every
+/// experiment succeeds, exactly as before; the robustness pipeline
+/// (bench/robustness_faults, model/RobustSelector) enables it to
+/// survive contaminated measurements.
+struct CalibrationQualityOptions {
+  /// Master switch: off reproduces the unguarded pass bit for bit.
+  bool Enabled = false;
+  /// Extra attempts per experiment when the adaptive measurement does
+  /// not converge; each retry reseeds and grows MaxReps by
+  /// BackoffGrowth (measure-again-with-backoff).
+  unsigned MaxRetriesPerExperiment = 2;
+  /// MaxReps multiplier applied on every retry.
+  double BackoffGrowth = 2.0;
+  /// MAD screen threshold handed to AdaptiveOptions (robust sigmas).
+  double OutlierMadSigma = 3.5;
+  /// Gate: minimum R^2 of the canonical fit.
+  double MinR2 = 0.9;
+  /// Gate: maximum Rmse of the canonical fit relative to the median
+  /// canonical time.
+  double MaxRelativeRmse = 0.25;
+  /// Gate: alpha (the fitted intercept, seconds) must lie in
+  /// [-AlphaSlack * median(t), MaxAlpha]. Strongly negative intercepts
+  /// mean the fit is extrapolating garbage, not measurement noise.
+  double MaxAlpha = 1.0;
+  double AlphaSlack = 0.25;
+  /// Gate: beta (the fitted slope, seconds/byte in canonical units)
+  /// must not exceed MaxBeta. A negative slope is tolerated (the
+  /// calibrated Beta clamps it to zero) unless the fitted line
+  /// collapses inside the calibrated range: the prediction at the
+  /// largest observed x must stay >= BetaSlack * median(t).
+  double MaxBeta = 1e-3;
+  double BetaSlack = 0.25;
+  /// Gate: at least this fraction of the algorithm's experiments must
+  /// have converged (after retries).
+  double MinConvergedFraction = 0.7;
+};
 
 /// Options of the full calibration pass.
 struct CalibrationOptions {
@@ -66,6 +106,76 @@ struct CalibrationOptions {
   /// Solve the canonical system with Huber (paper) or plain OLS
   /// (ablation).
   bool UseHuber = true;
+  /// Robustness policy (screening, retries, quality gates).
+  CalibrationQualityOptions Quality;
+};
+
+/// What happened to one calibration experiment (one message size of
+/// one algorithm): every retry, rejection and the final verdict.
+struct ExperimentRecord {
+  std::uint64_t MessageBytes = 0;
+  std::uint64_t GatherBytes = 0;
+  /// Measurement attempts consumed (1 = no retry).
+  unsigned Attempts = 1;
+  /// Observations the MAD screen rejected in the final attempt.
+  unsigned OutliersRejected = 0;
+  /// Whether the final attempt met the precision target.
+  bool Converged = false;
+  /// Relative precision achieved by the final attempt.
+  double Precision = 0.0;
+  /// The mean used in the canonical system.
+  double Mean = 0.0;
+};
+
+/// One quality-gate verdict for one algorithm's calibration.
+struct QualityGateResult {
+  /// Gate identifier ("fit-valid", "r2", "residual", "alpha",
+  /// "beta", "converged-fraction").
+  std::string Gate;
+  bool Passed = true;
+  /// Human-readable detail ("R2 0.31 < 0.90").
+  std::string Detail;
+};
+
+/// The structured per-algorithm quality record of a calibration run.
+struct AlgorithmCalibrationReport {
+  BcastAlgorithm Algorithm = BcastAlgorithm::Linear;
+  std::vector<ExperimentRecord> Experiments;
+  std::vector<QualityGateResult> Gates;
+  /// All gates passed: the model is fit for selection.
+  bool Usable = true;
+
+  unsigned totalRetries() const {
+    unsigned Retries = 0;
+    for (const ExperimentRecord &E : Experiments)
+      Retries += E.Attempts - 1;
+    return Retries;
+  }
+  unsigned totalOutliersRejected() const {
+    unsigned Rejected = 0;
+    for (const ExperimentRecord &E : Experiments)
+      Rejected += E.OutliersRejected;
+    return Rejected;
+  }
+};
+
+/// The full calibration quality report: one record per algorithm.
+/// With gates disabled every model is marked usable and the records
+/// still describe what was measured.
+struct CalibrationReport {
+  std::array<AlgorithmCalibrationReport, NumBcastAlgorithms> Algorithms;
+
+  const AlgorithmCalibrationReport &of(BcastAlgorithm Alg) const {
+    return Algorithms[static_cast<unsigned>(Alg)];
+  }
+  unsigned usableCount() const {
+    unsigned Count = 0;
+    for (const AlgorithmCalibrationReport &A : Algorithms)
+      Count += A.Usable ? 1 : 0;
+    return Count;
+  }
+  /// Renders the report as a human-readable multi-line summary.
+  std::string str() const;
 };
 
 /// Calibration result for one algorithm.
@@ -108,8 +218,17 @@ struct CalibratedModels {
 /// Runs the full calibration (gamma, then per-algorithm alpha/beta)
 /// on \p P. This is the offline stage of the paper's method; its cost
 /// is independent of the application.
+///
+/// With Options.Quality.Enabled the per-experiment measurements are
+/// screened and retried and the per-algorithm fits are checked
+/// against the quality gates; \p Report (if non-null) receives the
+/// structured record of every retry, rejection and gate verdict.
+/// With the quality policy disabled (the default) the behaviour --
+/// and every produced number -- is identical to the unguarded pass,
+/// and a degenerate regression aborts as before.
 CalibratedModels calibrate(const Platform &P,
-                           const CalibrationOptions &Options = {});
+                           const CalibrationOptions &Options = {},
+                           CalibrationReport *Report = nullptr);
 
 } // namespace mpicsel
 

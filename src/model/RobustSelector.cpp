@@ -1,0 +1,37 @@
+//===- model/RobustSelector.cpp - Selection with graceful fallback --------===//
+
+#include "model/RobustSelector.h"
+
+using namespace mpicsel;
+
+RobustDecision mpicsel::selectRobust(const CalibratedModels &Models,
+                                     const CalibrationReport &Report,
+                                     unsigned NumProcs,
+                                     std::uint64_t MessageBytes,
+                                     const RobustSelectorOptions &Options) {
+  RobustDecision Decision;
+  unsigned Usable = Report.usableCount();
+  Decision.ExcludedAny = Usable < NumBcastAlgorithms;
+  if (Usable < Options.MinUsableModels) {
+    BcastDecision Ompi = ompiBcastDecisionFixed(NumProcs, MessageBytes);
+    Decision.Algorithm = Ompi.Algorithm;
+    Decision.SegmentBytes = Ompi.SegmentBytes;
+    Decision.UsedFallback = true;
+    return Decision;
+  }
+  bool HaveBest = false;
+  double BestTime = 0.0;
+  for (BcastAlgorithm Alg : AllBcastAlgorithms) {
+    if (!Report.of(Alg).Usable)
+      continue;
+    double Time = Models.predict(Alg, NumProcs, MessageBytes);
+    if (!HaveBest || Time < BestTime) {
+      Decision.Algorithm = Alg;
+      BestTime = Time;
+      HaveBest = true;
+    }
+  }
+  Decision.SegmentBytes =
+      Decision.Algorithm == BcastAlgorithm::Linear ? 0 : Models.SegmentBytes;
+  return Decision;
+}

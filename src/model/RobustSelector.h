@@ -1,0 +1,64 @@
+//===- model/RobustSelector.h - Selection with graceful fallback -*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graceful degradation around the paper's model-based selection.
+///
+/// The model-based argmin is only as good as the calibration behind
+/// it: a contaminated measurement campaign (stragglers, degraded
+/// links, latency spikes during the offline stage) can produce
+/// per-algorithm models whose predictions are garbage, and the plain
+/// argmin will then happily pick a pathological algorithm. The
+/// RobustSelector consults the CalibrationReport's quality gates,
+/// restricts the argmin to the algorithms whose models passed, and --
+/// when too few models survive to make a meaningful comparison --
+/// falls back to the Open MPI 3.1 fixed decision function, which
+/// needs no calibration at all. Degraded, but never pathological.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_MODEL_ROBUSTSELECTOR_H
+#define MPICSEL_MODEL_ROBUSTSELECTOR_H
+
+#include "coll/OmpiDecision.h"
+#include "model/Calibration.h"
+
+#include <cstdint>
+
+namespace mpicsel {
+
+/// Policy of the robust selection wrapper.
+struct RobustSelectorOptions {
+  /// Fewer usable models than this triggers the OMPI fallback. Two is
+  /// the floor at which an argmin still compares anything.
+  unsigned MinUsableModels = 2;
+};
+
+/// One robust selection: the chosen algorithm plus how it was chosen.
+struct RobustDecision {
+  BcastAlgorithm Algorithm = BcastAlgorithm::Binomial;
+  /// 0 means unsegmented.
+  std::uint64_t SegmentBytes = 0;
+  /// The decision came from the OMPI fixed function, not the models.
+  bool UsedFallback = false;
+  /// At least one algorithm was excluded by the quality gates.
+  bool ExcludedAny = false;
+};
+
+/// Model-based selection restricted to the algorithms whose
+/// calibration passed the quality gates of \p Report, falling back to
+/// ompiBcastDecisionFixed when fewer than Options.MinUsableModels
+/// survive. With an all-usable report this is exactly
+/// CalibratedModels::selectBest at the calibrated segment size.
+RobustDecision selectRobust(const CalibratedModels &Models,
+                            const CalibrationReport &Report,
+                            unsigned NumProcs, std::uint64_t MessageBytes,
+                            const RobustSelectorOptions &Options = {});
+
+} // namespace mpicsel
+
+#endif // MPICSEL_MODEL_ROBUSTSELECTOR_H

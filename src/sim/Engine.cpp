@@ -67,13 +67,30 @@ struct MatchChannel {
 /// are activated in op-id order.
 class Executor {
 public:
-  Executor(const Schedule &Sched, const Platform &Plat, std::uint64_t Seed)
-      : S(Sched), P(Plat), Rng(Seed) {}
+  /// \p FaultSched may be null (fault-free) and must otherwise stay
+  /// valid for the run; an empty schedule must be passed as null so
+  /// the unperturbed code path is taken.
+  Executor(const Schedule &Sched, const Platform &Plat, std::uint64_t Seed,
+           const FaultSchedule *FaultSched)
+      : S(Sched), P(Plat), Rng(Seed), RunSeed(Seed), Faults(FaultSched) {}
 
   ExecutionResult run();
 
 private:
-  double noise() { return Rng.nextLogNormalFactor(P.NoiseSigma); }
+  /// Noise factor for a cost paid at \p Now; fault noise-regime shifts
+  /// scale the sigma. The draw count is identical with and without
+  /// faults, so fault-free runs are bit-identical to pre-fault builds.
+  double noise(double Now) {
+    double Sigma = P.NoiseSigma;
+    if (Faults)
+      Sigma *= Faults->sigmaMultiplier(Now);
+    return Rng.nextLogNormalFactor(Sigma);
+  }
+
+  /// Straggler multiplier of \p Rank's CPU costs at \p Now.
+  double cpuFactor(unsigned Rank, double Now) const {
+    return Faults ? Faults->cpuMultiplier(Rank, Now) : 1.0;
+  }
 
   void push(double Time, EventKind Kind, OpId Id) {
     Heap.push(Event{Time, NextSeq++, Kind, Id});
@@ -117,6 +134,8 @@ private:
   const Schedule &S;
   const Platform &P;
   Xoshiro256 Rng;
+  const std::uint64_t RunSeed;
+  const FaultSchedule *Faults;
 
   std::priority_queue<Event, std::vector<Event>, EventLater> Heap;
   std::uint64_t NextSeq = 0;
@@ -138,6 +157,15 @@ private:
   std::vector<double> LastByteArrival;
 
   std::unordered_map<std::uint64_t, MatchChannel> Channels;
+
+  // Per (src, dst, tag) channel monotonic clocks enforcing MPI's
+  // non-overtaking guarantee under message-delay faults: a stalled
+  // message holds up everything behind it on its channel instead of
+  // being overtaken (which would mismatch the FIFO pairing). Only
+  // consulted when faults are active -- the fault-free path cannot
+  // reorder and stays bit-identical.
+  std::unordered_map<std::uint64_t, double> ChannelLastArrival;
+  std::unordered_map<std::uint64_t, double> ChannelLastAvail;
 
   ExecutionResult Result;
   std::uint32_t DoneCount = 0;
@@ -180,7 +208,8 @@ void Executor::startSend(OpId Id, double Now) {
   // CPU: the software cost of initiating the send. Acquisition
   // happens now (activation order = FIFO on the CPU).
   double CpuStart = std::max(Now, CpuFree[O.Rank]);
-  double CpuDone = CpuStart + P.SendOverhead * noise();
+  double CpuDone =
+      CpuStart + P.SendOverhead * noise(CpuStart) * cpuFactor(O.Rank, CpuStart);
   CpuFree[O.Rank] = CpuDone;
   Result.Timings[Id].StartTime = CpuStart;
   push(CpuDone, EventKind::TxAcquire, Id);
@@ -193,9 +222,14 @@ void Executor::onTxAcquire(OpId Id, double Now) {
   unsigned SrcNode = P.nodeOf(O.Rank);
 
   // Injection channel of the source node: FIFO in hand-over order.
+  // A degraded-link fault stretches the occupancy (background traffic
+  // sharing the channel).
   double &TxFree = Intra ? MemTxFree[SrcNode] : NicTxFree[SrcNode];
   double TxStart = std::max(Now, TxFree);
-  double TxDone = TxStart + Link.txOccupancy(O.Bytes) * noise();
+  double TxOccupancy = Link.txOccupancy(O.Bytes) * noise(TxStart);
+  if (Faults && !Intra)
+    TxOccupancy *= Faults->txGapMultiplier(SrcNode, TxStart);
+  double TxDone = TxStart + TxOccupancy;
   TxFree = TxDone;
 
   // Local (buffered) completion once injected.
@@ -204,8 +238,21 @@ void Executor::onTxAcquire(OpId Id, double Now) {
 
   // The message streams across the wire: its first byte lands
   // Latency after injection starts, its last byte Latency after
-  // injection ends.
-  double Latency = Link.Latency * noise();
+  // injection ends. Degraded links stretch the latency; latency
+  // spikes and stalls delay this message's bytes wholesale (a hung
+  // transfer is delayed, never dropped).
+  double Latency = Link.Latency * noise(TxStart);
+  if (Faults && !Intra) {
+    unsigned DstNode = P.nodeOf(O.Peer);
+    Latency *= Faults->latencyMultiplier(SrcNode, DstNode, TxStart);
+    Latency += Faults->messageDelay(RunSeed, Id, TxStart);
+    double &Prev = ChannelLastArrival[channelKey(O.Rank, O.Peer, O.Tag)];
+    double Arrival = std::max(TxStart + Latency, Prev);
+    Prev = Arrival;
+    LastByteArrival[Id] = Arrival + (TxDone - TxStart);
+    push(Arrival, EventKind::MsgArrival, Id);
+    return;
+  }
   LastByteArrival[Id] = TxDone + Latency;
   push(TxStart + Latency, EventKind::MsgArrival, Id);
 }
@@ -223,16 +270,23 @@ void Executor::onMsgArrival(OpId Id, double Now) {
   // two (cut-through, not store-and-forward).
   double &RxFree = Intra ? MemRxFree[DstNode] : NicRxFree[DstNode];
   double RxStart = std::max(Now, RxFree);
-  double RxDone = std::max(RxStart + Link.rxOccupancy(O.Bytes) * noise(),
-                           LastByteArrival[Id]);
+  double RxOccupancy = Link.rxOccupancy(O.Bytes) * noise(RxStart);
+  if (Faults && !Intra)
+    RxOccupancy *= Faults->rxGapMultiplier(DstNode, RxStart);
+  double RxDone = std::max(RxStart + RxOccupancy, LastByteArrival[Id]);
   RxFree = RxDone;
+  if (Faults) {
+    double &Prev = ChannelLastAvail[channelKey(O.Rank, O.Peer, O.Tag)];
+    RxDone = std::max(RxDone, Prev);
+    Prev = RxDone;
+  }
   push(RxDone, EventKind::MsgAvailable, Id);
 }
 
 void Executor::startCompute(OpId Id, double Now) {
   const Op &O = S.op(Id);
   double CpuStart = std::max(Now, CpuFree[O.Rank]);
-  double CpuDone = CpuStart + O.Duration;
+  double CpuDone = CpuStart + O.Duration * cpuFactor(O.Rank, CpuStart);
   CpuFree[O.Rank] = CpuDone;
   Result.Timings[Id].StartTime = CpuStart;
   if (CpuDone == Now) {
@@ -260,7 +314,8 @@ void Executor::completeRecv(OpId RecvId, double Now, std::uint64_t Bytes) {
   const Op &O = S.op(RecvId);
   assert(O.Bytes == Bytes && "matched message size mismatch");
   double CpuStart = std::max(Now, CpuFree[O.Rank]);
-  double CpuDone = CpuStart + P.RecvOverhead * noise();
+  double CpuDone =
+      CpuStart + P.RecvOverhead * noise(CpuStart) * cpuFactor(O.Rank, CpuStart);
   CpuFree[O.Rank] = CpuDone;
   Result.Timings[RecvId].StartTime = CpuStart;
   Result.BytesReceived[O.Rank] += Bytes;
@@ -327,6 +382,10 @@ ExecutionResult Executor::run() {
   }
 
   Result.Completed = DoneCount == NumOps;
+  if (Faults) {
+    Result.FaultWindows = Faults->windows(Result.Makespan);
+    Result.FaultScenario = Faults->name();
+  }
   if (!Result.Completed) {
     // List every never-completed operation (capped), not just the
     // first: the shape of the stuck set is usually what identifies
@@ -384,11 +443,21 @@ bool mpicsel::preflightVerificationEnabled() {
 }
 
 ExecutionResult mpicsel::runSchedule(const Schedule &S, const Platform &P,
-                                     std::uint64_t Seed) {
+                                     std::uint64_t Seed,
+                                     const FaultSchedule *Faults) {
   for ([[maybe_unused]] const Op &O : S.Ops)
     assert(O.Rank < S.RankCount && "schedule rank outside platform");
   assert(S.RankCount <= P.maxProcs() &&
          "schedule does not fit on the platform");
+
+  // Resolve the effective fault schedule: an explicit argument wins,
+  // otherwise the process-wide one (MPICSEL_FAULTS or
+  // ScopedFaultInjection). An empty schedule degenerates to null so
+  // the fault-free fast path stays bit-identical.
+  if (!Faults)
+    Faults = globalFaultSchedule();
+  if (Faults && Faults->empty())
+    Faults = nullptr;
 
   // Optional static pre-flight: prove the schedule deadlock-free (or
   // not) before spending any simulated time on it, then cross-check
@@ -400,7 +469,7 @@ ExecutionResult mpicsel::runSchedule(const Schedule &S, const Platform &P,
   if (Preflight)
     Report = verifySchedule(S);
 
-  Executor Exec(S, P, Seed);
+  Executor Exec(S, P, Seed, Faults);
   ExecutionResult Result = Exec.run();
 
   if (Preflight) {

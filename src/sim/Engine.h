@@ -35,6 +35,7 @@
 #define MPICSEL_SIM_ENGINE_H
 
 #include "cluster/Platform.h"
+#include "fault/Fault.h"
 #include "mpi/Schedule.h"
 
 #include <cstdint>
@@ -72,6 +73,11 @@ struct ExecutionResult {
   std::vector<std::uint64_t> BytesSent;
   /// Human-readable description of the failure when !Completed.
   std::string Diagnostic;
+  /// The fault windows that governed the run (empty for fault-free
+  /// runs); sim/Trace renders them as a dedicated timeline track.
+  std::vector<FaultWindow> FaultWindows;
+  /// Name of the fault scenario that governed the run ("" fault-free).
+  std::string FaultScenario;
 
   /// Completion time of \p Id; the op must have executed.
   double doneTime(OpId Id) const {
@@ -84,13 +90,22 @@ struct ExecutionResult {
 /// equal (schedule, platform, seed) are bit-identical. With
 /// P.NoiseSigma == 0 the seed is irrelevant.
 ///
+/// \p Faults perturbs the run with the given fault schedule (see
+/// fault/Fault.h). Passing null consults the process-wide schedule
+/// (globalFaultSchedule(), set via MPICSEL_FAULTS or
+/// ScopedFaultInjection); when that is also null or empty, the run
+/// takes the unperturbed code path and is bit-identical to a build
+/// without fault support. Faulted runs stay deterministic: equal
+/// (schedule, platform, seed, fault schedule) give equal timelines.
+///
 /// When pre-flight verification is enabled (see
 /// setPreflightVerification), the static schedule verifier runs
 /// first and its verdict is cross-checked against the engine's
 /// outcome: a completed run that the verifier proved deadlocked (or
 /// vice versa) is a bug in one of the two and aborts loudly.
 ExecutionResult runSchedule(const Schedule &S, const Platform &P,
-                            std::uint64_t Seed = 0);
+                            std::uint64_t Seed = 0,
+                            const FaultSchedule *Faults = nullptr);
 
 /// Enables or disables the static pre-flight verification inside
 /// runSchedule process-wide. The initial value is taken from the

@@ -35,6 +35,25 @@ std::string mpicsel::renderChromeTrace(const Schedule &S,
                      Rank, Rank);
   }
 
+  // Fault windows on a dedicated track above the ranks, so degraded
+  // intervals line up visually with the operations they perturbed.
+  if (!R.FaultWindows.empty()) {
+    const unsigned FaultPid = S.RankCount;
+    Out += strFormat(",\n{\"ph\":\"M\",\"pid\":%u,\"name\":\"process_name\","
+                     "\"args\":{\"name\":\"faults (%s)\"}}",
+                     FaultPid, R.FaultScenario.c_str());
+    for (const FaultWindow &W : R.FaultWindows) {
+      std::string Target =
+          W.Target == AnyTarget ? "*" : strFormat("%u", W.Target);
+      Out += strFormat(
+          ",\n{\"ph\":\"X\",\"pid\":%u,\"tid\":0,\"name\":\"%s\","
+          "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"fault\":\"%s\","
+          "\"target\":\"%s\"}}",
+          FaultPid, faultKindName(W.Kind), W.Start * 1e6,
+          (W.End - W.Start) * 1e6, faultKindName(W.Kind), Target.c_str());
+    }
+  }
+
   for (OpId Id = 0, E = static_cast<OpId>(S.Ops.size()); Id != E; ++Id) {
     const OpTiming &T = R.Timings[Id];
     if (!T.Done)

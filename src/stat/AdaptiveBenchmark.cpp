@@ -2,11 +2,65 @@
 
 #include "stat/AdaptiveBenchmark.h"
 
+#include "stat/Regression.h"
 #include "support/Random.h"
 
 #include <cassert>
+#include <cmath>
 
 using namespace mpicsel;
+
+namespace {
+
+/// Statistics over the observations after the optional MAD screen.
+/// With screening off (the default) this is plain computeStats, so
+/// the historical behaviour is reproduced exactly.
+SampleStats screenedStats(const std::vector<double> &Observations,
+                          const AdaptiveOptions &Options,
+                          unsigned &RejectedOut) {
+  RejectedOut = 0;
+  if (!Options.ScreenOutliers)
+    return computeStats(Observations);
+  double Center = median(Observations);
+  double Sigma = medianAbsoluteDeviationSigma(Observations);
+  if (Sigma <= 0.0)
+    return computeStats(Observations);
+  std::vector<double> Kept;
+  Kept.reserve(Observations.size());
+  for (double V : Observations)
+    if (std::fabs(V - Center) <= Options.OutlierMadSigma * Sigma)
+      Kept.push_back(V);
+  RejectedOut = static_cast<unsigned>(Observations.size() - Kept.size());
+  return computeStats(Kept);
+}
+
+/// One whole measurement attempt under the stopping rules, seeded by
+/// \p AttemptSeed.
+AdaptiveResult
+measureOnce(const std::function<double(std::uint64_t Seed)> &Measure,
+            const AdaptiveOptions &Options, std::uint64_t AttemptSeed) {
+  AdaptiveResult Result;
+  SplitMix64 SeedStream(AttemptSeed);
+  for (unsigned Rep = 0; Rep != Options.MaxReps; ++Rep) {
+    std::uint64_t Seed = SeedStream.next();
+    Result.Observations.push_back(Measure(Seed));
+    if (Result.Observations.size() < Options.MinReps)
+      continue;
+    Result.Stats =
+        screenedStats(Result.Observations, Options, Result.OutliersRejected);
+    if (Result.Stats.relativePrecision() <= Options.TargetPrecision) {
+      Result.Converged = true;
+      return Result;
+    }
+  }
+  Result.Stats =
+      screenedStats(Result.Observations, Options, Result.OutliersRejected);
+  Result.Converged =
+      Result.Stats.relativePrecision() <= Options.TargetPrecision;
+  return Result;
+}
+
+} // namespace
 
 AdaptiveResult mpicsel::measureAdaptively(
     const std::function<double(std::uint64_t Seed)> &Measure,
@@ -15,20 +69,19 @@ AdaptiveResult mpicsel::measureAdaptively(
   assert(Options.MaxReps >= Options.MinReps && "MaxReps below MinReps");
 
   AdaptiveResult Result;
-  SplitMix64 SeedStream(Options.BaseSeed);
-  for (unsigned Rep = 0; Rep != Options.MaxReps; ++Rep) {
-    std::uint64_t Seed = SeedStream.next();
-    Result.Observations.push_back(Measure(Seed));
-    if (Result.Observations.size() < Options.MinReps)
-      continue;
-    Result.Stats = computeStats(Result.Observations);
-    if (Result.Stats.relativePrecision() <= Options.TargetPrecision) {
-      Result.Converged = true;
-      return Result;
-    }
+  for (unsigned Attempt = 0; Attempt <= Options.RetryAttempts; ++Attempt) {
+    // Attempt 0 uses BaseSeed directly (the historical stream);
+    // retries reseed so a pathological draw is not replayed.
+    std::uint64_t AttemptSeed =
+        Attempt == 0
+            ? Options.BaseSeed
+            : SplitMix64(Options.BaseSeed ^
+                         (0xA5A5A5A5A5A5A5A5ull + Attempt))
+                  .next();
+    Result = measureOnce(Measure, Options, AttemptSeed);
+    Result.Attempts = Attempt + 1;
+    if (Result.Converged)
+      break;
   }
-  Result.Stats = computeStats(Result.Observations);
-  Result.Converged =
-      Result.Stats.relativePrecision() <= Options.TargetPrecision;
   return Result;
 }

@@ -37,16 +37,38 @@ struct AdaptiveOptions {
   /// Base seed; repetition i runs with seed mix(BaseSeed, i) so every
   /// repetition sees an independent noise stream.
   std::uint64_t BaseSeed = 0x9E3779B97F4A7C15ull;
+
+  // -- Robustness policy (all off by default: the defaults reproduce
+  //    the paper's plain MPIBlib-style loop bit for bit). --
+
+  /// Screen observations before computing statistics: values farther
+  /// than OutlierMadSigma robust sigmas (MAD x 1.4826) from the
+  /// sample median are excluded from the stats and the convergence
+  /// check. The raw observations are kept for inspection.
+  bool ScreenOutliers = false;
+  /// Rejection threshold of the MAD screen, in robust sigmas. 3.5 is
+  /// the conventional "certain outlier" cut.
+  double OutlierMadSigma = 3.5;
+  /// Extra whole-measurement attempts when the precision target was
+  /// not met after MaxReps: each retry reseeds the repetition stream
+  /// (so a pathological noise draw is not replayed) and starts over.
+  /// 0 keeps the single-attempt behaviour.
+  unsigned RetryAttempts = 0;
 };
 
 /// Result of an adaptive measurement.
 struct AdaptiveResult {
-  /// Statistics over all collected repetitions.
+  /// Statistics over the screened repetitions (== all repetitions
+  /// when screening is off or nothing was rejected).
   SampleStats Stats;
-  /// The raw observations, in execution order.
+  /// The raw observations of the final attempt, in execution order.
   std::vector<double> Observations;
   /// True if the precision target was met before MaxReps.
   bool Converged = false;
+  /// Observations excluded by the MAD screen in the final attempt.
+  unsigned OutliersRejected = 0;
+  /// Whole-measurement attempts consumed (1 when no retry happened).
+  unsigned Attempts = 1;
 };
 
 /// Repeatedly evaluates \p Measure (a callable taking the repetition's

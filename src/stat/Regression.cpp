@@ -9,6 +9,26 @@
 
 using namespace mpicsel;
 
+/// Fills \p Fit's unweighted residual statistics (Rmse, R2) against
+/// the sample.
+static void computeResidualStats(LinearFit &Fit, std::span<const double> X,
+                                 std::span<const double> Y) {
+  double MeanY = 0.0;
+  for (double V : Y)
+    MeanY += V;
+  MeanY /= static_cast<double>(Y.size());
+  double SquaredResiduals = 0.0, TotalSquares = 0.0;
+  for (size_t I = 0, E = X.size(); I != E; ++I) {
+    double R = Y[I] - Fit(X[I]);
+    SquaredResiduals += R * R;
+    double D = Y[I] - MeanY;
+    TotalSquares += D * D;
+  }
+  Fit.Rmse = std::sqrt(SquaredResiduals / static_cast<double>(X.size()));
+  Fit.R2 = TotalSquares > 0.0 ? 1.0 - SquaredResiduals / TotalSquares
+                              : (SquaredResiduals == 0.0 ? 1.0 : 0.0);
+}
+
 double mpicsel::median(std::span<const double> Values) {
   if (Values.empty())
     return 0.0;
@@ -56,13 +76,7 @@ LinearFit mpicsel::fitWeightedLeastSquares(std::span<const double> X,
   Fit.Slope = (SumW * SumXY - SumX * SumY) / Denominator;
   Fit.Intercept = (SumY - Fit.Slope * SumX) / SumW;
   Fit.Valid = true;
-
-  double SquaredResiduals = 0;
-  for (size_t I = 0, E = X.size(); I != E; ++I) {
-    double R = Y[I] - Fit(X[I]);
-    SquaredResiduals += R * R;
-  }
-  Fit.Rmse = std::sqrt(SquaredResiduals / static_cast<double>(X.size()));
+  computeResidualStats(Fit, X, Y);
   return Fit;
 }
 
@@ -102,12 +116,8 @@ LinearFit mpicsel::fitHuber(std::span<const double> X,
     if ((InterceptMove + SlopeMove) / Scale < Options.Tolerance)
       break;
   }
-  // Recompute the RMSE against the final line (unweighted).
-  double SquaredResiduals = 0;
-  for (size_t I = 0, E = X.size(); I != E; ++I) {
-    double R = Y[I] - Fit(X[I]);
-    SquaredResiduals += R * R;
-  }
-  Fit.Rmse = std::sqrt(SquaredResiduals / static_cast<double>(X.size()));
+  // Recompute the residual statistics against the final line
+  // (unweighted).
+  computeResidualStats(Fit, X, Y);
   return Fit;
 }

@@ -34,6 +34,10 @@ struct LinearFit {
   double Slope = 0.0;
   /// Root-mean-square residual of the fit.
   double Rmse = 0.0;
+  /// Coefficient of determination (1 - SS_res / SS_tot, unweighted).
+  /// 1 for a constant-y sample fitted exactly; can go negative for a
+  /// fit worse than the mean. Used by the calibration quality gates.
+  double R2 = 0.0;
   /// Whether the fit is meaningful (>= 2 distinct x values).
   bool Valid = false;
 

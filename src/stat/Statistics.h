@@ -17,7 +17,9 @@
 #ifndef MPICSEL_STAT_STATISTICS_H
 #define MPICSEL_STAT_STATISTICS_H
 
+#include <cmath>
 #include <cstddef>
+#include <limits>
 #include <span>
 
 namespace mpicsel {
@@ -35,10 +37,21 @@ struct SampleStats {
   /// (t_{0.975, n-1} * StdDev / sqrt(n)); 0 for samples of size < 2.
   double Ci95HalfWidth = 0.0;
 
-  /// Relative precision of the mean estimate: Ci95HalfWidth / Mean.
-  /// Returns 0 when the mean is 0.
+  /// Relative precision of the mean estimate: Ci95HalfWidth / |Mean|.
+  /// Guarded against degenerate samples: a zero half-width (constant
+  /// sample, or size < 2) is perfectly precise and returns 0, while a
+  /// zero/near-zero mean under a non-zero half-width has no meaningful
+  /// relative precision and returns the infinity sentinel -- a defined
+  /// value that never satisfies a convergence threshold, instead of
+  /// the NaN/negative ratios the unguarded division produced.
   double relativePrecision() const {
-    return Mean != 0.0 ? Ci95HalfWidth / Mean : 0.0;
+    if (Ci95HalfWidth == 0.0)
+      return 0.0;
+    double Scale = std::fabs(Mean);
+    double Precision = Ci95HalfWidth / Scale;
+    if (!(Scale > 0.0) || !std::isfinite(Precision))
+      return std::numeric_limits<double>::infinity();
+    return Precision;
   }
 };
 

@@ -5,6 +5,8 @@
 #include "support/Format.h"
 
 #include <cassert>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -57,15 +59,21 @@ bool CommandLine::assignValue(FlagInfo &Flag, const std::string &Value) {
     return true;
   }
   case FlagKind::Int: {
+    errno = 0;
     long long Parsed = std::strtoll(Value.c_str(), &End, 0);
-    if (End == Value.c_str() || *End != '\0')
-      return false;
+    if (End == Value.c_str() || *End != '\0' || errno == ERANGE)
+      return false; // Malformed or outside int64 range.
     *static_cast<std::int64_t *>(Flag.Storage) = Parsed;
     return true;
   }
   case FlagKind::Double: {
+    errno = 0;
     double Parsed = std::strtod(Value.c_str(), &End);
     if (End == Value.c_str() || *End != '\0')
+      return false;
+    // Reject overflow and explicit inf/nan; a numeric flag that ends
+    // up non-finite poisons every downstream computation silently.
+    if (!std::isfinite(Parsed))
       return false;
     *static_cast<double *>(Flag.Storage) = Parsed;
     return true;
@@ -114,6 +122,7 @@ std::string CommandLine::usage() const {
 bool CommandLine::parse(int Argc, const char *const *Argv) {
   assert(Argc >= 1 && "argv must at least contain the program name");
   ProgramName = Argv[0];
+  HelpRequested = false;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg.rfind("--", 0) != 0) {
@@ -124,6 +133,7 @@ bool CommandLine::parse(int Argc, const char *const *Argv) {
     if (Body == "help") {
       std::string Text = usage();
       std::fwrite(Text.data(), 1, Text.size(), stdout);
+      HelpRequested = true;
       return false;
     }
     std::string Name = Body, Value;

@@ -52,6 +52,10 @@ public:
   /// Positional (non-flag) arguments seen during parse().
   const std::vector<std::string> &positionalArgs() const { return Positional; }
 
+  /// Whether the last parse() returned false because of --help (exit
+  /// 0) rather than a malformed flag (exit non-zero).
+  bool helpRequested() const { return HelpRequested; }
+
   /// Renders the --help text.
   std::string usage() const;
 
@@ -72,6 +76,7 @@ private:
   std::string ProgramName;
   std::vector<FlagInfo> Flags;
   std::vector<std::string> Positional;
+  bool HelpRequested = false;
 };
 
 } // namespace mpicsel

@@ -70,7 +70,7 @@ bool mpicsel::parseBytes(const std::string &Text, std::uint64_t &BytesOut) {
     return false;
   char *End = nullptr;
   double Value = std::strtod(Text.c_str(), &End);
-  if (End == Text.c_str() || Value < 0)
+  if (End == Text.c_str() || !std::isfinite(Value) || Value < 0)
     return false;
   std::uint64_t Multiplier = 1;
   if (*End != '\0') {
@@ -95,6 +95,10 @@ bool mpicsel::parseBytes(const std::string &Text, std::uint64_t &BytesOut) {
     if (*End != '\0' && !(std::toupper(*End) == 'B' && End[1] == '\0'))
       return false;
   }
-  BytesOut = static_cast<std::uint64_t>(Value * static_cast<double>(Multiplier));
+  double Scaled = Value * static_cast<double>(Multiplier);
+  // Reject products that do not fit a uint64 (the cast would be UB).
+  if (Scaled >= 18446744073709551616.0)
+    return false;
+  BytesOut = static_cast<std::uint64_t>(Scaled);
   return true;
 }

@@ -61,6 +61,31 @@ TEST(Statistics, RelativePrecision) {
   EXPECT_DOUBLE_EQ(computeStats(V).relativePrecision(), 0.0);
 }
 
+TEST(Statistics, RelativePrecisionGuardsDegenerateSamples) {
+  // Constant sample: zero CI half-width is perfectly precise even at
+  // mean zero (0/0 must not produce NaN).
+  std::vector<double> Zeros{0, 0, 0};
+  EXPECT_DOUBLE_EQ(computeStats(Zeros).relativePrecision(), 0.0);
+  // Zero mean under a non-zero half-width has no meaningful relative
+  // precision: the infinity sentinel never satisfies a convergence
+  // threshold, unlike the NaN the unguarded division produced.
+  std::vector<double> Symmetric{-1, 1};
+  SampleStats S = computeStats(Symmetric);
+  ASSERT_GT(S.Ci95HalfWidth, 0.0);
+  EXPECT_TRUE(std::isinf(S.relativePrecision()));
+  // A negative mean uses its magnitude, not a negative ratio.
+  SampleStats Negative;
+  Negative.Mean = -4.0;
+  Negative.Ci95HalfWidth = 0.2;
+  EXPECT_DOUBLE_EQ(Negative.relativePrecision(), 0.05);
+  // A denormal-scale mean that overflows the ratio also hits the
+  // sentinel instead of returning +-inf by accident of rounding.
+  SampleStats Tiny;
+  Tiny.Mean = 1e-320;
+  Tiny.Ci95HalfWidth = 1e300;
+  EXPECT_TRUE(std::isinf(Tiny.relativePrecision()));
+}
+
 TEST(Statistics, NormalSampleLooksNormal) {
   Xoshiro256 Rng(3);
   std::vector<double> V;

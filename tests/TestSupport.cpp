@@ -87,6 +87,20 @@ TEST(Format, ParseBytesRejectsGarbage) {
   EXPECT_FALSE(parseBytes("-5K", Bytes));
 }
 
+TEST(Format, ParseBytesRejectsOverflowAndNonFinite) {
+  std::uint64_t Bytes = 77;
+  // Values whose scaled magnitude exceeds uint64 must fail instead of
+  // invoking the undefined float-to-integer conversion.
+  EXPECT_FALSE(parseBytes("999999999999999999999G", Bytes));
+  EXPECT_FALSE(parseBytes("1e999999", Bytes));
+  EXPECT_FALSE(parseBytes("inf", Bytes));
+  EXPECT_FALSE(parseBytes("nan", Bytes));
+  EXPECT_EQ(Bytes, 77u); // Untouched on every rejection.
+  // A huge but representable value (2^63) still parses.
+  ASSERT_TRUE(parseBytes("9223372036854775808", Bytes));
+  EXPECT_EQ(Bytes, 9223372036854775808ull);
+}
+
 //===----------------------------------------------------------------------===//
 // Table
 //===----------------------------------------------------------------------===//
@@ -187,6 +201,46 @@ TEST(CommandLine, BoolAcceptsExplicitValues) {
   EXPECT_FALSE(Flag);
   ASSERT_TRUE(parseArgs(Cli, {"--flag=on"}));
   EXPECT_TRUE(Flag);
+}
+
+TEST(CommandLine, RejectsOutOfRangeAndNonFiniteNumbers) {
+  std::int64_t Int = 7;
+  double Real = 0.5;
+  CommandLine Cli("test");
+  Cli.addFlag("int", "an int", Int);
+  Cli.addFlag("real", "a double", Real);
+  // Integer overflow must be a parse error, not a silent clamp.
+  EXPECT_FALSE(parseArgs(Cli, {"--int=999999999999999999999999"}));
+  EXPECT_FALSE(parseArgs(Cli, {"--int=-999999999999999999999999"}));
+  // Doubles that overflow to infinity, and literal non-finite
+  // spellings, are rejected: every numeric flag is a finite quantity.
+  EXPECT_FALSE(parseArgs(Cli, {"--real=1e999999"}));
+  EXPECT_FALSE(parseArgs(Cli, {"--real=inf"}));
+  EXPECT_FALSE(parseArgs(Cli, {"--real=nan"}));
+  // Trailing garbage after a valid prefix is still an error.
+  EXPECT_FALSE(parseArgs(Cli, {"--int=42x"}));
+  // The targets keep their defaults after every rejection.
+  EXPECT_EQ(Int, 7);
+  EXPECT_DOUBLE_EQ(Real, 0.5);
+  // Sanity: boundary values still parse.
+  ASSERT_TRUE(parseArgs(Cli, {"--int=9223372036854775807"}));
+  EXPECT_EQ(Int, 9223372036854775807ll);
+}
+
+TEST(CommandLine, HelpRequestedDistinguishesHelpFromErrors) {
+  std::int64_t Int = 0;
+  CommandLine Cli("test");
+  Cli.addFlag("int", "an int", Int);
+  // --help: parse returns false (stop the program) but marks the exit
+  // as requested, so main can return 0 instead of an error code.
+  EXPECT_FALSE(parseArgs(Cli, {"--help"}));
+  EXPECT_TRUE(Cli.helpRequested());
+  // A genuine parse error afterwards resets the marker.
+  EXPECT_FALSE(parseArgs(Cli, {"--int=abc"}));
+  EXPECT_FALSE(Cli.helpRequested());
+  // A clean parse leaves it unset too.
+  EXPECT_TRUE(parseArgs(Cli, {"--int=3"}));
+  EXPECT_FALSE(Cli.helpRequested());
 }
 
 TEST(CommandLine, UsageListsFlagsAndDefaults) {

@@ -25,12 +25,15 @@
 #include "coll/Gather.h"
 #include "coll/Reduce.h"
 #include "coll/Scatter.h"
+#include "fault/Fault.h"
+#include "sim/Engine.h"
 #include "support/CommandLine.h"
 #include "support/Format.h"
 #include "support/Table.h"
 #include "verify/Verifier.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -49,20 +52,46 @@ struct Sweep {
     ++Schedules;
     VerifyReport Report = verifySchedule(S, &C);
     TotalFindings += static_cast<unsigned>(Report.Findings.size());
-    if (Report.Findings.empty()) {
-      if (ListClean)
-        Findings.addRow({C.Name, strFormat("%u", P), "0", "", "clean"});
+    if (!Report.Findings.empty())
+      for (const VerifyFinding &F : Report.Findings)
+        Findings.addRow({C.Name, strFormat("%u", P),
+                         strFormat("%zu", Report.Findings.size()),
+                         severityName(F.Sev), F.str()});
+    else if (ListClean)
+      Findings.addRow({C.Name, strFormat("%u", P), "0", "", "clean"});
+    checkUnderFaults(S, C, P, Report);
+  }
+
+  /// Fault mode: executes \p S under the injected fault scenario and
+  /// cross-checks completion against the static deadlock verdict --
+  /// stalls and stragglers may slow a schedule arbitrarily but must
+  /// never wedge one the verifier proved deadlock-free.
+  void checkUnderFaults(const Schedule &S, const ScheduleContract &C,
+                        unsigned P, const VerifyReport &Report) {
+    if (!Faults)
       return;
-    }
-    for (const VerifyFinding &F : Report.Findings)
-      Findings.addRow({C.Name, strFormat("%u", P),
-                       strFormat("%zu", Report.Findings.size()),
-                       severityName(F.Sev), F.str()});
+    ++FaultRuns;
+    Platform Plat = makeTestPlatform((P + 1) / 2, 2);
+    ExecutionResult R = runSchedule(S, Plat, /*Seed=*/1, Faults);
+    bool ExpectComplete = !Report.deadlocks();
+    if (R.Completed == ExpectComplete)
+      return;
+    ++TotalFindings;
+    Findings.addRow(
+        {C.Name, strFormat("%u", P), "1", "error",
+         strFormat("under faults '%s': engine %s but verifier says %s (%s)",
+                   Faults->name().c_str(),
+                   R.Completed ? "completed" : "wedged",
+                   ExpectComplete ? "deadlock-free" : "deadlocked",
+                   R.Diagnostic.empty() ? "no diagnostic"
+                                        : R.Diagnostic.c_str())});
   }
 
   Table Findings;
   bool ListClean;
+  const FaultSchedule *Faults = nullptr;
   unsigned Schedules = 0;
+  unsigned FaultRuns = 0;
   unsigned TotalFindings = 0;
 };
 
@@ -83,6 +112,7 @@ int main(int Argc, char **Argv) {
   bool Csv = false;
   std::uint64_t MaxBytes = 16ull * 1024 * 1024;
   std::string ProcsFlag = "2,4,8,16,51";
+  std::string FaultsFlag;
 
   CommandLine Cli("Statically verify every registered collective algorithm "
                   "across a (P, message, segment) grid; exit 1 on findings.");
@@ -91,8 +121,39 @@ int main(int Argc, char **Argv) {
   Cli.addFlag("csv", "emit the table as CSV", Csv);
   Cli.addByteSizeFlag("max-bytes", "largest message size swept", MaxBytes);
   Cli.addFlag("procs", "comma-separated communicator sizes", ProcsFlag);
+  Cli.addFlag("faults",
+              "also execute each schedule under this fault scenario "
+              "(name[:seed]) and require deadlock-freedom",
+              FaultsFlag);
   if (!Cli.parse(Argc, Argv))
-    return 2;
+    return Cli.helpRequested() ? 0 : 2;
+
+  FaultSchedule FaultScenario;
+  if (!FaultsFlag.empty()) {
+    std::string Name = FaultsFlag;
+    std::uint64_t FaultSeed = 0;
+    if (size_t Colon = FaultsFlag.find(':'); Colon != std::string::npos) {
+      Name = FaultsFlag.substr(0, Colon);
+      char *End = nullptr;
+      std::string SeedText = FaultsFlag.substr(Colon + 1);
+      FaultSeed = std::strtoull(SeedText.c_str(), &End, 0);
+      if (End == SeedText.c_str() || *End != '\0') {
+        std::fprintf(stderr, "error: malformed fault seed in '%s'\n",
+                     FaultsFlag.c_str());
+        return 2;
+      }
+    }
+    if (!isFaultScenarioName(Name)) {
+      std::string Known;
+      for (const std::string &S : faultScenarioNames())
+        Known += (Known.empty() ? "" : ", ") + S;
+      std::fprintf(stderr,
+                   "error: unknown fault scenario '%s' (known: %s)\n",
+                   Name.c_str(), Known.c_str());
+      return 2;
+    }
+    FaultScenario = makeFaultScenario(Name, FaultSeed);
+  }
 
   std::vector<unsigned> Procs;
   for (std::size_t Pos = 0; Pos <= ProcsFlag.size();) {
@@ -130,6 +191,8 @@ int main(int Argc, char **Argv) {
   const std::uint64_t Segments[] = {0, 8 * 1024, 64 * 1024, 128 * 1024};
 
   Sweep SW(ListClean);
+  if (!FaultScenario.empty())
+    SW.Faults = &FaultScenario;
   for (unsigned P : Procs) {
     for (std::uint64_t M : Messages) {
       for (std::uint64_t Seg : Segments) {
@@ -176,7 +239,13 @@ int main(int Argc, char **Argv) {
     else
       SW.Findings.print();
   }
-  std::printf("schedlint: %u schedules verified, %u findings\n", SW.Schedules,
-              SW.TotalFindings);
+  if (SW.FaultRuns != 0)
+    std::printf("schedlint: %u schedules verified, %u executed under "
+                "faults '%s', %u findings\n",
+                SW.Schedules, SW.FaultRuns, FaultScenario.name().c_str(),
+                SW.TotalFindings);
+  else
+    std::printf("schedlint: %u schedules verified, %u findings\n",
+                SW.Schedules, SW.TotalFindings);
   return SW.TotalFindings == 0 ? 0 : 1;
 }
