@@ -18,9 +18,14 @@
 
 #include "cluster/Platform.h"
 #include "model/Calibration.h"
+#include "model/DecisionCache.h"
+#include "support/Json.h"
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace mpicsel {
@@ -47,24 +52,118 @@ inline std::vector<unsigned> paperSelectionProcs(const Platform &P) {
   return {50, 80, 90};
 }
 
-/// Calibrates a cluster with the paper's setup. \p Quick trims the
-/// repetition counts for fast smoke runs.
-inline CalibratedModels calibratePaperSetup(const Platform &P, bool Quick) {
+/// The paper-setup calibration options. \p Quick trims the repetition
+/// counts for fast smoke runs; \p Threads fans the calibration grid
+/// over the sweep pool (0 = consult MPICSEL_THREADS) with
+/// bit-identical results.
+inline CalibrationOptions paperCalibrationOptions(const Platform &P,
+                                                  bool Quick,
+                                                  unsigned Threads = 0) {
   CalibrationOptions Options;
   Options.NumProcs = paperCalibrationProcs(P);
+  Options.Threads = Threads;
   if (Quick) {
     Options.Adaptive.MinReps = 3;
     Options.Adaptive.MaxReps = 8;
     Options.GammaOptions.Adaptive.MinReps = 3;
     Options.GammaOptions.Adaptive.MaxReps = 8;
   }
-  return calibrate(P, Options);
+  return Options;
+}
+
+/// One calibration as the bench binaries run it, with the wall-clock
+/// and cache outcome captured for the --json record.
+struct CalibrationRun {
+  CalibratedModels Models;
+  double WallSeconds = 0.0;
+  bool FromCache = false;
+};
+
+/// Calibrates a cluster with the paper's setup, optionally threaded
+/// and memoised through \p Cache (null bypasses the cache).
+inline CalibrationRun calibratePaperSetupTimed(const Platform &P, bool Quick,
+                                               unsigned Threads = 0,
+                                               DecisionCache *Cache =
+                                                   nullptr) {
+  CalibrationOptions Options = paperCalibrationOptions(P, Quick, Threads);
+  CalibrationRun Run;
+  const auto Start = std::chrono::steady_clock::now();
+  if (Cache) {
+    const unsigned HitsBefore = Cache->stats().Hits;
+    Run.Models = calibrateCached(P, Options, *Cache);
+    Run.FromCache = Cache->stats().Hits > HitsBefore;
+  } else {
+    Run.Models = calibrate(P, Options);
+  }
+  Run.WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Run;
+}
+
+/// Calibrates a cluster with the paper's setup. \p Quick trims the
+/// repetition counts for fast smoke runs.
+inline CalibratedModels calibratePaperSetup(const Platform &P, bool Quick) {
+  return calibratePaperSetupTimed(P, Quick).Models;
 }
 
 /// Prints a section banner.
 inline void banner(const char *Title) {
   std::printf("\n===== %s =====\n\n", Title);
 }
+
+/// Accumulates the machine-readable record behind a bench binary's
+/// `--json <file>` flag. `metric()` values are compared against the
+/// committed BENCH_*.json baselines by scripts/bench_compare.py;
+/// `timing()` values (wall-clocks, cache statistics) are recorded for
+/// trend inspection but never gate CI -- they depend on the host.
+class BenchReporter {
+public:
+  explicit BenchReporter(std::string BenchName)
+      : Name(std::move(BenchName)) {}
+
+  void info(const std::string &Key, const std::string &Value) {
+    Info.set(Key, Value);
+  }
+  void metric(const std::string &Key, double Value) {
+    Metrics.set(Key, Value);
+  }
+  void timing(const std::string &Key, double Value) {
+    Timings.set(Key, Value);
+  }
+
+  /// Writes the record to \p Path; empty \p Path is a no-op (the flag
+  /// was not given). Returns false on I/O failure.
+  bool writeIfRequested(const std::string &Path) {
+    if (Path.empty())
+      return true;
+    JsonObject Record;
+    Record.set("bench", Name);
+    Record.set("schema_version", static_cast<std::uint64_t>(1));
+    Record.set("info", std::move(Info));
+    Record.set("metrics", std::move(Metrics));
+    Record.set("timings", std::move(Timings));
+    const std::string Text = Record.render();
+    std::FILE *File = std::fopen(Path.c_str(), "wb");
+    if (!File) {
+      std::fprintf(stderr, "error: cannot write JSON record to '%s'\n",
+                   Path.c_str());
+      return false;
+    }
+    bool Ok =
+        std::fwrite(Text.data(), 1, Text.size(), File) == Text.size();
+    Ok = std::fclose(File) == 0 && Ok;
+    if (Ok)
+      std::fprintf(stderr, "wrote bench record: %s\n", Path.c_str());
+    return Ok;
+  }
+
+private:
+  std::string Name;
+  JsonObject Info;
+  JsonObject Metrics;
+  JsonObject Timings;
+};
 
 } // namespace bench
 } // namespace mpicsel

@@ -32,6 +32,8 @@ namespace {
 struct PanelSummary {
   double WorstModel = 0.0;
   double WorstOmpi = 0.0;
+  double MeanModel = 0.0;
+  double MeanOmpi = 0.0;
 };
 
 PanelSummary runPanel(const Platform &Plat, unsigned NumProcs,
@@ -42,6 +44,7 @@ PanelSummary runPanel(const Platform &Plat, unsigned NumProcs,
   T.setTitle(strFormat("Fig. 5 panel: %s, P = %u", Plat.Name.c_str(),
                        NumProcs));
   PanelSummary Summary;
+  unsigned Points = 0;
   for (std::uint64_t MessageBytes : paperMessageSizes()) {
     SelectionPoint Pt =
         evaluateSelectionPoint(Plat, NumProcs, MessageBytes, Models);
@@ -51,6 +54,9 @@ PanelSummary runPanel(const Platform &Plat, unsigned NumProcs,
     Ompi.push_back(Pt.OmpiChoiceTime);
     Summary.WorstModel = std::max(Summary.WorstModel, Pt.modelDegradation());
     Summary.WorstOmpi = std::max(Summary.WorstOmpi, Pt.ompiDegradation());
+    Summary.MeanModel += Pt.modelDegradation();
+    Summary.MeanOmpi += Pt.ompiDegradation();
+    ++Points;
     T.addRow({formatBytes(MessageBytes), bcastAlgorithmName(Pt.Best),
               formatSeconds(Pt.BestTime),
               bcastAlgorithmName(Pt.ModelChoice),
@@ -75,6 +81,10 @@ PanelSummary runPanel(const Platform &Plat, unsigned NumProcs,
     Chart.print();
     T.print();
   }
+  if (Points) {
+    Summary.MeanModel /= Points;
+    Summary.MeanOmpi /= Points;
+  }
   std::printf("worst degradation vs best: model-based %s, Open MPI %s\n\n",
               formatPercent(Summary.WorstModel).c_str(),
               formatPercent(Summary.WorstOmpi).c_str());
@@ -86,28 +96,58 @@ PanelSummary runPanel(const Platform &Plat, unsigned NumProcs,
 int main(int Argc, char **Argv) {
   bool Quick = false;
   bool Csv = false;
+  bool UseCache = false;
   std::string Only;
+  std::string JsonPath;
+  std::int64_t Threads = 0;
   CommandLine Cli("Reproduces paper Fig. 5: Open MPI vs model-based vs best "
                   "broadcast selection on both clusters.");
   Cli.addFlag("quick", "fewer repetitions per measurement", Quick);
   Cli.addFlag("csv", "emit CSV instead of charts", Csv);
   Cli.addFlag("platform", "restrict to one cluster (grisou|gros)", Only);
+  Cli.addFlag("json", "write a machine-readable record to this file",
+              JsonPath);
+  Cli.addFlag("threads", "calibration sweep threads (0 = MPICSEL_THREADS)",
+              Threads);
+  Cli.addFlag("cache", "memoise calibration in the decision cache",
+              UseCache);
   if (!Cli.parse(Argc, Argv))
     return Cli.helpRequested() ? 0 : 1;
 
   banner("Fig. 5: selection accuracy, Open MPI vs model-based vs best");
 
+  BenchReporter Report("fig5_selection");
+  Report.info("mode", Quick ? "quick" : "full");
+  DecisionCache Cache;
+  if (UseCache)
+    Report.info("cache_dir", Cache.directory());
+
   double WorstModel = 0.0, WorstOmpi = 0.0;
+  double CalibrationSeconds = 0.0;
   for (const Platform &Plat : {makeGrisou(), makeGros()}) {
     if (!Only.empty() && Plat.Name != Only)
       continue;
-    CalibratedModels Models = calibratePaperSetup(Plat, Quick);
+    CalibrationRun Run = calibratePaperSetupTimed(
+        Plat, Quick, static_cast<unsigned>(Threads),
+        UseCache ? &Cache : nullptr);
+    CalibrationSeconds += Run.WallSeconds;
     for (unsigned NumProcs : paperSelectionProcs(Plat)) {
-      PanelSummary S = runPanel(Plat, NumProcs, Models, Csv);
+      PanelSummary S = runPanel(Plat, NumProcs, Run.Models, Csv);
       WorstModel = std::max(WorstModel, S.WorstModel);
       WorstOmpi = std::max(WorstOmpi, S.WorstOmpi);
+      const std::string Panel =
+          strFormat("%s_p%u", Plat.Name.c_str(), NumProcs);
+      Report.metric("worst_model_deg_" + Panel, S.WorstModel);
+      Report.metric("mean_model_deg_" + Panel, S.MeanModel);
+      Report.metric("worst_ompi_deg_" + Panel, S.WorstOmpi);
     }
   }
+
+  Report.metric("worst_model_deg", WorstModel);
+  Report.metric("worst_ompi_deg", WorstOmpi);
+  Report.timing("calibration_seconds", CalibrationSeconds);
+  Report.timing("cache_hits", Cache.stats().Hits);
+  Report.timing("cache_misses", Cache.stats().Misses);
 
   std::printf("Across all panels: worst model-based degradation %s, worst "
               "Open MPI degradation %s.\n"
@@ -115,5 +155,5 @@ int main(int Argc, char **Argv) {
               "Open MPI up to 160%% on Grisou\nand up to 7297%% on Gros.)\n",
               formatPercent(WorstModel).c_str(),
               formatPercent(WorstOmpi).c_str());
-  return 0;
+  return Report.writeIfRequested(JsonPath) ? 0 : 1;
 }

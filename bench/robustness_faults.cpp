@@ -67,9 +67,11 @@ double measureChoice(const Platform &Plat, unsigned NumProcs,
 /// Calibrates under \p Scenario with the given quality policy.
 CalibratedModels calibrateUnder(const Platform &Plat, const FaultSchedule &F,
                                 bool Quick, bool RobustPipeline,
+                                unsigned Threads,
                                 CalibrationReport &Report) {
   CalibrationOptions Options;
   Options.NumProcs = paperCalibrationProcs(Plat);
+  Options.Threads = Threads;
   if (Quick) {
     Options.Adaptive.MinReps = 3;
     Options.Adaptive.MaxReps = 8;
@@ -90,6 +92,8 @@ int main(int Argc, char **Argv) {
   std::int64_t NumProcsFlag = 0;
   std::string ScenariosFlag =
       "clean,noisy,straggler-root,degraded-link,contaminated-calibration";
+  std::string JsonPath;
+  std::int64_t Threads = 0;
 
   CommandLine Cli("Robustness study: calibrate under injected fault "
                   "scenarios, deploy on the healthy cluster, and compare "
@@ -102,6 +106,10 @@ int main(int Argc, char **Argv) {
               NumProcsFlag);
   Cli.addFlag("scenarios", "comma-separated fault scenarios to sweep",
               ScenariosFlag);
+  Cli.addFlag("json", "write a machine-readable record to this file",
+              JsonPath);
+  Cli.addFlag("threads", "calibration sweep threads (0 = MPICSEL_THREADS)",
+              Threads);
   if (!Cli.parse(Argc, Argv))
     return Cli.helpRequested() ? 0 : 1;
 
@@ -159,15 +167,19 @@ int main(int Argc, char **Argv) {
                  "robust mean", "excluded", "fallbacks"});
   Summary.setTitle("Degradation vs fault-free oracle");
 
+  BenchReporter Report("robustness_faults");
+  Report.info("mode", Quick ? "quick" : "full");
+  Report.info("platform", Plat.Name);
+
   for (const std::string &ScenarioName : Scenarios) {
     FaultSchedule Scenario = makeFaultScenario(ScenarioName);
     CalibrationReport RawReport, RobustReport;
     CalibratedModels Raw =
         calibrateUnder(Plat, Scenario, Quick, /*RobustPipeline=*/false,
-                       RawReport);
+                       static_cast<unsigned>(Threads), RawReport);
     CalibratedModels Robust =
         calibrateUnder(Plat, Scenario, Quick, /*RobustPipeline=*/true,
-                       RobustReport);
+                       static_cast<unsigned>(Threads), RobustReport);
 
     PipelineSummary RawSum, RobustSum;
     Table Points({"m", "oracle", "raw alg", "raw deg", "robust alg",
@@ -213,6 +225,12 @@ int main(int Argc, char **Argv) {
                     strFormat("%u", NumBcastAlgorithms -
                                         RobustReport.usableCount()),
                     strFormat("%u", RobustSum.Fallbacks)});
+
+    Report.metric("raw_worst_deg_" + ScenarioName, RawSum.Worst);
+    Report.metric("raw_mean_deg_" + ScenarioName, RawSum.mean());
+    Report.metric("robust_worst_deg_" + ScenarioName, RobustSum.Worst);
+    Report.metric("robust_mean_deg_" + ScenarioName, RobustSum.mean());
+    Report.metric("fallbacks_" + ScenarioName, RobustSum.Fallbacks);
   }
 
   if (Csv)
@@ -222,5 +240,5 @@ int main(int Argc, char **Argv) {
   std::printf("\nA robust pipeline should stay near the oracle on every "
               "scenario; the raw pipeline\nis expected to degrade once the "
               "calibration campaign is contaminated.\n");
-  return 0;
+  return Report.writeIfRequested(JsonPath) ? 0 : 1;
 }

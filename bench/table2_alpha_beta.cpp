@@ -29,8 +29,8 @@
 using namespace mpicsel;
 using namespace mpicsel::bench;
 
-static void printCluster(const Platform &P, bool Quick, bool Csv) {
-  CalibratedModels M = calibratePaperSetup(P, Quick);
+static void printCluster(const Platform &P, const CalibratedModels &M,
+                         bool Csv, BenchReporter &Report) {
   Table T({"collective algorithm", "alpha (sec)", "beta (sec/byte)",
            "fit rmse (sec)"});
   T.setTitle(strFormat("%s cluster, P = %u", P.Name.c_str(),
@@ -39,6 +39,10 @@ static void printCluster(const Platform &P, bool Quick, bool Csv) {
     const AlgorithmCalibration &C = M.of(Alg);
     T.addRow({bcastAlgorithmName(Alg), formatSci(C.Alpha),
               formatSci(C.Beta), formatSci(C.Fit.Rmse)});
+    const std::string Key =
+        strFormat("%s_%s", P.Name.c_str(), bcastAlgorithmName(Alg));
+    Report.metric("alpha_" + Key, C.Alpha);
+    Report.metric("beta_" + Key, C.Beta);
   }
   if (Csv)
     std::fputs(T.renderCsv().c_str(), stdout);
@@ -50,16 +54,41 @@ static void printCluster(const Platform &P, bool Quick, bool Csv) {
 int main(int Argc, char **Argv) {
   bool Quick = false;
   bool Csv = false;
+  bool UseCache = false;
+  std::string JsonPath;
+  std::int64_t Threads = 0;
   CommandLine Cli("Reproduces paper Table 2: algorithm-specific alpha/beta "
                   "for the six broadcast algorithms on both clusters.");
   Cli.addFlag("quick", "fewer repetitions per measurement", Quick);
   Cli.addFlag("csv", "emit CSV instead of tables", Csv);
+  Cli.addFlag("json", "write a machine-readable record to this file",
+              JsonPath);
+  Cli.addFlag("threads", "calibration sweep threads (0 = MPICSEL_THREADS)",
+              Threads);
+  Cli.addFlag("cache", "memoise calibration in the decision cache",
+              UseCache);
   if (!Cli.parse(Argc, Argv))
     return Cli.helpRequested() ? 0 : 1;
 
   banner("Table 2: algorithm-specific alpha and beta");
-  printCluster(makeGrisou(), Quick, Csv);
-  printCluster(makeGros(), Quick, Csv);
+
+  BenchReporter Report("table2_alpha_beta");
+  Report.info("mode", Quick ? "quick" : "full");
+  DecisionCache Cache;
+  if (UseCache)
+    Report.info("cache_dir", Cache.directory());
+
+  double CalibrationSeconds = 0.0;
+  for (const Platform &Plat : {makeGrisou(), makeGros()}) {
+    CalibrationRun Run = calibratePaperSetupTimed(
+        Plat, Quick, static_cast<unsigned>(Threads),
+        UseCache ? &Cache : nullptr);
+    CalibrationSeconds += Run.WallSeconds;
+    printCluster(Plat, Run.Models, Csv, Report);
+  }
+  Report.timing("calibration_seconds", CalibrationSeconds);
+  Report.timing("cache_hits", Cache.stats().Hits);
+  Report.timing("cache_misses", Cache.stats().Misses);
 
   std::printf(
       "Paper reference (physical clusters, for shape comparison):\n"
@@ -74,5 +103,5 @@ int main(int Argc, char **Argv) {
       "several times the tree algorithms' because its point-to-point\n"
       "transfers serialise at the root -- which is what makes\n"
       "per-algorithm estimation necessary.\n");
-  return 0;
+  return Report.writeIfRequested(JsonPath) ? 0 : 1;
 }

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Compare bench --json records against committed baselines.
+
+Every bench binary accepts `--json <file>` and writes a record
+
+    {"bench": "<name>", "schema_version": 1,
+     "info": {...}, "metrics": {...}, "timings": {...}}
+
+whose "metrics" object holds the deterministic quantities worth
+gating in CI (selection penalties vs the oracle, near-optimal counts,
+calibrated model parameters).  "timings" holds host-dependent
+wall-clocks and cache statistics; they are reported but never
+compared.
+
+This script diffs the metrics of one or more freshly produced records
+against the committed baselines in bench/baselines/ (file name
+BENCH_<bench>.json, matched through the record's "bench" field) and
+fails when any metric drifts beyond tolerance:
+
+    |current - baseline| <= abs_tol + rel_tol * |baseline|
+
+A metric present in the baseline but missing from the current record
+(or vice versa) is a hard failure -- a silently dropped metric must
+not pass CI.
+
+Usage:
+    scripts/bench_compare.py out/BENCH_table3_selection.json ...
+    scripts/bench_compare.py --update out/BENCH_*.json   # refresh baselines
+
+Exit status: 0 when every metric of every record is within tolerance,
+1 otherwise (and on malformed input).
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+SCHEMA_VERSION = 1
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load_record(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+    except (OSError, ValueError) as err:
+        raise SystemExit(f"error: cannot read record '{path}': {err}")
+    for key in ("bench", "schema_version", "metrics"):
+        if key not in record:
+            raise SystemExit(f"error: '{path}' has no '{key}' field")
+    if record["schema_version"] != SCHEMA_VERSION:
+        raise SystemExit(
+            f"error: '{path}' has schema_version {record['schema_version']}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    return record
+
+
+def baseline_path(baselines_dir, bench_name):
+    return os.path.join(baselines_dir, f"BENCH_{bench_name}.json")
+
+
+def within_tolerance(current, baseline, rel_tol, abs_tol):
+    return abs(current - baseline) <= abs_tol + rel_tol * abs(baseline)
+
+
+def compare_record(record, base, rel_tol, abs_tol):
+    """Returns a list of (metric, baseline, current, ok) rows; non-ok
+    rows carry None for a missing side."""
+    rows = []
+    metrics = record["metrics"]
+    base_metrics = base["metrics"]
+    for name, base_value in base_metrics.items():
+        if name not in metrics:
+            rows.append((name, base_value, None, False))
+            continue
+        current = metrics[name]
+        ok = within_tolerance(current, base_value, rel_tol, abs_tol)
+        rows.append((name, base_value, current, ok))
+    for name, current in metrics.items():
+        if name not in base_metrics:
+            rows.append((name, None, current, False))
+    return rows
+
+
+def print_rows(bench, rows, timings):
+    width = max((len(r[0]) for r in rows), default=0)
+    for name, base_value, current, ok in rows:
+        status = "ok" if ok else "FAIL"
+        if base_value is None:
+            detail = f"current {current:.6g}, missing from baseline"
+        elif current is None:
+            detail = f"baseline {base_value:.6g}, missing from current"
+        else:
+            delta = current - base_value
+            rel = abs(delta) / abs(base_value) if base_value else float("inf")
+            detail = (
+                f"baseline {base_value:<12.6g} current {current:<12.6g} "
+                f"delta {delta:+.3g} ({rel:.1%})"
+            )
+        print(f"  [{status:4}] {name:<{width}}  {detail}")
+    for name, value in timings.items():
+        print(f"  [info] {name}: {value:.6g} (not compared)")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff bench --json records against committed baselines."
+    )
+    parser.add_argument("records", nargs="+", help="freshly produced records")
+    parser.add_argument(
+        "--baselines",
+        default=os.path.join(repo_root(), "bench", "baselines"),
+        help="baseline directory (default: bench/baselines)",
+    )
+    parser.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.15,
+        help="relative tolerance per metric (default: 0.15)",
+    )
+    parser.add_argument(
+        "--abs-tol",
+        type=float,
+        default=0.05,
+        help="absolute tolerance floor per metric (default: 0.05)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy the records over the baselines instead of comparing",
+    )
+    args = parser.parse_args()
+
+    failures = 0
+    for path in args.records:
+        record = load_record(path)
+        bench = record["bench"]
+        target = baseline_path(args.baselines, bench)
+        if args.update:
+            os.makedirs(args.baselines, exist_ok=True)
+            shutil.copyfile(path, target)
+            print(f"updated baseline: {target}")
+            continue
+        if not os.path.exists(target):
+            print(f"{bench}: FAIL -- no committed baseline at {target}")
+            failures += 1
+            continue
+        base = load_record(target)
+        rows = compare_record(record, base, args.rel_tol, args.abs_tol)
+        bad = sum(1 for r in rows if not r[3])
+        verdict = "FAIL" if bad else "ok"
+        print(
+            f"{bench}: {verdict} ({len(rows) - bad}/{len(rows)} metrics "
+            f"within rel_tol={args.rel_tol} abs_tol={args.abs_tol})"
+        )
+        print_rows(bench, rows, record.get("timings", {}))
+        failures += bad
+
+    if args.update:
+        return 0
+    if failures:
+        print(f"\n{failures} metric(s) out of tolerance")
+        return 1
+    print("\nall records within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

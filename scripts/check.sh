@@ -10,10 +10,18 @@
 #   2. schedlint sweep over every registered collective algorithm,
 #      plus the fault-injected sweep (schedules must stay deadlock-free
 #      when messages hang).
-#   3. AddressSanitizer + UBSan build (build-asan/) + full ctest.
-#   4. clang-tidy over the sources, if clang-tidy is installed.
+#   3. Bench smoke sweep: every bench binary in --quick mode with
+#      --json, diffed against the committed bench/baselines/ records
+#      by scripts/bench_compare.py.
+#   4. AddressSanitizer + UBSan build (build-asan/) + full ctest.
+#   5. clang-tidy over the sources, if clang-tidy is installed.
 #
-# Usage: scripts/check.sh [--no-asan] [--no-tidy]
+# Usage: scripts/check.sh [--threads N] [--no-bench] [--no-asan] [--no-tidy]
+#
+#   --threads N   fan the calibration sweeps and the schedlint grid
+#                 over N worker threads (results are bit-identical to
+#                 serial; this only changes wall-clock)
+#   --no-bench    skip the bench smoke sweep
 #
 #===----------------------------------------------------------------------===#
 
@@ -22,16 +30,46 @@ cd "$(dirname "$0")/.."
 
 RUN_ASAN=1
 RUN_TIDY=1
-for Arg in "$@"; do
-  case "$Arg" in
+RUN_BENCH=1
+THREADS=1
+while [ "$#" -gt 0 ]; do
+  case "$1" in
   --no-asan) RUN_ASAN=0 ;;
   --no-tidy) RUN_TIDY=0 ;;
+  --no-bench) RUN_BENCH=0 ;;
+  --threads)
+    if [ "$#" -lt 2 ]; then
+      echo "error: --threads needs a value" >&2
+      exit 2
+    fi
+    THREADS="$2"
+    shift
+    ;;
+  --threads=*) THREADS="${1#--threads=}" ;;
   *)
-    echo "usage: scripts/check.sh [--no-asan] [--no-tidy]" >&2
+    echo "usage: scripts/check.sh [--threads N] [--no-bench] [--no-asan]" \
+      "[--no-tidy]" >&2
     exit 2
     ;;
   esac
+  shift
 done
+
+case "$THREADS" in
+'' | *[!0-9]*)
+  echo "error: --threads expects a positive integer, got '$THREADS'" >&2
+  exit 2
+  ;;
+esac
+
+# Threaded sweeps are bit-identical to serial (tests/TestParallel.cpp
+# pins this), so the thread count is purely a wall-clock knob.
+export MPICSEL_THREADS="$THREADS"
+
+# Per-test watchdog: no single test may hang the sweep. The slowest
+# tier-1 tests finish in a few seconds; 120 s flags a wedged test
+# long before CI's job timeout would.
+CTEST_TIMEOUT=120
 
 step() { printf '\n== %s ==\n' "$*"; }
 
@@ -40,13 +78,29 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 
 step "ctest (MPICSEL_VERIFY=1 is set per-test by CMake)"
-ctest --test-dir build --output-on-failure -j
+ctest --test-dir build --output-on-failure -j --timeout "$CTEST_TIMEOUT"
 
-step "schedlint sweep"
-./build/tools/schedlint
+step "schedlint sweep ($THREADS job(s))"
+./build/tools/schedlint --jobs "$THREADS"
 
 step "schedlint fault sweep (deadlock-freedom under hung messages)"
-./build/tools/schedlint --faults stall-storm
+./build/tools/schedlint --jobs "$THREADS" --faults stall-storm
+
+if [ "$RUN_BENCH" -eq 1 ]; then
+  step "bench smoke sweep vs committed baselines"
+  OUT=build/bench-out
+  mkdir -p "$OUT"
+  ./build/bench/table1_gamma --json "$OUT/BENCH_table1_gamma.json" >/dev/null
+  ./build/bench/table2_alpha_beta --quick --threads "$THREADS" \
+    --json "$OUT/BENCH_table2_alpha_beta.json" >/dev/null
+  ./build/bench/table3_selection --quick --threads "$THREADS" \
+    --json "$OUT/BENCH_table3_selection.json" >/dev/null
+  ./build/bench/fig5_selection --quick --threads "$THREADS" \
+    --json "$OUT/BENCH_fig5_selection.json" >/dev/null
+  ./build/bench/robustness_faults --quick --threads "$THREADS" \
+    --json "$OUT/BENCH_robustness_faults.json" >/dev/null
+  python3 scripts/bench_compare.py "$OUT"/BENCH_*.json
+fi
 
 if [ "$RUN_ASAN" -eq 1 ]; then
   step "build with AddressSanitizer + UBSan"
@@ -54,10 +108,11 @@ if [ "$RUN_ASAN" -eq 1 ]; then
   cmake --build build-asan -j
 
   step "ctest under ASan/UBSan"
-  ctest --test-dir build-asan --output-on-failure -j
+  ctest --test-dir build-asan --output-on-failure -j \
+    --timeout "$CTEST_TIMEOUT"
 
   step "schedlint under ASan/UBSan"
-  ./build-asan/tools/schedlint
+  ./build-asan/tools/schedlint --jobs "$THREADS"
 fi
 
 if [ "$RUN_TIDY" -eq 1 ]; then

@@ -3,6 +3,7 @@
 #include "model/Calibration.h"
 
 #include "model/Runner.h"
+#include "stat/ParallelSweep.h"
 #include "support/Error.h"
 #include "support/Format.h"
 #include "support/Random.h"
@@ -237,9 +238,14 @@ CalibratedModels mpicsel::calibrate(const Platform &Plat,
   if (GatherSizes.size() != MessageSizes.size())
     fatalError("calibration needs one gather size per message size");
 
+  // Resolve the sweep parallelism once; both stages fan their
+  // independent experiments over it with bit-identical results.
+  const unsigned Threads = resolveSweepThreads(Options.Threads);
+
   // Stage 1 (Sect. 4.1): gamma, measured far enough for every gamma
   // argument the models can ask for.
   GammaEstimationOptions GammaOpts = Options.GammaOptions;
+  GammaOpts.Threads = Threads;
   GammaOpts.MaxP = std::max(
       GammaOpts.MaxP,
       maxGammaArgument(Plat.maxProcs(), Options.KChainFanout));
@@ -251,9 +257,55 @@ CalibratedModels mpicsel::calibrate(const Platform &Plat,
   }
   Models.Gamma = estimateGamma(Plat, GammaOpts).Gamma;
 
-  // Stage 2 (Sect. 4.2): one linear system per algorithm.
+  // Stage 2 (Sect. 4.2): one linear system per algorithm. The
+  // (algorithm x message-size) experiments are mutually independent
+  // and each derives its seed from its grid position, so they fan
+  // across the sweep pool; the canonical systems are then assembled
+  // serially in grid order, making the results bit-identical to the
+  // historical nested loop for any thread count.
   const CalibrationQualityOptions &Quality = Options.Quality;
   CalibrationReport LocalReport;
+  const std::size_t NumSizes = MessageSizes.size();
+  struct ExperimentOutcome {
+    AdaptiveResult Result;
+    ExperimentRecord Record;
+  };
+  std::vector<ExperimentOutcome> Outcomes =
+      sweepIndexed<ExperimentOutcome>(
+          Threads, AllBcastAlgorithms.size() * NumSizes,
+          [&](std::size_t Task) {
+            const BcastAlgorithm Alg = AllBcastAlgorithms[Task / NumSizes];
+            const std::size_t I = Task % NumSizes;
+            const std::uint64_t MessageBytes = MessageSizes[I];
+            const std::uint64_t GatherBytes = GatherSizes[I];
+
+            BcastConfig Bcast;
+            Bcast.Algorithm = Alg;
+            Bcast.MessageBytes = MessageBytes;
+            Bcast.SegmentBytes =
+                Alg == BcastAlgorithm::Linear ? 0 : Options.SegmentBytes;
+            Bcast.Root = 0;
+            Bcast.KChainFanout = Options.KChainFanout;
+
+            AdaptiveOptions Adaptive = Options.Adaptive;
+            Adaptive.BaseSeed = Options.Adaptive.BaseSeed +
+                                0x100000ull * static_cast<unsigned>(Alg) +
+                                0x100ull * I;
+            ExperimentOutcome Outcome;
+            Outcome.Record.MessageBytes = MessageBytes;
+            Outcome.Record.GatherBytes = GatherBytes;
+            Outcome.Result =
+                measureExperiment(Plat, NumProcs, Bcast, GatherBytes,
+                                  Adaptive, Quality,
+                                  Outcome.Record.Attempts);
+            Outcome.Record.OutliersRejected = Outcome.Result.OutliersRejected;
+            Outcome.Record.Converged = Outcome.Result.Converged;
+            Outcome.Record.Precision =
+                Outcome.Result.Stats.relativePrecision();
+            Outcome.Record.Mean = Outcome.Result.Stats.Mean;
+            return Outcome;
+          });
+
   for (BcastAlgorithm Alg : AllBcastAlgorithms) {
     AlgorithmCalibration &Calib =
         Models.Algorithms[static_cast<unsigned>(Alg)];
@@ -262,48 +314,27 @@ CalibratedModels mpicsel::calibrate(const Platform &Plat,
         LocalReport.Algorithms[static_cast<unsigned>(Alg)];
     Rep.Algorithm = Alg;
 
-    for (std::size_t I = 0; I != MessageSizes.size(); ++I) {
-      const std::uint64_t MessageBytes = MessageSizes[I];
-      const std::uint64_t GatherBytes = GatherSizes[I];
-
-      BcastConfig Bcast;
-      Bcast.Algorithm = Alg;
-      Bcast.MessageBytes = MessageBytes;
-      Bcast.SegmentBytes =
-          Alg == BcastAlgorithm::Linear ? 0 : Options.SegmentBytes;
-      Bcast.Root = 0;
-      Bcast.KChainFanout = Options.KChainFanout;
-
-      AdaptiveOptions Adaptive = Options.Adaptive;
-      Adaptive.BaseSeed = Options.Adaptive.BaseSeed +
-                          0x100000ull * static_cast<unsigned>(Alg) +
-                          0x100ull * I;
-      ExperimentRecord Record;
-      Record.MessageBytes = MessageBytes;
-      Record.GatherBytes = GatherBytes;
-      AdaptiveResult R = measureExperiment(Plat, NumProcs, Bcast, GatherBytes,
-                                           Adaptive, Quality, Record.Attempts);
-      Record.OutliersRejected = R.OutliersRejected;
-      Record.Converged = R.Converged;
-      Record.Precision = R.Stats.relativePrecision();
-      Record.Mean = R.Stats.Mean;
-      Rep.Experiments.push_back(Record);
+    for (std::size_t I = 0; I != NumSizes; ++I) {
+      const ExperimentOutcome &Outcome =
+          Outcomes[static_cast<unsigned>(Alg) * NumSizes + I];
+      Rep.Experiments.push_back(Outcome.Record);
 
       // Canonical form of Fig. 4: T / (A_tot) = alpha + beta * (B_tot
       // / A_tot).
       BcastModelQuery Query;
       Query.NumProcs = NumProcs;
-      Query.MessageBytes = MessageBytes;
-      Query.SegmentBytes = Bcast.SegmentBytes;
+      Query.MessageBytes = MessageSizes[I];
+      Query.SegmentBytes =
+          Alg == BcastAlgorithm::Linear ? 0 : Options.SegmentBytes;
       Query.KChainFanout = Options.KChainFanout;
       CostCoefficients BcastCost =
           bcastCostCoefficients(Alg, Query, Models.Gamma);
       CostCoefficients GatherCost =
-          linearGatherCostCoefficients(NumProcs, GatherBytes);
+          linearGatherCostCoefficients(NumProcs, GatherSizes[I]);
       CostCoefficients Total = BcastCost + GatherCost;
       assert(Total.A > 0 && "degenerate experiment coefficients");
       Calib.CanonicalX.push_back(Total.B / Total.A);
-      Calib.CanonicalT.push_back(R.Stats.Mean / Total.A);
+      Calib.CanonicalT.push_back(Outcome.Result.Stats.Mean / Total.A);
     }
 
     Calib.Fit = Options.UseHuber

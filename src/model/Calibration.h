@@ -108,6 +108,15 @@ struct CalibrationOptions {
   bool UseHuber = true;
   /// Robustness policy (screening, retries, quality gates).
   CalibrationQualityOptions Quality;
+  /// Worker threads of the calibration sweeps. 0 (the default)
+  /// consults the MPICSEL_THREADS environment variable, which itself
+  /// defaults to 1 -- i.e. the historical serial pass. Any thread
+  /// count produces bit-identical results: every experiment derives
+  /// its seed from its grid position and the per-algorithm systems
+  /// are assembled in serial order (stat/ParallelSweep.h). The thread
+  /// count is deliberately excluded from the DecisionCache content
+  /// hash for the same reason.
+  unsigned Threads = 0;
 };
 
 /// What happened to one calibration experiment (one message size of

@@ -1,0 +1,130 @@
+//===- model/DecisionCache.h - Persistent calibration memoisation -*- C++ -*-=//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Disk-persisted memoisation of the calibration pass and of derived
+/// per-(P, m) decision tables. Calibration is the dominant wall-clock
+/// cost of every bench and tool invocation, yet its result is a pure
+/// function of (platform, calibration options, active fault scenario)
+/// -- exactly the inputs folded into the cache key's content hash, so
+/// a repeated invocation skips recalibration entirely and a *changed*
+/// input never matches a stale entry (invalidation by construction;
+/// there is nothing to expire).
+///
+/// Entries are small versioned text files, one per key, with doubles
+/// stored as C99 hex-floats so the round-trip is bit-exact: a cache
+/// hit yields the same CalibratedModels, bit for bit, that the
+/// calibration pass would produce. The directory is chosen by (in
+/// precedence order) the constructor argument, the MPICSEL_CACHE_DIR
+/// environment variable, and the default `.mpicsel-cache/` under the
+/// current working directory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_MODEL_DECISIONCACHE_H
+#define MPICSEL_MODEL_DECISIONCACHE_H
+
+#include "model/Calibration.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpicsel {
+
+/// Hit/miss counters of one DecisionCache instance, reported by the
+/// bench `--json` records.
+struct DecisionCacheStats {
+  unsigned Hits = 0;
+  unsigned Misses = 0;
+  unsigned Stores = 0;
+};
+
+/// The model-based selection evaluated over an explicit (P, m) grid:
+/// the runtime decision procedure flattened into a lookup table, the
+/// deployable artifact of the paper's method (cf. Open MPI's tuned
+/// decision tables). Cheap to rebuild from CalibratedModels; cached so
+/// repeated tool invocations and exports skip even that.
+struct DecisionTable {
+  std::vector<unsigned> Procs;
+  std::vector<std::uint64_t> MessageSizes;
+  /// Row-major over (Procs x MessageSizes).
+  std::vector<BcastAlgorithm> Choice;
+
+  BcastAlgorithm at(std::size_t ProcIndex, std::size_t SizeIndex) const {
+    return Choice[ProcIndex * MessageSizes.size() + SizeIndex];
+  }
+};
+
+/// Evaluates selectBest over the grid.
+DecisionTable buildDecisionTable(const CalibratedModels &Models,
+                                 std::vector<unsigned> Procs,
+                                 std::vector<std::uint64_t> MessageSizes);
+
+/// A directory of memoised calibration results and decision tables.
+class DecisionCache {
+public:
+  /// \p Directory empty selects MPICSEL_CACHE_DIR, falling back to
+  /// ".mpicsel-cache". The directory is created lazily on the first
+  /// store.
+  explicit DecisionCache(std::string Directory = "");
+
+  const std::string &directory() const { return Dir; }
+
+  /// The content-hash key of a calibration request: a stable hex
+  /// digest of the platform, every result-affecting calibration
+  /// option (Threads is excluded -- the sweep is bit-identical for
+  /// any thread count), the active global fault scenario, and the
+  /// entry-format version.
+  static std::string calibrationKey(const Platform &P,
+                                    const CalibrationOptions &Options);
+
+  /// The key of a decision table derived from the models behind
+  /// \p ModelsKey over the given grid.
+  static std::string tableKey(const std::string &ModelsKey,
+                              const std::vector<unsigned> &Procs,
+                              const std::vector<std::uint64_t> &MessageSizes);
+
+  /// Loads the entry of \p Key into \p Out. Returns false (and leaves
+  /// \p Out untouched) when the entry is absent, unreadable or
+  /// malformed -- a corrupt file is treated as a miss, never an error.
+  bool loadModels(const std::string &Key, CalibratedModels &Out);
+  bool loadTable(const std::string &Key, DecisionTable &Out);
+
+  /// Persists an entry under \p Key (write-to-temp + rename, so a
+  /// concurrent reader never observes a half-written file). Returns
+  /// false when the directory or file cannot be written.
+  bool storeModels(const std::string &Key, const CalibratedModels &Models);
+  bool storeTable(const std::string &Key, const DecisionTable &T);
+
+  /// Deletes every cache entry in the directory; returns the number
+  /// removed.
+  unsigned clear();
+
+  const DecisionCacheStats &stats() const { return Stats; }
+
+private:
+  std::string entryPath(const char *Kind, const std::string &Key) const;
+
+  std::string Dir;
+  DecisionCacheStats Stats;
+};
+
+/// calibrate() with memoisation: returns the cached CalibratedModels
+/// when \p Cache holds an entry for this request, otherwise runs the
+/// calibration and stores the result. On a hit the models are
+/// bit-identical to what the pass would compute; \p Report (if
+/// non-null) is default-initialised on a hit, since quality records
+/// describe a measurement campaign that did not run.
+CalibratedModels calibrateCached(const Platform &P,
+                                 const CalibrationOptions &Options,
+                                 DecisionCache &Cache,
+                                 CalibrationReport *Report = nullptr);
+
+} // namespace mpicsel
+
+#endif // MPICSEL_MODEL_DECISIONCACHE_H

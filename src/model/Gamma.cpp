@@ -3,6 +3,7 @@
 #include "model/Gamma.h"
 
 #include "model/Runner.h"
+#include "stat/ParallelSweep.h"
 #include "support/Error.h"
 
 #include <algorithm>
@@ -48,9 +49,15 @@ GammaEstimate mpicsel::estimateGamma(const Platform &FullPlat,
                "hosts");
 
   GammaEstimate Estimate;
-  AdaptiveOptions Adaptive = Options.Adaptive;
-  for (unsigned P = 2; P <= Options.MaxP; ++P) {
+  // Every P's experiment is independent and derives its seeds from P
+  // alone, so the per-P measurements fan across the sweep pool with
+  // bit-identical results (collected in P order below).
+  const unsigned Threads = resolveSweepThreads(Options.Threads);
+  Estimate.MeanCallTime = sweepIndexed<double>(
+      Threads, Options.MaxP - 1, [&](std::size_t Index) {
+    const unsigned P = 2 + static_cast<unsigned>(Index);
     // De-correlate the seeds of different P's experiments.
+    AdaptiveOptions Adaptive = Options.Adaptive;
     Adaptive.BaseSeed = Options.Adaptive.BaseSeed + 0x1000ull * P;
     AdaptiveResult R;
     if (Options.UseBarrierTrain) {
@@ -88,8 +95,8 @@ GammaEstimate mpicsel::estimateGamma(const Platform &FullPlat,
       R = measureBcast(Plat, P, Config, Adaptive);
     }
     assert(R.Stats.Mean > 0 && "degenerate gamma measurement");
-    Estimate.MeanCallTime.push_back(R.Stats.Mean);
-  }
+    return R.Stats.Mean;
+  });
 
   double T2OfTwo = Estimate.MeanCallTime.front();
   assert(T2OfTwo > 0 && "degenerate gamma experiment");

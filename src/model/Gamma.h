@@ -92,6 +92,11 @@ struct GammaEstimationOptions {
   bool OneRankPerNode = true;
   /// Statistical stopping rules for the repeated measurements.
   AdaptiveOptions Adaptive;
+  /// Worker threads fanning the per-P measurements (0 = consult
+  /// MPICSEL_THREADS, which defaults to 1). Each P's experiment seeds
+  /// derive from P alone, so any thread count is bit-identical to the
+  /// serial loop.
+  unsigned Threads = 0;
 };
 
 /// The raw product of the estimation experiment.

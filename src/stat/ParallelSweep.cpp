@@ -1,0 +1,25 @@
+//===- stat/ParallelSweep.cpp - Deterministic parallel sweeps --------------===//
+
+#include "stat/ParallelSweep.h"
+
+using namespace mpicsel;
+
+unsigned mpicsel::resolveSweepThreads(unsigned Requested) {
+  if (Requested == 0)
+    return ThreadPool::threadCountFromEnvironment();
+  return Requested;
+}
+
+void mpicsel::sweepIndexed(unsigned Threads, std::size_t Count,
+                           const std::function<void(std::size_t)> &Task) {
+  if (Threads <= 1 || Count <= 1) {
+    for (std::size_t I = 0; I != Count; ++I)
+      Task(I);
+    return;
+  }
+  ThreadPool Pool(
+      static_cast<unsigned>(std::min<std::size_t>(Threads, Count)));
+  for (std::size_t I = 0; I != Count; ++I)
+    Pool.submit([&Task, I] { Task(I); });
+  Pool.wait();
+}

@@ -1,0 +1,74 @@
+//===- stat/ParallelSweep.h - Deterministic parallel sweeps -----*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fans a grid of independent measurement tasks across a work-stealing
+/// thread pool while keeping the results *bit-identical* to the serial
+/// loop. The contract that makes this possible:
+///
+///  * every task is a pure function of its index -- in particular each
+///    task derives its own RNG seed from the index (the calibration
+///    sweeps already do this so that experiments are de-correlated);
+///  * tasks never share mutable state;
+///  * results are collected into a vector slot chosen by the index, so
+///    downstream reductions (regressions, fits, reports) consume them
+///    in exactly the serial order.
+///
+/// With one thread (the default everywhere) the sweep degenerates to
+/// the plain historical `for` loop -- no pool is created at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_STAT_PARALLELSWEEP_H
+#define MPICSEL_STAT_PARALLELSWEEP_H
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace mpicsel {
+
+/// Resolves a requested sweep thread count: 0 consults the
+/// MPICSEL_THREADS environment variable (unset/invalid -> 1, "max" ->
+/// hardware concurrency); any other value is taken as-is.
+unsigned resolveSweepThreads(unsigned Requested);
+
+/// Runs \p Task(0..Count-1), each producing one ResultT, and returns
+/// the results indexed by task. \p Threads <= 1 runs the serial loop
+/// in index order; more threads fan the tasks over a work-stealing
+/// pool. Either way Results[I] is exactly what the serial loop's I-th
+/// iteration computes, provided Task honours the purity contract in
+/// the file comment.
+template <typename ResultT>
+std::vector<ResultT>
+sweepIndexed(unsigned Threads, std::size_t Count,
+             const std::function<ResultT(std::size_t)> &Task) {
+  std::vector<ResultT> Results(Count);
+  if (Threads <= 1 || Count <= 1) {
+    for (std::size_t I = 0; I != Count; ++I)
+      Results[I] = Task(I);
+    return Results;
+  }
+  ThreadPool Pool(static_cast<unsigned>(
+      std::min<std::size_t>(Threads, Count)));
+  for (std::size_t I = 0; I != Count; ++I)
+    Pool.submit([&Results, &Task, I] { Results[I] = Task(I); });
+  Pool.wait();
+  return Results;
+}
+
+/// Void-task variant: runs \p Task(0..Count-1) for side effects on
+/// disjoint, caller-owned slots.
+void sweepIndexed(unsigned Threads, std::size_t Count,
+                  const std::function<void(std::size_t)> &Task);
+
+} // namespace mpicsel
+
+#endif // MPICSEL_STAT_PARALLELSWEEP_H

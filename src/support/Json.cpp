@@ -1,0 +1,138 @@
+//===- support/Json.cpp - Minimal ordered JSON emission --------------------===//
+
+#include "support/Json.h"
+
+#include "support/Format.h"
+
+#include <cmath>
+
+using namespace mpicsel;
+
+std::string JsonObject::escape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += strFormat("\\u%04x", static_cast<unsigned>(
+                                        static_cast<unsigned char>(C)));
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+static std::string renderDouble(double Value) {
+  if (!std::isfinite(Value))
+    return "null";
+  return strFormat("%.17g", Value);
+}
+
+JsonObject::Member &JsonObject::findOrCreate(const std::string &Name) {
+  for (Member &M : Members)
+    if (M.Name == Name)
+      return M;
+  Members.push_back({Name, "", nullptr});
+  return Members.back();
+}
+
+void JsonObject::set(const std::string &Name, double Value) {
+  Member &M = findOrCreate(Name);
+  M.Sub = nullptr;
+  M.Rendered = renderDouble(Value);
+}
+
+void JsonObject::set(const std::string &Name, std::int64_t Value) {
+  Member &M = findOrCreate(Name);
+  M.Sub = nullptr;
+  M.Rendered = strFormat("%lld", static_cast<long long>(Value));
+}
+
+void JsonObject::set(const std::string &Name, std::uint64_t Value) {
+  Member &M = findOrCreate(Name);
+  M.Sub = nullptr;
+  M.Rendered = strFormat("%llu", static_cast<unsigned long long>(Value));
+}
+
+void JsonObject::set(const std::string &Name, bool Value) {
+  Member &M = findOrCreate(Name);
+  M.Sub = nullptr;
+  M.Rendered = Value ? "true" : "false";
+}
+
+void JsonObject::set(const std::string &Name, const std::string &Value) {
+  Member &M = findOrCreate(Name);
+  M.Sub = nullptr;
+  std::string Rendered;
+  Rendered.reserve(Value.size() + 2);
+  Rendered += '"';
+  Rendered += escape(Value);
+  Rendered += '"';
+  M.Rendered = std::move(Rendered);
+}
+
+void JsonObject::set(const std::string &Name,
+                     const std::vector<double> &Values) {
+  Member &M = findOrCreate(Name);
+  M.Sub = nullptr;
+  std::string Out = "[";
+  for (std::size_t I = 0; I != Values.size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += renderDouble(Values[I]);
+  }
+  Out += "]";
+  M.Rendered = std::move(Out);
+}
+
+void JsonObject::set(const std::string &Name, JsonObject Value) {
+  Member &M = findOrCreate(Name);
+  M.Rendered.clear();
+  M.Sub = std::make_unique<JsonObject>(std::move(Value));
+}
+
+void JsonObject::renderInto(std::string &Out, unsigned Depth) const {
+  const std::string Indent(2 * (Depth + 1), ' ');
+  Out += "{";
+  for (std::size_t I = 0; I != Members.size(); ++I) {
+    Out += I == 0 ? "\n" : ",\n";
+    const Member &M = Members[I];
+    Out += Indent;
+    Out += "\"";
+    Out += escape(M.Name);
+    Out += "\": ";
+    if (M.Sub)
+      M.Sub->renderInto(Out, Depth + 1);
+    else
+      Out += M.Rendered;
+  }
+  if (!Members.empty()) {
+    Out += "\n";
+    Out.append(2 * Depth, ' ');
+  }
+  Out += "}";
+}
+
+std::string JsonObject::render() const {
+  std::string Out;
+  renderInto(Out, 0);
+  Out += "\n";
+  return Out;
+}

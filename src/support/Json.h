@@ -1,0 +1,74 @@
+//===- support/Json.h - Minimal ordered JSON emission -----------*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny insertion-ordered JSON object builder, sufficient for the
+/// machine-readable bench records (`--json`) that
+/// scripts/bench_compare.py diffs against committed baselines. Only
+/// emission is supported -- parsing stays in Python where it is one
+/// line. Numbers render with enough digits to round-trip a double;
+/// non-finite values render as null (JSON has no NaN/Inf).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_SUPPORT_JSON_H
+#define MPICSEL_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mpicsel {
+
+/// An insertion-ordered JSON object under construction. Values are
+/// scalars, arrays of doubles, or nested objects; setting a name that
+/// already exists overwrites it in place (order preserved).
+class JsonObject {
+public:
+  JsonObject() = default;
+
+  void set(const std::string &Name, double Value);
+  void set(const std::string &Name, std::int64_t Value);
+  void set(const std::string &Name, std::uint64_t Value);
+  void set(const std::string &Name, unsigned Value) {
+    set(Name, static_cast<std::uint64_t>(Value));
+  }
+  void set(const std::string &Name, bool Value);
+  void set(const std::string &Name, const std::string &Value);
+  void set(const std::string &Name, const char *Value) {
+    set(Name, std::string(Value));
+  }
+  void set(const std::string &Name, const std::vector<double> &Values);
+  void set(const std::string &Name, JsonObject Value);
+
+  bool empty() const { return Members.empty(); }
+
+  /// Renders the object with two-space indentation and a trailing
+  /// newline at the top level.
+  std::string render() const;
+
+  /// Escapes \p Text as the contents of a JSON string literal
+  /// (without the surrounding quotes).
+  static std::string escape(const std::string &Text);
+
+private:
+  struct Member {
+    std::string Name;
+    std::string Rendered;            // scalar/array: pre-rendered value
+    std::unique_ptr<JsonObject> Sub; // nested object when non-null
+  };
+
+  Member &findOrCreate(const std::string &Name);
+  void renderInto(std::string &Out, unsigned Depth) const;
+
+  std::vector<Member> Members;
+};
+
+} // namespace mpicsel
+
+#endif // MPICSEL_SUPPORT_JSON_H

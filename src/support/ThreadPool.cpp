@@ -1,0 +1,122 @@
+//===- support/ThreadPool.cpp - Work-stealing thread pool ------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <cstdlib>
+#include <string>
+
+using namespace mpicsel;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = 1;
+  Queues.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Queues.push_back(std::make_unique<WorkerQueue>());
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    WorkerQueue &Q = *Queues[NextQueue];
+    NextQueue = (NextQueue + 1) % Queues.size();
+    ++Pending;
+    std::lock_guard<std::mutex> QueueLock(Q.Mutex);
+    Q.Tasks.push_back(std::move(Task));
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return Pending == 0; });
+}
+
+bool ThreadPool::popOwn(unsigned WorkerIndex,
+                        std::function<void()> &TaskOut) {
+  WorkerQueue &Q = *Queues[WorkerIndex];
+  std::lock_guard<std::mutex> Lock(Q.Mutex);
+  if (Q.Tasks.empty())
+    return false;
+  TaskOut = std::move(Q.Tasks.back());
+  Q.Tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::stealOther(unsigned WorkerIndex,
+                            std::function<void()> &TaskOut) {
+  for (std::size_t Offset = 1; Offset != Queues.size(); ++Offset) {
+    WorkerQueue &Q = *Queues[(WorkerIndex + Offset) % Queues.size()];
+    std::lock_guard<std::mutex> Lock(Q.Mutex);
+    if (Q.Tasks.empty())
+      continue;
+    TaskOut = std::move(Q.Tasks.front());
+    Q.Tasks.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(unsigned WorkerIndex) {
+  for (;;) {
+    std::function<void()> Task;
+    if (popOwn(WorkerIndex, Task) || stealOther(WorkerIndex, Task)) {
+      Task();
+      Task = nullptr; // Release captures before signalling completion.
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--Pending == 0)
+        AllDone.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(Mutex);
+    if (ShuttingDown)
+      return;
+    // Re-check under the lock: a task may have been submitted between
+    // the failed pop and acquiring the lock.
+    bool AnyQueued = false;
+    for (const std::unique_ptr<WorkerQueue> &Q : Queues) {
+      std::lock_guard<std::mutex> QueueLock(Q->Mutex);
+      if (!Q->Tasks.empty()) {
+        AnyQueued = true;
+        break;
+      }
+    }
+    if (AnyQueued)
+      continue;
+    WorkAvailable.wait(Lock);
+  }
+}
+
+unsigned ThreadPool::threadCountFromEnvironment() {
+  const char *Value = std::getenv("MPICSEL_THREADS");
+  if (!Value || !*Value)
+    return 1;
+  std::string Text(Value);
+  if (Text == "max") {
+    unsigned Hardware = std::thread::hardware_concurrency();
+    return Hardware == 0 ? 1 : Hardware;
+  }
+  unsigned Count = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return 1;
+    if (Count > 100000) // Absurd values mean a typo; fail to serial.
+      return 1;
+    Count = Count * 10 + static_cast<unsigned>(C - '0');
+  }
+  return Count == 0 ? 1 : Count;
+}

@@ -1,0 +1,92 @@
+//===- support/ThreadPool.h - Work-stealing thread pool --------*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool for the measurement sweeps. Each
+/// worker owns a deque; submitted tasks are distributed round-robin
+/// and an idle worker steals from the front of its siblings' deques,
+/// so a sweep whose tasks have wildly different costs (large-message
+/// calibration experiments next to tiny ones) still load-balances.
+///
+/// The pool executes opaque thunks and makes no determinism promises
+/// itself; determinism is the *caller's* job and the sweeps built on
+/// top (stat/ParallelSweep.h) get it by deriving every task's seed
+/// from its index and collecting results by index.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_SUPPORT_THREADPOOL_H
+#define MPICSEL_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mpicsel {
+
+/// A fixed-size work-stealing pool. Construction spawns the workers;
+/// destruction drains outstanding tasks and joins them. Tasks must
+/// not throw (the library aborts on invariant violations instead of
+/// raising) and must not submit to the pool they run on's wait()er.
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers. 0 is clamped to 1.
+  explicit ThreadPool(unsigned NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of worker threads.
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Enqueues \p Task for execution on some worker.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait();
+
+  /// The thread count requested via the MPICSEL_THREADS environment
+  /// variable: a positive integer, or "max" for the hardware
+  /// concurrency. Unset, empty or malformed values mean 1 (serial).
+  static unsigned threadCountFromEnvironment();
+
+private:
+  /// One worker's deque. A worker pops from the back of its own
+  /// queue (LIFO: cache-warm) and steals from the front of others'
+  /// (FIFO: oldest, largest-granularity work first).
+  struct WorkerQueue {
+    std::mutex Mutex;
+    std::deque<std::function<void()>> Tasks;
+  };
+
+  void workerLoop(unsigned WorkerIndex);
+  bool popOwn(unsigned WorkerIndex, std::function<void()> &TaskOut);
+  bool stealOther(unsigned WorkerIndex, std::function<void()> &TaskOut);
+
+  std::vector<std::unique_ptr<WorkerQueue>> Queues;
+  std::vector<std::thread> Workers;
+
+  /// Guards the sleep/wake protocol and the completion count.
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::condition_variable AllDone;
+  std::size_t Pending = 0; // submitted, not yet finished
+  std::size_t NextQueue = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace mpicsel
+
+#endif // MPICSEL_SUPPORT_THREADPOOL_H

@@ -1,0 +1,336 @@
+//===- tests/TestParallel.cpp - Threaded sweeps and the decision cache ----===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+// The contract pinned here is the one the parallel calibration
+// pipeline is built on: any thread count produces results that are
+// bit-identical to the historical serial pass (every experiment
+// derives its seed from its grid position; downstream assembly is
+// serial), and a DecisionCache round-trip reproduces the calibrated
+// models bit for bit (hex-float serialisation).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/Fault.h"
+#include "model/Calibration.h"
+#include "model/DecisionCache.h"
+#include "model/Gamma.h"
+#include "stat/ParallelSweep.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace mpicsel;
+
+namespace {
+
+/// A small fast platform with mild noise (mirrors TestCalibration).
+Platform smallCluster() {
+  Platform P = makeTestPlatform(24);
+  P.NoiseSigma = 0.01;
+  return P;
+}
+
+/// Calibration options trimmed for test runtime.
+CalibrationOptions quickOptions(unsigned NumProcs) {
+  CalibrationOptions Options;
+  Options.NumProcs = NumProcs;
+  Options.MessageSizes = {8192, 32768, 131072, 524288, 2097152};
+  Options.Adaptive.MinReps = 3;
+  Options.Adaptive.MaxReps = 8;
+  return Options;
+}
+
+/// Asserts bit-for-bit equality of two calibration results: gamma
+/// table and fit, every algorithm's parameters and canonical system.
+void expectModelsIdentical(const CalibratedModels &A,
+                           const CalibratedModels &B) {
+  EXPECT_EQ(A.SegmentBytes, B.SegmentBytes);
+  EXPECT_EQ(A.KChainFanout, B.KChainFanout);
+  ASSERT_EQ(A.Gamma.measuredMax(), B.Gamma.measuredMax());
+  for (unsigned P = 2; P <= A.Gamma.measuredMax() + 3; ++P)
+    EXPECT_EQ(A.Gamma(P), B.Gamma(P)) << "gamma P=" << P;
+  EXPECT_EQ(A.Gamma.fit().Intercept, B.Gamma.fit().Intercept);
+  EXPECT_EQ(A.Gamma.fit().Slope, B.Gamma.fit().Slope);
+  for (BcastAlgorithm Alg : AllBcastAlgorithms) {
+    const AlgorithmCalibration &CA = A.of(Alg);
+    const AlgorithmCalibration &CB = B.of(Alg);
+    EXPECT_EQ(CA.Alpha, CB.Alpha) << bcastAlgorithmName(Alg);
+    EXPECT_EQ(CA.Beta, CB.Beta) << bcastAlgorithmName(Alg);
+    ASSERT_EQ(CA.CanonicalX.size(), CB.CanonicalX.size());
+    for (std::size_t I = 0; I != CA.CanonicalX.size(); ++I) {
+      EXPECT_EQ(CA.CanonicalX[I], CB.CanonicalX[I]);
+      EXPECT_EQ(CA.CanonicalT[I], CB.CanonicalT[I]);
+    }
+    EXPECT_EQ(CA.Fit.Intercept, CB.Fit.Intercept);
+    EXPECT_EQ(CA.Fit.Slope, CB.Fit.Slope);
+    EXPECT_EQ(CA.Fit.Rmse, CB.Fit.Rmse);
+    EXPECT_EQ(CA.Fit.R2, CB.Fit.R2);
+    EXPECT_EQ(CA.Fit.Valid, CB.Fit.Valid);
+  }
+}
+
+/// A fresh cache directory under the test temp dir.
+std::string freshCacheDir(const char *Name) {
+  std::string Dir = ::testing::TempDir() + "mpicsel-cache-" + Name;
+  DecisionCache(Dir).clear();
+  return Dir;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.numThreads(), 4u);
+  std::atomic<int> Sum{0};
+  for (int I = 1; I <= 1000; ++I)
+    Pool.submit([&Sum, I] { Sum.fetch_add(I); });
+  Pool.wait();
+  EXPECT_EQ(Sum.load(), 500500);
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossBatches) {
+  ThreadPool Pool(3);
+  std::atomic<int> Count{0};
+  for (int Batch = 0; Batch != 5; ++Batch) {
+    for (int I = 0; I != 64; ++I)
+      Pool.submit([&Count] { Count.fetch_add(1); });
+    Pool.wait();
+    EXPECT_EQ(Count.load(), 64 * (Batch + 1));
+  }
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.numThreads(), 1u);
+  std::atomic<int> Ran{0};
+  Pool.submit([&Ran] { Ran = 1; });
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 1);
+}
+
+TEST(ThreadPool, ThreadCountFromEnvironment) {
+  ::setenv("MPICSEL_THREADS", "4", 1);
+  EXPECT_EQ(ThreadPool::threadCountFromEnvironment(), 4u);
+  ::setenv("MPICSEL_THREADS", "max", 1);
+  EXPECT_GE(ThreadPool::threadCountFromEnvironment(), 1u);
+  ::setenv("MPICSEL_THREADS", "garbage", 1);
+  EXPECT_EQ(ThreadPool::threadCountFromEnvironment(), 1u);
+  ::setenv("MPICSEL_THREADS", "0", 1);
+  EXPECT_EQ(ThreadPool::threadCountFromEnvironment(), 1u);
+  ::unsetenv("MPICSEL_THREADS");
+  EXPECT_EQ(ThreadPool::threadCountFromEnvironment(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// ParallelSweep
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelSweep, ResultsArriveInIndexOrder) {
+  const std::function<int(std::size_t)> Square = [](std::size_t I) {
+    return static_cast<int>(I * I);
+  };
+  std::vector<int> Serial = sweepIndexed<int>(1, 100, Square);
+  std::vector<int> Threaded = sweepIndexed<int>(4, 100, Square);
+  ASSERT_EQ(Serial.size(), 100u);
+  EXPECT_EQ(Serial, Threaded);
+  for (std::size_t I = 0; I != Serial.size(); ++I)
+    EXPECT_EQ(Serial[I], static_cast<int>(I * I));
+}
+
+TEST(ParallelSweep, VoidOverloadRunsEveryIndexOnce) {
+  std::vector<std::atomic<int>> Seen(64);
+  sweepIndexed(4, Seen.size(),
+               [&Seen](std::size_t I) { Seen[I].fetch_add(1); });
+  for (std::size_t I = 0; I != Seen.size(); ++I)
+    EXPECT_EQ(Seen[I].load(), 1) << "index " << I;
+}
+
+TEST(ParallelSweep, ResolveThreadsHonoursRequestAndEnvironment) {
+  EXPECT_EQ(resolveSweepThreads(3), 3u);
+  ::setenv("MPICSEL_THREADS", "5", 1);
+  EXPECT_EQ(resolveSweepThreads(0), 5u);
+  ::unsetenv("MPICSEL_THREADS");
+  EXPECT_EQ(resolveSweepThreads(0), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Bit-identical threaded calibration (the acceptance contract)
+//===----------------------------------------------------------------------===//
+
+TEST(Parallel, GammaEstimationBitIdenticalAcrossThreadCounts) {
+  GammaEstimationOptions Options;
+  Options.MaxP = 7;
+  Options.Adaptive.MinReps = 3;
+  Options.Adaptive.MaxReps = 8;
+  GammaEstimate Serial = estimateGamma(smallCluster(), Options);
+  Options.Threads = 4;
+  GammaEstimate Threaded = estimateGamma(smallCluster(), Options);
+  ASSERT_EQ(Serial.MeanCallTime.size(), Threaded.MeanCallTime.size());
+  for (std::size_t I = 0; I != Serial.MeanCallTime.size(); ++I)
+    EXPECT_EQ(Serial.MeanCallTime[I], Threaded.MeanCallTime[I]);
+  for (unsigned P = 2; P <= 10; ++P)
+    EXPECT_EQ(Serial.Gamma(P), Threaded.Gamma(P));
+}
+
+TEST(Parallel, CalibrationBitIdenticalAcrossThreadCountsAndSeeds) {
+  Platform Plat = smallCluster();
+  for (std::uint64_t Seed : {std::uint64_t(1), std::uint64_t(12345)}) {
+    CalibrationOptions Options = quickOptions(12);
+    Options.Adaptive.BaseSeed = Seed;
+    Options.Threads = 1;
+    CalibratedModels Serial = calibrate(Plat, Options);
+    for (unsigned Threads : {2u, 5u}) {
+      Options.Threads = Threads;
+      CalibratedModels Threaded = calibrate(Plat, Options);
+      SCOPED_TRACE("seed " + std::to_string(Seed) + " threads " +
+                   std::to_string(Threads));
+      expectModelsIdentical(Serial, Threaded);
+    }
+  }
+}
+
+TEST(Parallel, CalibrationBitIdenticalUnderFaultScenario) {
+  Platform Plat = smallCluster();
+  FaultSchedule Scenario = makeFaultScenario("noisy");
+  ScopedFaultInjection Injection(Scenario);
+  CalibrationOptions Options = quickOptions(12);
+  Options.Threads = 1;
+  CalibratedModels Serial = calibrate(Plat, Options);
+  Options.Threads = 4;
+  CalibratedModels Threaded = calibrate(Plat, Options);
+  expectModelsIdentical(Serial, Threaded);
+}
+
+//===----------------------------------------------------------------------===//
+// DecisionCache
+//===----------------------------------------------------------------------===//
+
+TEST(DecisionCache, MissThenHitRoundTripsBitIdentically) {
+  Platform Plat = smallCluster();
+  CalibrationOptions Options = quickOptions(12);
+  DecisionCache Cache(freshCacheDir("roundtrip"));
+
+  CalibratedModels Direct = calibrate(Plat, Options);
+  CalibratedModels Missed = calibrateCached(Plat, Options, Cache);
+  EXPECT_EQ(Cache.stats().Misses, 1u);
+  EXPECT_EQ(Cache.stats().Stores, 1u);
+  expectModelsIdentical(Direct, Missed);
+
+  CalibratedModels Hit = calibrateCached(Plat, Options, Cache);
+  EXPECT_EQ(Cache.stats().Hits, 1u);
+  expectModelsIdentical(Direct, Hit);
+
+  // A second cache instance over the same directory also hits: the
+  // entry is persistent, not per-instance.
+  DecisionCache Reopened(Cache.directory());
+  CalibratedModels Persisted = calibrateCached(Plat, Options, Reopened);
+  EXPECT_EQ(Reopened.stats().Hits, 1u);
+  expectModelsIdentical(Direct, Persisted);
+}
+
+TEST(DecisionCache, KeyIgnoresThreadsButTracksEveryInput) {
+  Platform Plat = smallCluster();
+  CalibrationOptions Base = quickOptions(12);
+
+  CalibrationOptions Threaded = Base;
+  Threaded.Threads = 8;
+  EXPECT_EQ(DecisionCache::calibrationKey(Plat, Base),
+            DecisionCache::calibrationKey(Plat, Threaded));
+
+  CalibrationOptions OtherProcs = Base;
+  OtherProcs.NumProcs = 16;
+  EXPECT_NE(DecisionCache::calibrationKey(Plat, Base),
+            DecisionCache::calibrationKey(Plat, OtherProcs));
+
+  CalibrationOptions OtherSegment = Base;
+  OtherSegment.SegmentBytes = 16 * 1024;
+  EXPECT_NE(DecisionCache::calibrationKey(Plat, Base),
+            DecisionCache::calibrationKey(Plat, OtherSegment));
+
+  CalibrationOptions OtherSeed = Base;
+  OtherSeed.Adaptive.BaseSeed += 1;
+  EXPECT_NE(DecisionCache::calibrationKey(Plat, Base),
+            DecisionCache::calibrationKey(Plat, OtherSeed));
+
+  Platform OtherPlat = Plat;
+  OtherPlat.NoiseSigma = 0.02;
+  EXPECT_NE(DecisionCache::calibrationKey(Plat, Base),
+            DecisionCache::calibrationKey(OtherPlat, Base));
+
+  // An active fault scenario changes what calibration would measure,
+  // so it must change the key.
+  const std::string CleanKey = DecisionCache::calibrationKey(Plat, Base);
+  FaultSchedule Scenario = makeFaultScenario("degraded-link");
+  ScopedFaultInjection Injection(Scenario);
+  EXPECT_NE(CleanKey, DecisionCache::calibrationKey(Plat, Base));
+}
+
+TEST(DecisionCache, CorruptEntryIsAMissNotAnError) {
+  Platform Plat = smallCluster();
+  CalibrationOptions Options = quickOptions(12);
+  DecisionCache Cache(freshCacheDir("corrupt"));
+  const std::string Key = DecisionCache::calibrationKey(Plat, Options);
+
+  CalibratedModels Models = calibrate(Plat, Options);
+  ASSERT_TRUE(Cache.storeModels(Key, Models));
+  CalibratedModels Loaded;
+  ASSERT_TRUE(Cache.loadModels(Key, Loaded));
+
+  const std::string Path = Cache.directory() + "/calib-" + Key + ".txt";
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(File, nullptr);
+  std::fputs("mpicsel-calib 1\nsegment not-a-number\n", File);
+  std::fclose(File);
+  CalibratedModels Garbage;
+  EXPECT_FALSE(Cache.loadModels(Key, Garbage));
+}
+
+TEST(DecisionCache, DecisionTableBuildAndRoundTrip) {
+  Platform Plat = smallCluster();
+  CalibrationOptions Options = quickOptions(12);
+  CalibratedModels Models = calibrate(Plat, Options);
+
+  std::vector<unsigned> Procs = {8, 16, 24};
+  std::vector<std::uint64_t> Sizes = {8192, 131072, 2097152};
+  DecisionTable T = buildDecisionTable(Models, Procs, Sizes);
+  ASSERT_EQ(T.Choice.size(), Procs.size() * Sizes.size());
+  for (std::size_t PI = 0; PI != Procs.size(); ++PI)
+    for (std::size_t SI = 0; SI != Sizes.size(); ++SI)
+      EXPECT_EQ(T.at(PI, SI), Models.selectBest(Procs[PI], Sizes[SI]));
+
+  DecisionCache Cache(freshCacheDir("table"));
+  const std::string ModelsKey = DecisionCache::calibrationKey(Plat, Options);
+  const std::string Key = DecisionCache::tableKey(ModelsKey, Procs, Sizes);
+  ASSERT_TRUE(Cache.storeTable(Key, T));
+  DecisionTable Loaded;
+  ASSERT_TRUE(Cache.loadTable(Key, Loaded));
+  EXPECT_EQ(Loaded.Procs, T.Procs);
+  EXPECT_EQ(Loaded.MessageSizes, T.MessageSizes);
+  EXPECT_EQ(Loaded.Choice, T.Choice);
+
+  EXPECT_NE(Key, DecisionCache::tableKey(ModelsKey, {8, 16}, Sizes));
+}
+
+TEST(DecisionCache, ClearRemovesEveryEntry) {
+  Platform Plat = smallCluster();
+  CalibrationOptions Options = quickOptions(12);
+  DecisionCache Cache(freshCacheDir("clear"));
+  CalibratedModels Models = calibrate(Plat, Options);
+  const std::string Key = DecisionCache::calibrationKey(Plat, Options);
+  ASSERT_TRUE(Cache.storeModels(Key, Models));
+  EXPECT_EQ(Cache.clear(), 1u);
+  CalibratedModels Loaded;
+  EXPECT_FALSE(Cache.loadModels(Key, Loaded));
+  EXPECT_EQ(Cache.clear(), 0u);
+}

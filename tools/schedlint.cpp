@@ -18,6 +18,11 @@
 // communicator size (51) to exercise the tree builders' remainder
 // handling.
 //
+// --jobs N fans the grid cells over a work-stealing thread pool
+// (stat/ParallelSweep.h): each cell accumulates into its own Sweep
+// and the results are merged in grid order, so the findings table
+// and the exit status are identical for any job count.
+//
 //===----------------------------------------------------------------------===//
 
 #include "coll/Barrier.h"
@@ -27,11 +32,13 @@
 #include "coll/Scatter.h"
 #include "fault/Fault.h"
 #include "sim/Engine.h"
+#include "stat/ParallelSweep.h"
 #include "support/CommandLine.h"
 #include "support/Format.h"
 #include "support/Table.h"
 #include "verify/Verifier.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -41,11 +48,11 @@ using namespace mpicsel;
 
 namespace {
 
-/// Accumulated sweep state: the findings table plus counters.
+/// Accumulated sweep state: finding rows plus counters. One instance
+/// per grid cell under --jobs; mergeable in grid order.
 struct Sweep {
-  explicit Sweep(bool ListCleanRows)
-      : Findings({"collective", "P", "findings", "worst", "diagnostic"}),
-        ListClean(ListCleanRows) {}
+  Sweep() = default;
+  explicit Sweep(bool ListCleanRows) : ListClean(ListCleanRows) {}
 
   /// Verifies \p S against \p C and records the outcome.
   void check(const Schedule &S, const ScheduleContract &C, unsigned P) {
@@ -54,11 +61,11 @@ struct Sweep {
     TotalFindings += static_cast<unsigned>(Report.Findings.size());
     if (!Report.Findings.empty())
       for (const VerifyFinding &F : Report.Findings)
-        Findings.addRow({C.Name, strFormat("%u", P),
-                         strFormat("%zu", Report.Findings.size()),
-                         severityName(F.Sev), F.str()});
+        Rows.push_back({C.Name, strFormat("%u", P),
+                        strFormat("%zu", Report.Findings.size()),
+                        severityName(F.Sev), F.str()});
     else if (ListClean)
-      Findings.addRow({C.Name, strFormat("%u", P), "0", "", "clean"});
+      Rows.push_back({C.Name, strFormat("%u", P), "0", "", "clean"});
     checkUnderFaults(S, C, P, Report);
   }
 
@@ -77,7 +84,7 @@ struct Sweep {
     if (R.Completed == ExpectComplete)
       return;
     ++TotalFindings;
-    Findings.addRow(
+    Rows.push_back(
         {C.Name, strFormat("%u", P), "1", "error",
          strFormat("under faults '%s': engine %s but verifier says %s (%s)",
                    Faults->name().c_str(),
@@ -87,8 +94,16 @@ struct Sweep {
                                         : R.Diagnostic.c_str())});
   }
 
-  Table Findings;
-  bool ListClean;
+  /// Appends \p Other's rows and counters (serial, in grid order).
+  void merge(const Sweep &Other) {
+    Rows.insert(Rows.end(), Other.Rows.begin(), Other.Rows.end());
+    Schedules += Other.Schedules;
+    FaultRuns += Other.FaultRuns;
+    TotalFindings += Other.TotalFindings;
+  }
+
+  std::vector<std::vector<std::string>> Rows;
+  bool ListClean = false;
   const FaultSchedule *Faults = nullptr;
   unsigned Schedules = 0;
   unsigned FaultRuns = 0;
@@ -113,6 +128,7 @@ int main(int Argc, char **Argv) {
   std::uint64_t MaxBytes = 16ull * 1024 * 1024;
   std::string ProcsFlag = "2,4,8,16,51";
   std::string FaultsFlag;
+  std::int64_t Jobs = 1;
 
   CommandLine Cli("Statically verify every registered collective algorithm "
                   "across a (P, message, segment) grid; exit 1 on findings.");
@@ -125,6 +141,10 @@ int main(int Argc, char **Argv) {
               "also execute each schedule under this fault scenario "
               "(name[:seed]) and require deadlock-freedom",
               FaultsFlag);
+  Cli.addFlag("jobs",
+              "worker threads sweeping the grid (0 = MPICSEL_THREADS); "
+              "output is identical for any job count",
+              Jobs);
   if (!Cli.parse(Argc, Argv))
     return Cli.helpRequested() ? 0 : 2;
 
@@ -190,62 +210,99 @@ int main(int Argc, char **Argv) {
       Messages.push_back(M);
   const std::uint64_t Segments[] = {0, 8 * 1024, 64 * 1024, 128 * 1024};
 
-  Sweep SW(ListClean);
-  if (!FaultScenario.empty())
-    SW.Faults = &FaultScenario;
+  // One grid cell per (P, message) -- every segment and collective of
+  // that cell runs inside it -- plus one barrier cell per P, in the
+  // same order as the historical serial nest. Each cell fills its own
+  // Sweep and the results merge in index order, so any job count
+  // produces the same table and exit status.
+  struct Cell {
+    unsigned P = 0;
+    std::uint64_t M = 0;
+    bool Barrier = false;
+  };
+  std::vector<Cell> Cells;
   for (unsigned P : Procs) {
-    for (std::uint64_t M : Messages) {
-      for (std::uint64_t Seg : Segments) {
-        for (BcastAlgorithm Alg : AllBcastAlgorithms) {
-          BcastConfig Config;
-          Config.Algorithm = Alg;
-          Config.MessageBytes = M;
-          Config.SegmentBytes = Seg;
-          checkOne(SW, P, bcastContract(Config, P),
-                   [&](ScheduleBuilder &B) { appendBcast(B, Config); });
-        }
-        for (ReduceAlgorithm Alg : AllReduceAlgorithms) {
-          ReduceConfig Config;
-          Config.Algorithm = Alg;
-          Config.MessageBytes = M;
-          Config.SegmentBytes = Seg;
-          checkOne(SW, P, reduceContract(Config, P),
-                   [&](ScheduleBuilder &B) { appendReduce(B, Config); });
-        }
-      }
-      // Unsegmented collectives: sweep message sizes only.
-      for (bool Sync : {false, true}) {
-        GatherConfig Config;
-        Config.BlockBytes = M;
-        Config.Synchronised = Sync;
-        checkOne(SW, P, gatherContract(Config, P),
-                 [&](ScheduleBuilder &B) { appendLinearGather(B, Config); });
-      }
-      for (ScatterAlgorithm Alg : AllScatterAlgorithms) {
-        ScatterConfig Config;
-        Config.Algorithm = Alg;
-        Config.BlockBytes = M;
-        checkOne(SW, P, scatterContract(Config, P),
-                 [&](ScheduleBuilder &B) { appendScatter(B, Config); });
-      }
-    }
-    checkOne(SW, P, barrierContract(P),
-             [&](ScheduleBuilder &B) { appendBarrier(B, /*Tag=*/0); });
+    for (std::uint64_t M : Messages)
+      Cells.push_back({P, M, false});
+    Cells.push_back({P, 0, true});
   }
 
-  if (SW.Findings.numRows() != 0) {
+  const auto Start = std::chrono::steady_clock::now();
+  const unsigned Threads = resolveSweepThreads(
+      Jobs < 0 ? 1u : static_cast<unsigned>(Jobs));
+  std::vector<Sweep> CellSweeps = sweepIndexed<Sweep>(
+      Threads, Cells.size(), [&](std::size_t Index) {
+        const Cell &C = Cells[Index];
+        Sweep SW(ListClean);
+        if (!FaultScenario.empty())
+          SW.Faults = &FaultScenario;
+        if (C.Barrier) {
+          checkOne(SW, C.P, barrierContract(C.P),
+                   [&](ScheduleBuilder &B) { appendBarrier(B, /*Tag=*/0); });
+          return SW;
+        }
+        const unsigned P = C.P;
+        const std::uint64_t M = C.M;
+        for (std::uint64_t Seg : Segments) {
+          for (BcastAlgorithm Alg : AllBcastAlgorithms) {
+            BcastConfig Config;
+            Config.Algorithm = Alg;
+            Config.MessageBytes = M;
+            Config.SegmentBytes = Seg;
+            checkOne(SW, P, bcastContract(Config, P),
+                     [&](ScheduleBuilder &B) { appendBcast(B, Config); });
+          }
+          for (ReduceAlgorithm Alg : AllReduceAlgorithms) {
+            ReduceConfig Config;
+            Config.Algorithm = Alg;
+            Config.MessageBytes = M;
+            Config.SegmentBytes = Seg;
+            checkOne(SW, P, reduceContract(Config, P),
+                     [&](ScheduleBuilder &B) { appendReduce(B, Config); });
+          }
+        }
+        // Unsegmented collectives: sweep message sizes only.
+        for (bool Sync : {false, true}) {
+          GatherConfig Config;
+          Config.BlockBytes = M;
+          Config.Synchronised = Sync;
+          checkOne(SW, P, gatherContract(Config, P),
+                   [&](ScheduleBuilder &B) { appendLinearGather(B, Config); });
+        }
+        for (ScatterAlgorithm Alg : AllScatterAlgorithms) {
+          ScatterConfig Config;
+          Config.Algorithm = Alg;
+          Config.BlockBytes = M;
+          checkOne(SW, P, scatterContract(Config, P),
+                   [&](ScheduleBuilder &B) { appendScatter(B, Config); });
+        }
+        return SW;
+      });
+
+  Sweep SW(ListClean);
+  for (const Sweep &CellSweep : CellSweeps)
+    SW.merge(CellSweep);
+  const double Elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+
+  if (!SW.Rows.empty()) {
+    Table Findings({"collective", "P", "findings", "worst", "diagnostic"});
+    for (const std::vector<std::string> &Row : SW.Rows)
+      Findings.addRow(Row);
     if (Csv)
-      std::fputs(SW.Findings.renderCsv().c_str(), stdout);
+      std::fputs(Findings.renderCsv().c_str(), stdout);
     else
-      SW.Findings.print();
+      Findings.print();
   }
   if (SW.FaultRuns != 0)
     std::printf("schedlint: %u schedules verified, %u executed under "
-                "faults '%s', %u findings\n",
+                "faults '%s', %u findings, %.2fs with %u job(s)\n",
                 SW.Schedules, SW.FaultRuns, FaultScenario.name().c_str(),
-                SW.TotalFindings);
+                SW.TotalFindings, Elapsed, Threads);
   else
-    std::printf("schedlint: %u schedules verified, %u findings\n",
-                SW.Schedules, SW.TotalFindings);
+    std::printf("schedlint: %u schedules verified, %u findings, "
+                "%.2fs with %u job(s)\n",
+                SW.Schedules, SW.TotalFindings, Elapsed, Threads);
   return SW.TotalFindings == 0 ? 0 : 1;
 }
