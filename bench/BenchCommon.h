@@ -21,6 +21,7 @@
 #include "model/DecisionCache.h"
 #include "support/Json.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -30,6 +31,23 @@
 
 namespace mpicsel {
 namespace bench {
+
+/// Process-wide heap-allocation counter. It only ticks in binaries
+/// that replace the global allocation functions to route through
+/// countAllocation() (bench/micro_engine.cpp does, to prove the
+/// compiled engine's replay loop performs zero allocations after
+/// warm-up); everywhere else it stays at zero.
+inline std::atomic<std::uint64_t> AllocationTicks{0};
+
+/// Called by a binary's replacement operator new.
+inline void countAllocation() {
+  AllocationTicks.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Number of heap allocations observed so far (see AllocationTicks).
+inline std::uint64_t allocationCount() {
+  return AllocationTicks.load(std::memory_order_relaxed);
+}
 
 /// The paper's broadcast message-size sweep (Sect. 5.2/5.3).
 inline std::vector<std::uint64_t> paperMessageSizes() {

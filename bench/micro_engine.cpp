@@ -1,0 +1,243 @@
+//===- bench/micro_engine.cpp - Compiled-engine replay throughput ---------===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+// Measures the replay throughput of the compiled schedule engine
+// (sim/Engine.h) against the legacy per-Op interpreter on the
+// schedules the calibration sweeps replay thousands of times, and
+// proves two properties the compiled path claims:
+//
+//  * bit-identity: every OpTiming of a compiled run equals the legacy
+//    run's at the same (schedule, platform, seed);
+//  * allocation-free replay: after the first run of a schedule shape,
+//    Engine::run performs zero heap allocations. The global operator
+//    new/delete of this binary are replaced below to count through
+//    bench::countAllocation(), so the claim is enforced, not assumed.
+//
+// The deterministic facts (op counts, identity flags, allocation
+// counts) land in the gated `metrics` section of the --json record;
+// host-dependent throughput (ns/op, speedup) goes to `timings`.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "coll/Bcast.h"
+#include "mpi/CompiledSchedule.h"
+#include "sim/Engine.h"
+#include "support/CommandLine.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+using namespace mpicsel;
+using namespace mpicsel::bench;
+
+//===----------------------------------------------------------------------===//
+// Counting allocation functions (this binary only). The ordinary
+// forms route through malloc so the count covers every container the
+// engine could touch; the nothrow/aligned library defaults forward
+// here.
+//===----------------------------------------------------------------------===//
+
+void *operator new(std::size_t Size) {
+  countAllocation();
+  if (void *P = std::malloc(Size ? Size : 1))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new[](std::size_t Size) { return ::operator new(Size); }
+
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+
+namespace {
+
+/// One replayed schedule shape.
+struct BenchCase {
+  std::string Name;
+  unsigned NumProcs = 0;
+  BcastConfig Config;
+};
+
+/// The shapes the calibration stage replays most: the paper-sized
+/// segmented binomial broadcast dominates sweeps; the small case
+/// stresses per-run overhead; split-binary has the most channels.
+std::vector<BenchCase> benchCases() {
+  std::vector<BenchCase> Cases;
+  {
+    BenchCase C;
+    C.Name = "binomial_P64_1M_seg8K";
+    C.NumProcs = 64;
+    C.Config.Algorithm = BcastAlgorithm::Binomial;
+    C.Config.MessageBytes = 1 << 20;
+    C.Config.SegmentBytes = 8 << 10;
+    Cases.push_back(C);
+  }
+  {
+    BenchCase C;
+    C.Name = "binomial_P16_8K";
+    C.NumProcs = 16;
+    C.Config.Algorithm = BcastAlgorithm::Binomial;
+    C.Config.MessageBytes = 8 << 10;
+    C.Config.SegmentBytes = 0;
+    Cases.push_back(C);
+  }
+  {
+    BenchCase C;
+    C.Name = "split_binary_P64_1M_seg8K";
+    C.NumProcs = 64;
+    C.Config.Algorithm = BcastAlgorithm::SplitBinary;
+    C.Config.MessageBytes = 1 << 20;
+    C.Config.SegmentBytes = 8 << 10;
+    Cases.push_back(C);
+  }
+  return Cases;
+}
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// Exact (bitwise ==) comparison of two runs' timelines.
+bool identicalTimings(const ExecutionResult &A, const ExecutionResult &B) {
+  if (A.Completed != B.Completed || A.Makespan != B.Makespan ||
+      A.Timings.size() != B.Timings.size())
+    return false;
+  for (std::size_t I = 0; I != A.Timings.size(); ++I) {
+    const OpTiming &TA = A.Timings[I], &TB = B.Timings[I];
+    if (TA.Done != TB.Done || TA.ReadyTime != TB.ReadyTime ||
+        TA.StartTime != TB.StartTime || TA.DoneTime != TB.DoneTime)
+      return false;
+  }
+  return A.BytesReceived == B.BytesReceived && A.BytesSent == B.BytesSent;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Quick = false;
+  std::int64_t Reps = 0;
+  std::string JsonPath;
+
+  CommandLine Cli("Replay throughput of the compiled schedule engine vs the "
+                  "legacy interpreter, with bit-identity and allocation-free "
+                  "replay checked on every case.");
+  Cli.addFlag("quick", "fewer repetitions per case", Quick);
+  Cli.addFlag("reps", "repetitions per engine and case (0: default)", Reps);
+  Cli.addFlag("json", "write a machine-readable record to this file",
+              JsonPath);
+  if (!Cli.parse(Argc, Argv))
+    return Cli.helpRequested() ? 0 : 1;
+
+  // Measure the engines, not the static verifier.
+  setPreflightVerification(false);
+
+  const unsigned NumReps =
+      Reps > 0 ? static_cast<unsigned>(Reps) : (Quick ? 30u : 200u);
+  Platform Plat = makeGrisou();
+
+  banner("Compiled engine replay throughput");
+  std::printf("platform %s, %u replays per engine and case\n\n",
+              Plat.Name.c_str(), NumReps);
+
+  BenchReporter Report("micro_engine");
+  Report.info("mode", Quick ? "quick" : "full");
+  Report.info("platform", Plat.Name);
+
+  Table Results({"case", "ops", "legacy ns/op", "compiled ns/op", "speedup",
+                 "identical", "replay allocs"});
+  Results.setTitle("legacy interpreter vs compiled replay");
+
+  bool AllIdentical = true;
+  bool AllAllocFree = true;
+
+  for (const BenchCase &Case : benchCases()) {
+    ScheduleBuilder B(Case.NumProcs);
+    appendBcast(B, Case.Config);
+    CompiledSchedule CS = compileSchedule(B.take());
+    const std::size_t NumOps = CS.numOps();
+
+    // Bit-identity probe at a seed outside the timing loops.
+    ExecutionResult LegacyProbe = runScheduleLegacy(CS.Source, Plat, 9001);
+    Engine E;
+    ExecutionResult CompiledProbe = E.run(CS, Plat, 9001);
+    const bool Identical = identicalTimings(LegacyProbe, CompiledProbe);
+    AllIdentical = AllIdentical && Identical;
+
+    // Legacy loop: exactly what one pre-interning sweep repetition
+    // did (model/Runner.cpp's runBcastOnce): rebuild the schedule,
+    // then interpret it, reallocating all working state.
+    double Sink = 0.0;
+    auto LegacyStart = std::chrono::steady_clock::now();
+    for (unsigned Rep = 0; Rep != NumReps; ++Rep) {
+      ScheduleBuilder RepB(Case.NumProcs);
+      appendBcast(RepB, Case.Config);
+      Schedule RepS = RepB.take();
+      Sink += runScheduleLegacy(RepS, Plat, Rep + 1).Makespan;
+    }
+    const double LegacySeconds = secondsSince(LegacyStart);
+
+    // Compiled loop: the probe above warmed the arena, so this loop
+    // must not allocate at all.
+    const std::uint64_t AllocsBefore = allocationCount();
+    auto CompiledStart = std::chrono::steady_clock::now();
+    for (unsigned Rep = 0; Rep != NumReps; ++Rep)
+      Sink += E.run(CS, Plat, Rep + 1).Makespan;
+    const double CompiledSeconds = secondsSince(CompiledStart);
+    const std::uint64_t ReplayAllocs = allocationCount() - AllocsBefore;
+    AllAllocFree = AllAllocFree && ReplayAllocs == 0;
+
+    const double TotalOps = static_cast<double>(NumOps) * NumReps;
+    const double LegacyNsPerOp = LegacySeconds * 1e9 / TotalOps;
+    const double CompiledNsPerOp = CompiledSeconds * 1e9 / TotalOps;
+    const double Speedup =
+        CompiledSeconds > 0.0 ? LegacySeconds / CompiledSeconds : 0.0;
+
+    Results.addRow({Case.Name, strFormat("%zu", NumOps),
+                    strFormat("%.1f", LegacyNsPerOp),
+                    strFormat("%.1f", CompiledNsPerOp),
+                    strFormat("%.2fx", Speedup), Identical ? "yes" : "NO",
+                    strFormat("%llu",
+                              static_cast<unsigned long long>(ReplayAllocs))});
+
+    Report.metric(Case.Name + "_ops", static_cast<double>(NumOps));
+    Report.metric(Case.Name + "_identical", Identical ? 1.0 : 0.0);
+    Report.metric(Case.Name + "_replay_allocs",
+                  static_cast<double>(ReplayAllocs));
+    Report.timing(Case.Name + "_legacy_ns_per_op", LegacyNsPerOp);
+    Report.timing(Case.Name + "_compiled_ns_per_op", CompiledNsPerOp);
+    Report.timing(Case.Name + "_speedup", Speedup);
+
+    // Keep the loops observable.
+    if (Sink < 0.0)
+      std::printf("unreachable %f\n", Sink);
+  }
+
+  Results.print();
+  std::printf("\nEvery case must replay bit-identically to the legacy "
+              "interpreter and allocation-free\nafter warm-up; throughput "
+              "columns are host-dependent and not gated.\n");
+
+  if (!AllIdentical) {
+    std::fprintf(stderr, "error: compiled replay diverged from the legacy "
+                         "interpreter\n");
+    return 1;
+  }
+  if (!AllAllocFree) {
+    std::fprintf(stderr,
+                 "error: compiled replay allocated after warm-up\n");
+    return 1;
+  }
+  return Report.writeIfRequested(JsonPath) ? 0 : 1;
+}

@@ -99,6 +99,10 @@ if [ "$RUN_BENCH" -eq 1 ]; then
     --json "$OUT/BENCH_fig5_selection.json" >/dev/null
   ./build/bench/robustness_faults --quick --threads "$THREADS" \
     --json "$OUT/BENCH_robustness_faults.json" >/dev/null
+  # micro_engine exits non-zero unless compiled replay is bit-identical
+  # to the legacy interpreter and allocation-free after warm-up.
+  ./build/bench/micro_engine --quick \
+    --json "$OUT/BENCH_micro_engine.json" >/dev/null
   python3 scripts/bench_compare.py "$OUT"/BENCH_*.json
 fi
 
@@ -113,6 +117,9 @@ if [ "$RUN_ASAN" -eq 1 ]; then
 
   step "schedlint under ASan/UBSan"
   ./build-asan/tools/schedlint --jobs "$THREADS"
+
+  step "compiled-vs-legacy engine differential under ASan/UBSan"
+  ./build-asan/tests/TestCompiledSchedule
 fi
 
 if [ "$RUN_TIDY" -eq 1 ]; then

@@ -27,6 +27,12 @@ std::vector<OpId> mpicsel::appendBarrier(ScheduleBuilder &B, int Tag,
     return Exit;
   }
 
+  // Each of the ceil(log2 P) rounds emits send + recv + join per rank.
+  std::size_t Rounds = 0;
+  for (unsigned Distance = 1; Distance < P; Distance <<= 1)
+    ++Rounds;
+  B.reserveOps(Rounds * P * 3);
+
   // Rounds: each rank's round-k ops depend on its round-(k-1) join.
   for (unsigned Distance = 1; Distance < P; Distance <<= 1) {
     std::vector<OpId> Next(P, InvalidOpId);

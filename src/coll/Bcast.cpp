@@ -74,6 +74,22 @@ std::vector<OpId> appendTreeBcast(ScheduleBuilder &B, const Tree &T,
   const std::uint64_t NumSegments =
       bcastSegmentCount(MessageBytes, SegmentBytes);
 
+  // Closed-form op count: the root emits |children| sends + 1 join per
+  // segment (or a lone join when childless), a leaf one recv per
+  // segment + 1 final join, an interior rank recv + |children| sends +
+  // join per segment.
+  std::uint64_t OpCount = 0;
+  for (unsigned Rank = 0; Rank != P; ++Rank) {
+    const std::uint64_t NumChildren = T.Children[Rank].size();
+    if (Rank == T.Root)
+      OpCount += NumChildren == 0 ? 1 : NumSegments * (NumChildren + 1);
+    else if (NumChildren == 0)
+      OpCount += NumSegments + 1;
+    else
+      OpCount += NumSegments * (NumChildren + 2);
+  }
+  B.reserveOps(OpCount);
+
   std::vector<OpId> Exit(P, InvalidOpId);
 
   for (unsigned Rank = 0; Rank != P; ++Rank) {
@@ -164,6 +180,7 @@ std::vector<OpId> appendLinearBcast(ScheduleBuilder &B,
                                     const EntryDeps &Entry) {
   const unsigned P = B.rankCount();
   Tree T = buildLinearTree(P, Config.Root);
+  B.reserveOps(2 * static_cast<std::size_t>(P) - 1); // P-1 sends, join, P-1 recvs.
   std::vector<OpId> Exit(P, InvalidOpId);
   std::vector<OpId> Sends;
   Sends.reserve(P - 1);
@@ -222,6 +239,30 @@ std::vector<OpId> appendSplitBinaryBcast(ScheduleBuilder &B,
   const std::uint64_t NumSegments[2] = {
       bcastSegmentCount(HalfBytes[0], Config.SegmentBytes),
       bcastSegmentCount(HalfBytes[1], Config.SegmentBytes)};
+
+  // Closed-form op count across both phases (see the emission loops
+  // below for the per-role breakdown).
+  {
+    // Root phase 1: S0 + S1 sends, one join per round.
+    std::uint64_t OpCount = NumSegments[0] + NumSegments[1] +
+                            std::max(NumSegments[0], NumSegments[1]);
+    for (int Half = 0; Half != 2; ++Half) {
+      const std::vector<unsigned> &Members = Half == 0 ? LeftRanks : RightRanks;
+      for (unsigned Rank : Members) {
+        const std::uint64_t NumChildren = T.Children[Rank].size();
+        OpCount += NumChildren == 0 ? NumSegments[Half] + 1
+                                    : NumSegments[Half] * (NumChildren + 2);
+      }
+    }
+    // Phase 2: each pair swaps both halves segment-wise and joins.
+    const std::uint64_t NumPairs =
+        std::min(LeftRanks.size(), RightRanks.size());
+    OpCount += NumPairs * (2 * (NumSegments[0] + NumSegments[1]) + 2);
+    // Unpaired left ranks drain half 1 from the root.
+    const std::uint64_t Unpaired = LeftRanks.size() - NumPairs;
+    OpCount += Unpaired * (2 * NumSegments[1] + 1) + (Unpaired != 0 ? 1 : 0);
+    B.reserveOps(OpCount);
+  }
 
   // Phase 1: pipeline half h down subtree h. Both subtrees are full
   // tree broadcasts rooted at the global root; the root interleaves

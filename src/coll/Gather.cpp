@@ -28,6 +28,12 @@ std::vector<OpId> mpicsel::appendLinearGather(ScheduleBuilder &B,
     return Exit;
   }
 
+  // Per contributor: send + root recv (+ ready send/recv when
+  // synchronised), plus the root's final join.
+  B.reserveOps(static_cast<std::size_t>(P - 1) *
+                   (Config.Synchronised ? 4 : 2) +
+               1);
+
   std::vector<OpId> RootRecvs;
   RootRecvs.reserve(P - 1);
   std::vector<OpId> RootDeps = firstDeps(Config.Root);

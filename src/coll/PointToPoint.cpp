@@ -21,6 +21,7 @@ std::vector<OpId> mpicsel::appendPing(ScheduleBuilder &B, unsigned From,
   assert((Entry.empty() || Entry.size() == P) &&
          "entry array must cover every rank");
 
+  B.reserveOps(P); // Send + recv + P-2 bystander joins.
   std::vector<OpId> Exit(P, InvalidOpId);
   Exit[From] = B.addSend(From, To, Bytes, Tag, firstDeps(Entry, From));
   Exit[To] = B.addRecv(To, From, Bytes, Tag, firstDeps(Entry, To));
@@ -41,6 +42,8 @@ std::vector<OpId> mpicsel::appendPingPong(ScheduleBuilder &B, unsigned RankA,
   assert((Entry.empty() || Entry.size() == P) &&
          "entry array must cover every rank");
 
+  // Four message ops + B's join + P-2 bystander joins.
+  B.reserveOps(static_cast<std::size_t>(P) + 3);
   std::vector<OpId> Exit(P, InvalidOpId);
   OpId ASend = B.addSend(RankA, RankB, Bytes, Tag, firstDeps(Entry, RankA));
   OpId BRecv = B.addRecv(RankB, RankA, Bytes, Tag, firstDeps(Entry, RankB));

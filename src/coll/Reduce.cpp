@@ -66,6 +66,22 @@ std::vector<OpId> appendTreeReduce(ScheduleBuilder &B, const Tree &T,
   const std::uint64_t NumSegments =
       bcastSegmentCount(Config.MessageBytes, Config.SegmentBytes);
 
+  // Closed-form op count: a leaf streams NumSegments sends + 1 join; an
+  // interior rank emits |children| recvs + 1 combine (+ 1 forward when
+  // not root) per segment, plus a final join when not root; a childless
+  // root is a lone join.
+  std::uint64_t OpCount = 0;
+  for (unsigned Rank = 0; Rank != P; ++Rank) {
+    const std::uint64_t NumChildren = T.Children[Rank].size();
+    const bool IsRoot = Rank == T.Root;
+    if (NumChildren == 0)
+      OpCount += IsRoot ? 1 : NumSegments + 1;
+    else
+      OpCount += NumSegments * (NumChildren + (IsRoot ? 1 : 2)) +
+                 (IsRoot ? 0 : 1);
+  }
+  B.reserveOps(OpCount);
+
   std::vector<OpId> Exit(P, InvalidOpId);
   for (unsigned Rank = 0; Rank != P; ++Rank) {
     const std::vector<unsigned> &Children = T.Children[Rank];

@@ -42,6 +42,7 @@ std::vector<OpId> appendLinearScatter(ScheduleBuilder &B,
                                       const ScatterConfig &Config,
                                       std::span<const OpId> Entry) {
   const unsigned P = B.rankCount();
+  B.reserveOps(2 * static_cast<std::size_t>(P) - 1); // P-1 sends, P-1 recvs, join.
   std::vector<OpId> Exit(P, InvalidOpId);
   std::vector<OpId> Sends;
   Sends.reserve(P - 1);
@@ -72,6 +73,20 @@ std::vector<OpId> appendBinomialScatter(ScheduleBuilder &B,
   std::vector<unsigned> SubtreeSize(P);
   for (unsigned Rank = 0; Rank != P; ++Rank)
     SubtreeSize[Rank] = T.subtreeSize(Rank);
+
+  // Closed-form op count: every non-root receives its bundle; every
+  // rank with children emits |children| sends + 1 join; a childless
+  // root still emits its join.
+  std::size_t OpCount = 0;
+  for (unsigned Rank = 0; Rank != P; ++Rank) {
+    if (Rank != Config.Root)
+      ++OpCount;
+    if (!T.Children[Rank].empty())
+      OpCount += T.Children[Rank].size() + 1;
+    else if (Rank == Config.Root)
+      ++OpCount;
+  }
+  B.reserveOps(OpCount);
 
   // Emit per rank: one receive of its bundle (except the root, which
   // owns the data), then sends to children in decreasing-subtree

@@ -4,8 +4,10 @@
 
 #include "coll/Barrier.h"
 #include "coll/PointToPoint.h"
+#include "mpi/ScheduleIntern.h"
 #include "sim/Engine.h"
 #include "support/Error.h"
+#include "support/Format.h"
 
 #include <algorithm>
 #include <cassert>
@@ -18,19 +20,68 @@ static void checkRanks(const Platform &P, unsigned NumProcs) {
     fatalError("experiment requests more processes than the platform hosts");
 }
 
+namespace {
+
+/// The per-thread replay engine. ParallelSweep gives each worker its
+/// own thread, and a run's result is a pure function of (schedule,
+/// platform, seed, faults), so per-worker engines preserve the
+/// bit-identity of serial and threaded sweeps while letting every
+/// repetition reuse one warm arena.
+Engine &workerEngine() {
+  thread_local Engine E;
+  return E;
+}
+
+/// Executes an interned schedule and extracts \p Metric from the
+/// result. Every repetition of a grid point lands here with the same
+/// entry, so the schedule is built and compiled exactly once per
+/// process. Under EngineMode::Legacy the retained source schedule
+/// replays through the legacy interpreter instead -- one env variable
+/// (MPICSEL_ENGINE=legacy) flips the whole measurement stack for
+/// differential testing.
+template <typename MetricFn>
+double runInterned(const InternedScheduleRef &IS, const Platform &P,
+                   std::uint64_t Seed, const char *What, MetricFn Metric) {
+  if (engineMode() == EngineMode::Legacy) {
+    ExecutionResult R = runScheduleLegacy(IS->Compiled.Source, P, Seed);
+    if (!R.Completed)
+      fatalError(strFormat("%s schedule deadlocked: ", What) + R.Diagnostic);
+    return Metric(R);
+  }
+  const ExecutionResult &R = workerEngine().run(IS->Compiled, P, Seed);
+  if (!R.Completed)
+    fatalError(strFormat("%s schedule deadlocked: ", What) + R.Diagnostic);
+  return Metric(R);
+}
+
+/// Interning key fragment for one broadcast configuration.
+std::string bcastKey(const BcastConfig &Config, unsigned NumProcs) {
+  return strFormat("alg=%d|P=%u|m=%llu|seg=%llu|root=%u|k=%u|tag=%d",
+                   static_cast<int>(Config.Algorithm), NumProcs,
+                   static_cast<unsigned long long>(Config.MessageBytes),
+                   static_cast<unsigned long long>(Config.SegmentBytes),
+                   Config.Root, Config.KChainFanout, Config.Tag);
+}
+
+} // namespace
+
 double mpicsel::runBcastOnce(const Platform &P, unsigned NumProcs,
                              const BcastConfig &Config, std::uint64_t Seed) {
   checkRanks(P, NumProcs);
-  ScheduleBuilder B(NumProcs);
-  std::vector<OpId> Exit = appendBcast(B, Config);
-  Schedule S = B.take();
-  ExecutionResult R = runSchedule(S, P, Seed);
-  if (!R.Completed)
-    fatalError("broadcast schedule deadlocked: " + R.Diagnostic);
-  double Latest = 0.0;
-  for (OpId Id : Exit)
-    Latest = std::max(Latest, R.doneTime(Id));
-  return Latest;
+  InternedScheduleRef IS = ScheduleInternCache::global().intern(
+      "bcast|" + bcastKey(Config, NumProcs), [&] {
+        ScheduleBuilder B(NumProcs);
+        BuiltSchedule Built;
+        Built.Exit = appendBcast(B, Config);
+        Built.S = B.take();
+        return Built;
+      });
+  return runInterned(IS, P, Seed, "broadcast", [&](const ExecutionResult &R) {
+    double Latest = 0.0;
+    for (OpId Id : IS->Exit)
+      Latest = std::max(Latest, R.doneTime(Id));
+    return Latest;
+  });
 }
 
 AdaptiveResult mpicsel::measureBcast(const Platform &P, unsigned NumProcs,
@@ -46,20 +97,28 @@ double mpicsel::runBcastGatherOnce(const Platform &P, unsigned NumProcs,
                                    std::uint64_t GatherBytes,
                                    std::uint64_t Seed) {
   checkRanks(P, NumProcs);
-  ScheduleBuilder B(NumProcs);
-  std::vector<OpId> BcastExit = appendBcast(B, Bcast);
-  GatherConfig Gather;
-  Gather.BlockBytes = GatherBytes;
-  Gather.Root = Bcast.Root;
-  Gather.Tag = Bcast.Tag + 8; // Clear of the broadcast's tag range.
-  Gather.Synchronised = false;
-  std::vector<OpId> GatherExit = appendLinearGather(B, Gather, BcastExit);
-  Schedule S = B.take();
-  ExecutionResult R = runSchedule(S, P, Seed);
-  if (!R.Completed)
-    fatalError("bcast+gather schedule deadlocked: " + R.Diagnostic);
+  InternedScheduleRef IS = ScheduleInternCache::global().intern(
+      strFormat("bcastgather|gb=%llu|",
+                static_cast<unsigned long long>(GatherBytes)) +
+          bcastKey(Bcast, NumProcs),
+      [&] {
+        ScheduleBuilder B(NumProcs);
+        std::vector<OpId> BcastExit = appendBcast(B, Bcast);
+        GatherConfig Gather;
+        Gather.BlockBytes = GatherBytes;
+        Gather.Root = Bcast.Root;
+        Gather.Tag = Bcast.Tag + 8; // Clear of the broadcast's tag range.
+        Gather.Synchronised = false;
+        BuiltSchedule Built;
+        Built.Exit = appendLinearGather(B, Gather, BcastExit);
+        Built.S = B.take();
+        return Built;
+      });
   // The experiment starts and finishes on the root (paper Sect. 4.2).
-  return R.doneTime(GatherExit[Bcast.Root]);
+  return runInterned(IS, P, Seed, "bcast+gather",
+                     [&](const ExecutionResult &R) {
+                       return R.doneTime(IS->Exit[Bcast.Root]);
+                     });
 }
 
 AdaptiveResult mpicsel::measureBcastGather(const Platform &P,
@@ -79,42 +138,53 @@ double mpicsel::runLinearBcastTrainOnce(const Platform &P, unsigned NumProcs,
                                         unsigned Calls, std::uint64_t Seed) {
   checkRanks(P, NumProcs);
   assert(Calls >= 1 && "need at least one call");
-  ScheduleBuilder B(NumProcs);
-  BcastConfig Config;
-  Config.Algorithm = BcastAlgorithm::Linear;
-  Config.MessageBytes = SegmentBytes;
-  Config.SegmentBytes = 0;
-  Config.Root = 0;
-
-  std::vector<OpId> Exit;
-  for (unsigned Call = 0; Call != Calls; ++Call) {
-    Config.Tag = static_cast<int>(Call) * 16;
-    Exit = appendBcast(B, Config, Exit);
-    Exit = appendBarrier(B, Config.Tag + 8, Exit);
-  }
-  Schedule S = B.take();
-  ExecutionResult R = runSchedule(S, P, Seed);
-  if (!R.Completed)
-    fatalError("gamma-experiment schedule deadlocked: " + R.Diagnostic);
+  InternedScheduleRef IS = ScheduleInternCache::global().intern(
+      strFormat("bcasttrain|P=%u|seg=%llu|calls=%u", NumProcs,
+                static_cast<unsigned long long>(SegmentBytes), Calls),
+      [&] {
+        ScheduleBuilder B(NumProcs);
+        BcastConfig Config;
+        Config.Algorithm = BcastAlgorithm::Linear;
+        Config.MessageBytes = SegmentBytes;
+        Config.SegmentBytes = 0;
+        Config.Root = 0;
+        BuiltSchedule Built;
+        for (unsigned Call = 0; Call != Calls; ++Call) {
+          Config.Tag = static_cast<int>(Call) * 16;
+          Built.Exit = appendBcast(B, Config, Built.Exit);
+          Built.Exit = appendBarrier(B, Config.Tag + 8, Built.Exit);
+        }
+        Built.S = B.take();
+        return Built;
+      });
   // T1: measured on the root, from the experiment start to the root's
   // exit from the last barrier (which certifies the last delivery).
-  double T1 = R.doneTime(Exit[0]);
-  return T1 / static_cast<double>(Calls);
+  return runInterned(IS, P, Seed, "gamma-experiment",
+                     [&](const ExecutionResult &R) {
+                       return R.doneTime(IS->Exit[0]) /
+                              static_cast<double>(Calls);
+                     });
 }
 
 double mpicsel::runBarrierTrainOnce(const Platform &P, unsigned NumProcs,
                                     unsigned Calls, std::uint64_t Seed) {
   checkRanks(P, NumProcs);
   assert(Calls >= 1 && "need at least one call");
-  ScheduleBuilder B(NumProcs);
-  std::vector<OpId> Exit;
-  for (unsigned Call = 0; Call != Calls; ++Call)
-    Exit = appendBarrier(B, static_cast<int>(Call) * 16 + 8, Exit);
-  Schedule S = B.take();
-  ExecutionResult R = runSchedule(S, P, Seed);
-  if (!R.Completed)
-    fatalError("barrier-train schedule deadlocked: " + R.Diagnostic);
-  return R.doneTime(Exit[0]) / static_cast<double>(Calls);
+  InternedScheduleRef IS = ScheduleInternCache::global().intern(
+      strFormat("barriertrain|P=%u|calls=%u", NumProcs, Calls), [&] {
+        ScheduleBuilder B(NumProcs);
+        BuiltSchedule Built;
+        for (unsigned Call = 0; Call != Calls; ++Call)
+          Built.Exit =
+              appendBarrier(B, static_cast<int>(Call) * 16 + 8, Built.Exit);
+        Built.S = B.take();
+        return Built;
+      });
+  return runInterned(IS, P, Seed, "barrier-train",
+                     [&](const ExecutionResult &R) {
+                       return R.doneTime(IS->Exit[0]) /
+                              static_cast<double>(Calls);
+                     });
 }
 
 double mpicsel::runPingPongOnce(const Platform &P, unsigned RankA,
@@ -122,11 +192,18 @@ double mpicsel::runPingPongOnce(const Platform &P, unsigned RankA,
                                 std::uint64_t Seed) {
   unsigned NumProcs = std::max(RankA, RankB) + 1;
   checkRanks(P, NumProcs);
-  ScheduleBuilder B(NumProcs);
-  std::vector<OpId> Exit = appendPingPong(B, RankA, RankB, Bytes, /*Tag=*/0);
-  Schedule S = B.take();
-  ExecutionResult R = runSchedule(S, P, Seed);
-  if (!R.Completed)
-    fatalError("ping-pong schedule deadlocked: " + R.Diagnostic);
-  return R.doneTime(Exit[RankA]) / 2.0;
+  InternedScheduleRef IS = ScheduleInternCache::global().intern(
+      strFormat("pingpong|a=%u|b=%u|bytes=%llu", RankA, RankB,
+                static_cast<unsigned long long>(Bytes)),
+      [&] {
+        ScheduleBuilder B(NumProcs);
+        BuiltSchedule Built;
+        Built.Exit = appendPingPong(B, RankA, RankB, Bytes, /*Tag=*/0);
+        Built.S = B.take();
+        return Built;
+      });
+  return runInterned(IS, P, Seed, "ping-pong",
+                     [&](const ExecutionResult &R) {
+                       return R.doneTime(IS->Exit[RankA]) / 2.0;
+                     });
 }

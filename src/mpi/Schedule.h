@@ -102,6 +102,11 @@ public:
     return static_cast<std::uint32_t>(Ops.size());
   }
 
+  /// Reserves room for \p Count additional operations. Generators in
+  /// coll/ call this with closed-form op counts (tree fan-out, segment
+  /// count) so appending never reallocates mid-build.
+  void reserveOps(std::size_t Count) { Ops.reserve(Ops.size() + Count); }
+
   /// Appends a non-blocking send from \p Rank to \p Peer.
   OpId addSend(unsigned Rank, unsigned Peer, std::uint64_t Bytes, int Tag,
                std::span<const OpId> Deps = {});

@@ -1,0 +1,45 @@
+//===- mpi/ScheduleIntern.cpp - Compiled-schedule interning ---------------===//
+
+#include "mpi/ScheduleIntern.h"
+
+using namespace mpicsel;
+
+ScheduleInternCache &ScheduleInternCache::global() {
+  static ScheduleInternCache Cache;
+  return Cache;
+}
+
+InternedScheduleRef ScheduleInternCache::lookup(const std::string &Key) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  auto It = Entries.find(Key);
+  if (It == Entries.end())
+    return nullptr;
+  ++Hits;
+  return It->second;
+}
+
+InternedScheduleRef
+ScheduleInternCache::insert(const std::string &Key,
+                            std::shared_ptr<InternedSchedule> Entry) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  ++Misses;
+  auto [It, Inserted] = Entries.try_emplace(Key, std::move(Entry));
+  // Losing the race is harmless: both builds compiled the same
+  // schedule, and the winner's entry is the one every caller shares.
+  return It->second;
+}
+
+ScheduleInternCache::CacheStats ScheduleInternCache::stats() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  CacheStats S;
+  S.Hits = Hits;
+  S.Misses = Misses;
+  S.Entries = Entries.size();
+  return S;
+}
+
+void ScheduleInternCache::clear() {
+  std::lock_guard<std::mutex> Guard(Lock);
+  Entries.clear();
+  Hits = Misses = 0;
+}

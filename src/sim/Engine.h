@@ -36,9 +36,11 @@
 
 #include "cluster/Platform.h"
 #include "fault/Fault.h"
+#include "mpi/CompiledSchedule.h"
 #include "mpi/Schedule.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -106,6 +108,59 @@ struct ExecutionResult {
 ExecutionResult runSchedule(const Schedule &S, const Platform &P,
                             std::uint64_t Seed = 0,
                             const FaultSchedule *Faults = nullptr);
+
+/// The original heap-walking interpreter, kept verbatim behind this
+/// entry point as the differential-testing oracle for the compiled
+/// engine (tests/TestCompiledSchedule.cpp). Semantics and results are
+/// identical to runSchedule; only the execution machinery differs.
+ExecutionResult runScheduleLegacy(const Schedule &S, const Platform &P,
+                                  std::uint64_t Seed = 0,
+                                  const FaultSchedule *Faults = nullptr);
+
+/// Which machinery runSchedule dispatches to.
+enum class EngineMode : std::uint8_t {
+  /// Compile the schedule and replay it through Engine (default).
+  Compiled,
+  /// The original per-Op interpreter.
+  Legacy,
+};
+
+/// The process-wide engine mode. The initial value is taken from the
+/// MPICSEL_ENGINE environment variable ("legacy" selects the legacy
+/// interpreter); anything else, or no variable, selects Compiled.
+EngineMode engineMode();
+
+/// Overrides the process-wide engine mode (differential tests).
+void setEngineMode(EngineMode Mode);
+
+/// Replays compiled schedules with all per-run mutable state held in a
+/// reusable arena: after the first run of a given schedule shape, a
+/// run performs no heap allocation at all (bench/micro_engine asserts
+/// this with a counting operator-new). One Engine is single-threaded;
+/// sweep workers each own one (thread_local in model/Runner.cpp).
+///
+/// run() returns a reference to the engine's internal result, valid
+/// until the next run() on the same Engine -- copy it to keep it.
+/// Semantics (noise draws, event ordering, fault handling, pre-flight
+/// verification) are bit-identical to runSchedule/runScheduleLegacy.
+class Engine {
+public:
+  Engine();
+  ~Engine();
+  Engine(const Engine &) = delete;
+  Engine &operator=(const Engine &) = delete;
+
+  const ExecutionResult &run(const CompiledSchedule &CS, const Platform &P,
+                             std::uint64_t Seed = 0,
+                             const FaultSchedule *Faults = nullptr);
+
+  /// All per-run mutable state (event heap, readiness counters,
+  /// resource clocks, match queues, timings), defined in Engine.cpp.
+  struct RunState;
+
+private:
+  std::unique_ptr<RunState> State;
+};
 
 /// Enables or disables the static pre-flight verification inside
 /// runSchedule process-wide. The initial value is taken from the

@@ -40,6 +40,7 @@
 
 #include "verify/Verifier.h"
 
+#include "mpi/CompiledSchedule.h"
 #include "support/Format.h"
 
 #include <algorithm>
@@ -149,6 +150,15 @@ public:
            const VerifyOptions &Options)
       : S(Sched), Contract(Contr), Opts(Options) {}
 
+  /// Compiled-schedule analysis: every dependency read goes through
+  /// the CSR arrays, so the artifact the engine executes is the
+  /// artifact this verifies (op fields still come from the retained
+  /// source schedule -- compilation copies them field for field).
+  Analyzer(const CompiledSchedule &Compiled, const ScheduleContract *Contr,
+           const VerifyOptions &Options)
+      : S(Compiled.Source), CS(&Compiled), Contract(Contr),
+        Opts(Options) {}
+
   VerifyReport run();
 
 private:
@@ -174,7 +184,16 @@ private:
   /// edges. Consumes from the shared budget.
   bool reaches(OpId From, std::span<const OpId> Targets);
 
+  /// Dependencies of \p Id: the CSR row when analysing a compiled
+  /// schedule, the builder-IR vector otherwise.
+  std::span<const OpId> deps(OpId Id) const {
+    if (CS)
+      return CS->depsOf(Id);
+    return S.Ops[Id].Deps;
+  }
+
   const Schedule &S;
+  const CompiledSchedule *CS = nullptr;
   const ScheduleContract *Contract;
   const VerifyOptions &Opts;
   VerifyReport Report;
@@ -241,7 +260,7 @@ bool Analyzer::checkStructure() {
     if (O.Kind == OpKind::Compute && O.Duration < 0)
       finding(Severity::Error, CheckKind::Structure, Id, O.Rank,
               strFormat("negative compute duration %g", O.Duration));
-    for (OpId Dep : O.Deps) {
+    for (OpId Dep : deps(Id)) {
       if (Dep >= NumOps) {
         finding(Severity::Error, CheckKind::Structure, Id, O.Rank,
                 strFormat("dependency on nonexistent op %u", Dep));
@@ -265,7 +284,7 @@ bool Analyzer::checkStructure() {
   // mutated schedules can contain forward edges and thus cycles.
   std::vector<std::uint32_t> Pending(NumOps, 0);
   for (OpId Id = 0; Id != NumOps; ++Id)
-    for (OpId Dep : S.Ops[Id].Deps)
+    for (OpId Dep : deps(Id))
       if (Dep < NumOps)
         ++Pending[Id];
   std::deque<OpId> Queue;
@@ -391,8 +410,8 @@ bool Analyzer::reaches(OpId From, std::span<const OpId> Targets) {
 }
 
 bool Analyzer::postingOrdered(OpId A, OpId B) {
-  const std::vector<OpId> &DepsA = S.Ops[A].Deps;
-  const std::vector<OpId> &DepsB = S.Ops[B].Deps;
+  std::span<const OpId> DepsA = deps(A);
+  std::span<const OpId> DepsB = deps(B);
   if (DepsA.empty())
     return true; // A is posted at t = 0.
   if (DepsB.empty())
@@ -475,7 +494,7 @@ void Analyzer::checkDeadlock() {
   std::vector<std::uint32_t> Waits(NumOps, 0);
   for (OpId Id = 0; Id != NumOps; ++Id) {
     const Op &O = S.Ops[Id];
-    for (OpId Dep : O.Deps)
+    for (OpId Dep : deps(Id))
       if (Dep < NumOps)
         ++Waits[Id];
     if (O.Kind == OpKind::Recv && !Malformed[Id])
@@ -523,7 +542,7 @@ void Analyzer::checkDeadlock() {
   for (OpId Id : Report.NeverCompleting) {
     const Op &O = S.Ops[Id];
     bool DepsOk = true;
-    for (OpId Dep : O.Deps)
+    for (OpId Dep : deps(Id))
       DepsOk &= Dep < NumOps && Completes[Dep];
     if (!DepsOk)
       continue; // Failure inherited through program order.
@@ -557,7 +576,7 @@ void Analyzer::checkDeadlock() {
     OnTrail[Cur] = true;
     Trail.push_back(Cur);
     OpId Blocker = InvalidOpId;
-    for (OpId Dep : S.Ops[Cur].Deps)
+    for (OpId Dep : deps(Cur))
       if (Dep < NumOps && !Completes[Dep]) {
         Blocker = Dep;
         break;
@@ -723,7 +742,7 @@ void Analyzer::checkLints() {
               strFormat("self-%s: rank %u messages itself (not modelled; "
                         "real MPI would need buffering guarantees)",
                         opKindName(O.Kind), O.Rank));
-    if (O.Kind == OpKind::Compute && O.Duration == 0.0 && O.Deps.empty() &&
+    if (O.Kind == OpKind::Compute && O.Duration == 0.0 && deps(Id).empty() &&
         Dependents[Id].empty())
       finding(Severity::Lint, CheckKind::Lint, Id, O.Rank,
               "dead op: zero-duration compute with no dependencies and no "
@@ -751,5 +770,12 @@ VerifyReport mpicsel::verifySchedule(const Schedule &S,
                                      const ScheduleContract *Contract,
                                      const VerifyOptions &Options) {
   Analyzer A(S, Contract, Options);
+  return A.run();
+}
+
+VerifyReport mpicsel::verifySchedule(const CompiledSchedule &CS,
+                                     const ScheduleContract *Contract,
+                                     const VerifyOptions &Options) {
+  Analyzer A(CS, Contract, Options);
   return A.run();
 }

@@ -47,6 +47,8 @@
 
 namespace mpicsel {
 
+struct CompiledSchedule;
+
 /// How bad a finding is.
 enum class Severity : std::uint8_t {
   /// Definitely wrong: the schedule cannot execute as intended
@@ -132,6 +134,14 @@ struct VerifyOptions {
 /// checks the collective's data-movement obligations. Never executes
 /// the schedule.
 VerifyReport verifySchedule(const Schedule &S,
+                            const ScheduleContract *Contract = nullptr,
+                            const VerifyOptions &Options = {});
+
+/// Same analysis over a compiled schedule (mpi/CompiledSchedule.h):
+/// all dependency reads go through the CSR arrays the engine executes,
+/// so the compiled layout itself is what gets verified. This is the
+/// overload the engine's pre-flight and tools/schedlint use.
+VerifyReport verifySchedule(const CompiledSchedule &CS,
                             const ScheduleContract *Contract = nullptr,
                             const VerifyOptions &Options = {});
 

@@ -1,0 +1,437 @@
+//===- tests/TestCompiledSchedule.cpp - Compiled engine vs legacy oracle --===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+// The compiled-schedule engine (mpi/CompiledSchedule.h + sim/Engine.h)
+// claims bit-identity with the legacy per-Op interpreter: compilation
+// only re-lays-out the schedule, so every OpTiming, byte counter and
+// deadlock verdict must match the legacy run exactly -- across every
+// collective generator, under fault injection, for any seed, and from
+// any number of sweep threads. These tests pin that contract with the
+// legacy interpreter as the oracle; they run with MPICSEL_VERIFY=1,
+// so the static verifier also cross-checks every executed schedule.
+//
+//===----------------------------------------------------------------------===//
+
+#include "coll/Barrier.h"
+#include "coll/Bcast.h"
+#include "coll/Gather.h"
+#include "coll/PointToPoint.h"
+#include "coll/Reduce.h"
+#include "coll/Scatter.h"
+#include "fault/Fault.h"
+#include "mpi/CompiledSchedule.h"
+#include "mpi/ScheduleIntern.h"
+#include "sim/Engine.h"
+#include "stat/ParallelSweep.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace mpicsel;
+
+namespace {
+
+/// 16 ranks over 8 dual-process nodes: both the intra- and inter-node
+/// link models participate. Mild noise so the shared RNG stream is
+/// exercised (sigma 0 would bypass every draw).
+Platform testPlatform() {
+  Platform P = makeTestPlatform(8, 2);
+  P.NoiseSigma = 0.02;
+  return P;
+}
+
+/// One named schedule shape of the differential catalogue.
+struct CatalogEntry {
+  std::string Name;
+  unsigned NumProcs = 0;
+  Schedule S;
+};
+
+/// Every collective generator in coll/, including odd rank counts
+/// (unpaired split-binary ranks), non-zero roots, segment remainders
+/// (message size not a segment multiple) and the unsegmented paths.
+std::vector<CatalogEntry> buildCatalogue() {
+  std::vector<CatalogEntry> Catalogue;
+  auto Add = [&](std::string Name, unsigned NumProcs, auto &&Append) {
+    ScheduleBuilder B(NumProcs);
+    Append(B);
+    Catalogue.push_back({std::move(Name), NumProcs, B.take()});
+  };
+
+  for (BcastAlgorithm Alg : AllBcastAlgorithms)
+    Add(std::string("bcast_") + bcastAlgorithmName(Alg), 16,
+        [&](ScheduleBuilder &B) {
+          BcastConfig C;
+          C.Algorithm = Alg;
+          C.MessageBytes = 96 * 1024 + 13; // Remainder segment.
+          C.SegmentBytes = 8 * 1024;
+          appendBcast(B, C);
+        });
+  Add("bcast_binomial_oddP_root2", 13, [](ScheduleBuilder &B) {
+    BcastConfig C;
+    C.Algorithm = BcastAlgorithm::Binomial;
+    C.MessageBytes = 32 * 1024;
+    C.SegmentBytes = 4 * 1024;
+    C.Root = 2;
+    appendBcast(B, C);
+  });
+  Add("bcast_split_binary_oddP", 13, [](ScheduleBuilder &B) {
+    BcastConfig C;
+    C.Algorithm = BcastAlgorithm::SplitBinary;
+    C.MessageBytes = 64 * 1024;
+    C.SegmentBytes = 8 * 1024;
+    appendBcast(B, C);
+  });
+
+  for (ReduceAlgorithm Alg : AllReduceAlgorithms)
+    Add(std::string("reduce_") + reduceAlgorithmName(Alg), 16,
+        [&](ScheduleBuilder &B) {
+          ReduceConfig C;
+          C.Algorithm = Alg;
+          C.MessageBytes = 48 * 1024;
+          C.SegmentBytes = 8 * 1024;
+          C.ComputeSecondsPerByte = 4e-10;
+          C.Root = 1;
+          appendReduce(B, C);
+        });
+
+  for (ScatterAlgorithm Alg : AllScatterAlgorithms)
+    Add(std::string("scatter_") + scatterAlgorithmName(Alg), 16,
+        [&](ScheduleBuilder &B) {
+          ScatterConfig C;
+          C.Algorithm = Alg;
+          C.BlockBytes = 4096;
+          appendScatter(B, C);
+        });
+
+  Add("gather_linear", 16, [](ScheduleBuilder &B) {
+    GatherConfig C;
+    C.BlockBytes = 4096;
+    appendLinearGather(B, C);
+  });
+  Add("gather_synchronised", 16, [](ScheduleBuilder &B) {
+    GatherConfig C;
+    C.BlockBytes = 4096;
+    C.Synchronised = true;
+    appendLinearGather(B, C);
+  });
+
+  Add("barrier", 16, [](ScheduleBuilder &B) { appendBarrier(B, 0); });
+  Add("pingpong", 16,
+      [](ScheduleBuilder &B) { appendPingPong(B, 0, 15, 64 * 1024, 0); });
+
+  return Catalogue;
+}
+
+/// Asserts exact (bitwise ==) equality of two execution results:
+/// every OpTiming field, makespan, per-rank byte counters, completion
+/// and scenario metadata.
+void expectBitIdentical(const ExecutionResult &Legacy,
+                        const ExecutionResult &Compiled,
+                        const std::string &Context) {
+  EXPECT_EQ(Legacy.Completed, Compiled.Completed) << Context;
+  EXPECT_EQ(Legacy.Makespan, Compiled.Makespan) << Context;
+  ASSERT_EQ(Legacy.Timings.size(), Compiled.Timings.size()) << Context;
+  for (std::size_t Id = 0; Id != Legacy.Timings.size(); ++Id) {
+    const OpTiming &L = Legacy.Timings[Id], &C = Compiled.Timings[Id];
+    ASSERT_TRUE(L.Done == C.Done && L.ReadyTime == C.ReadyTime &&
+                L.StartTime == C.StartTime && L.DoneTime == C.DoneTime)
+        << Context << " diverges at op " << Id << ": legacy ("
+        << L.ReadyTime << ", " << L.StartTime << ", " << L.DoneTime
+        << ", " << L.Done << ") vs compiled (" << C.ReadyTime << ", "
+        << C.StartTime << ", " << C.DoneTime << ", " << C.Done << ")";
+  }
+  EXPECT_EQ(Legacy.BytesReceived, Compiled.BytesReceived) << Context;
+  EXPECT_EQ(Legacy.BytesSent, Compiled.BytesSent) << Context;
+  ASSERT_EQ(Legacy.FaultWindows.size(), Compiled.FaultWindows.size())
+      << Context;
+  for (std::size_t I = 0; I != Legacy.FaultWindows.size(); ++I) {
+    EXPECT_EQ(Legacy.FaultWindows[I].Kind, Compiled.FaultWindows[I].Kind);
+    EXPECT_EQ(Legacy.FaultWindows[I].Start, Compiled.FaultWindows[I].Start);
+    EXPECT_EQ(Legacy.FaultWindows[I].End, Compiled.FaultWindows[I].End);
+    EXPECT_EQ(Legacy.FaultWindows[I].Target, Compiled.FaultWindows[I].Target);
+  }
+  EXPECT_EQ(Legacy.FaultScenario, Compiled.FaultScenario) << Context;
+}
+
+/// Fault scenarios for the perturbed differential runs: a slow rank, a
+/// congested node with a temporary noise-regime shift, and seeded
+/// per-message stalls (the path where the engines must agree on every
+/// per-message hash decision).
+std::vector<FaultSchedule> faultScenarios() {
+  std::vector<FaultSchedule> Scenarios;
+  {
+    FaultSchedule F("straggler-rank1", 77);
+    FaultEvent E;
+    E.Kind = FaultKind::StragglerRank;
+    E.Rank = 1;
+    E.CpuMultiplier = 3.0;
+    F.add(E);
+    Scenarios.push_back(std::move(F));
+  }
+  {
+    FaultSchedule F("congested-node0", 78);
+    FaultEvent Link;
+    Link.Kind = FaultKind::DegradedLink;
+    Link.Node = 0;
+    Link.GapMultiplier = 2.0;
+    Link.LatencyMultiplier = 4.0;
+    F.add(Link);
+    FaultEvent Regime;
+    Regime.Kind = FaultKind::NoiseRegimeShift;
+    Regime.Start = 0.0;
+    Regime.End = 1e-3;
+    Regime.SigmaMultiplier = 3.0;
+    F.add(Regime);
+    Scenarios.push_back(std::move(F));
+  }
+  {
+    FaultSchedule F("message-stalls", 79);
+    FaultEvent E;
+    E.Kind = FaultKind::MessageStall;
+    E.SpikeProbability = 0.5;
+    E.StallSeconds = 1e-4;
+    F.add(E);
+    Scenarios.push_back(std::move(F));
+  }
+  return Scenarios;
+}
+
+constexpr std::uint64_t Seeds[] = {1, 42, 9001};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Differential: every collective, every seed.
+//===----------------------------------------------------------------------===//
+
+TEST(CompiledSchedule, AllCollectivesBitIdenticalToLegacy) {
+  Platform P = testPlatform();
+  Engine E;
+  for (const CatalogEntry &Entry : buildCatalogue()) {
+    CompiledSchedule CS = compileSchedule(Entry.S);
+    for (std::uint64_t Seed : Seeds) {
+      ExecutionResult Legacy = runScheduleLegacy(CS.Source, P, Seed);
+      const ExecutionResult &Compiled = E.run(CS, P, Seed);
+      ASSERT_TRUE(Legacy.Completed) << Entry.Name;
+      expectBitIdentical(Legacy, Compiled,
+                         Entry.Name + " seed " + std::to_string(Seed));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Differential: fault scenarios.
+//===----------------------------------------------------------------------===//
+
+TEST(CompiledSchedule, FaultScenariosBitIdenticalToLegacy) {
+  Platform P = testPlatform();
+  // Representative shapes: segmented tree, split halves with pairwise
+  // exchange, and a chain reduction (computes under CPU faults).
+  ScheduleBuilder BcastB(16);
+  BcastConfig BC;
+  BC.Algorithm = BcastAlgorithm::Binomial;
+  BC.MessageBytes = 64 * 1024;
+  BC.SegmentBytes = 8 * 1024;
+  appendBcast(BcastB, BC);
+  ScheduleBuilder SplitB(13);
+  BC.Algorithm = BcastAlgorithm::SplitBinary;
+  appendBcast(SplitB, BC);
+  ScheduleBuilder ReduceB(16);
+  ReduceConfig RC;
+  RC.Algorithm = ReduceAlgorithm::Chain;
+  RC.MessageBytes = 32 * 1024;
+  RC.SegmentBytes = 8 * 1024;
+  RC.ComputeSecondsPerByte = 4e-10;
+  appendReduce(ReduceB, RC);
+
+  std::vector<CompiledSchedule> Shapes;
+  Shapes.push_back(compileSchedule(BcastB.take()));
+  Shapes.push_back(compileSchedule(SplitB.take()));
+  Shapes.push_back(compileSchedule(ReduceB.take()));
+
+  Engine E;
+  for (const FaultSchedule &Faults : faultScenarios())
+    for (const CompiledSchedule &CS : Shapes)
+      for (std::uint64_t Seed : Seeds) {
+        ExecutionResult Legacy =
+            runScheduleLegacy(CS.Source, P, Seed, &Faults);
+        const ExecutionResult &Compiled = E.run(CS, P, Seed, &Faults);
+        ASSERT_TRUE(Legacy.Completed) << Faults.name();
+        expectBitIdentical(Legacy, Compiled,
+                           Faults.name() + " seed " + std::to_string(Seed));
+      }
+}
+
+//===----------------------------------------------------------------------===//
+// Differential: serial vs MPICSEL_THREADS=8.
+//===----------------------------------------------------------------------===//
+
+TEST(CompiledSchedule, EightThreadSweepMatchesSerial) {
+  Platform P = testPlatform();
+  ScheduleBuilder B(16);
+  BcastConfig C;
+  C.Algorithm = BcastAlgorithm::Binomial;
+  C.MessageBytes = 64 * 1024;
+  C.SegmentBytes = 8 * 1024;
+  appendBcast(B, C);
+  const CompiledSchedule CS = compileSchedule(B.take());
+
+  constexpr std::size_t NumSeeds = 32;
+
+  // Serial oracle: the legacy interpreter, one run per seed.
+  std::vector<ExecutionResult> Serial(NumSeeds);
+  for (std::size_t I = 0; I != NumSeeds; ++I)
+    Serial[I] = runScheduleLegacy(CS.Source, P, I + 1);
+
+  // MPICSEL_THREADS=8 is how the sweeps request their worker count;
+  // resolve it exactly as model/ does, then replay the same seeds over
+  // that many workers sharing one immutable CompiledSchedule, each
+  // worker with its own arena engine (the Runner arrangement).
+  ASSERT_EQ(setenv("MPICSEL_THREADS", "8", 1), 0);
+  const unsigned Threads = resolveSweepThreads(0);
+  ASSERT_EQ(unsetenv("MPICSEL_THREADS"), 0);
+  ASSERT_EQ(Threads, 8u);
+
+  std::vector<ExecutionResult> Threaded(NumSeeds);
+  sweepIndexed(Threads, NumSeeds, [&](std::size_t I) {
+    thread_local Engine E;
+    Threaded[I] = E.run(CS, P, I + 1); // Copy out of the arena.
+  });
+
+  for (std::size_t I = 0; I != NumSeeds; ++I)
+    expectBitIdentical(Serial[I], Threaded[I],
+                       "threaded seed " + std::to_string(I + 1));
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatch, deadlock parity, arena reuse, structure.
+//===----------------------------------------------------------------------===//
+
+TEST(CompiledSchedule, RunScheduleDispatchesBothModes) {
+  Platform P = testPlatform();
+  ScheduleBuilder B(16);
+  appendBarrier(B, 0);
+  Schedule S = B.take();
+
+  const EngineMode Saved = engineMode();
+  setEngineMode(EngineMode::Legacy);
+  ExecutionResult Legacy = runSchedule(S, P, 5);
+  setEngineMode(EngineMode::Compiled);
+  ExecutionResult Compiled = runSchedule(S, P, 5);
+  setEngineMode(Saved);
+
+  ASSERT_TRUE(Legacy.Completed);
+  expectBitIdentical(Legacy, Compiled, "runSchedule dispatch");
+}
+
+TEST(CompiledSchedule, DeadlockParityWithLegacy) {
+  Platform P = testPlatform();
+  // Rank 1 waits for a message nobody sends; rank 0 proceeds. Both
+  // engines must report the identical partial timeline, not hang.
+  ScheduleBuilder B(2);
+  B.addRecv(1, 0, 100, 0);
+  B.addCompute(0, 1e-6);
+  CompiledSchedule CS = compileSchedule(B.take());
+
+  ExecutionResult Legacy = runScheduleLegacy(CS.Source, P, 3);
+  Engine E;
+  const ExecutionResult &Compiled = E.run(CS, P, 3);
+
+  EXPECT_FALSE(Legacy.Completed);
+  EXPECT_FALSE(Compiled.Completed);
+  EXPECT_NE(Compiled.Diagnostic.find("deadlock"), std::string::npos);
+  expectBitIdentical(Legacy, Compiled, "deadlock");
+
+  // The engine must stay usable after a deadlocked run.
+  ScheduleBuilder Clean(2);
+  appendPingPong(Clean, 0, 1, 4096, 0);
+  CompiledSchedule CleanCS = compileSchedule(Clean.take());
+  EXPECT_TRUE(E.run(CleanCS, P, 3).Completed);
+}
+
+TEST(CompiledSchedule, ArenaReuseIsDeterministic) {
+  Platform P = testPlatform();
+  ScheduleBuilder B1(16);
+  BcastConfig C;
+  C.Algorithm = BcastAlgorithm::Binary;
+  C.MessageBytes = 32 * 1024;
+  C.SegmentBytes = 4 * 1024;
+  appendBcast(B1, C);
+  CompiledSchedule Big = compileSchedule(B1.take());
+  ScheduleBuilder B2(4);
+  appendBarrier(B2, 0);
+  CompiledSchedule Small = compileSchedule(B2.take());
+
+  // Replaying a shape through a warm arena -- including after the
+  // arena served a schedule of a different size -- must reproduce the
+  // cold run bit for bit.
+  Engine E;
+  ExecutionResult Cold = E.run(Big, P, 11);
+  ExecutionResult Warm = E.run(Big, P, 11);
+  expectBitIdentical(Cold, Warm, "warm replay");
+  E.run(Small, P, 1);
+  expectBitIdentical(Cold, E.run(Big, P, 11), "replay after resize");
+}
+
+TEST(CompiledSchedule, FlatIrMirrorsSourceSchedule) {
+  ScheduleBuilder B(16);
+  BcastConfig C;
+  C.Algorithm = BcastAlgorithm::SplitBinary;
+  C.MessageBytes = 64 * 1024;
+  C.SegmentBytes = 8 * 1024;
+  appendBcast(B, C);
+  CompiledSchedule CS = compileSchedule(B.take());
+  const Schedule &S = CS.Source;
+
+  ASSERT_EQ(CS.numOps(), S.Ops.size());
+  std::uint32_t Sends = 0, Recvs = 0, Roots = 0;
+  for (OpId Id = 0; Id != CS.numOps(); ++Id) {
+    const Op &O = S.Ops[Id];
+    // SoA columns, hot rows and the source op must agree field by
+    // field.
+    EXPECT_EQ(CS.Kind[Id], O.Kind);
+    EXPECT_EQ(CS.OpRank[Id], O.Rank);
+    EXPECT_EQ(CS.OpBytes[Id], O.Bytes);
+    EXPECT_EQ(CS.Hot[Id].Kind, O.Kind);
+    EXPECT_EQ(CS.Hot[Id].Rank, O.Rank);
+    EXPECT_EQ(CS.Hot[Id].Bytes, O.Bytes);
+    EXPECT_EQ(CS.Hot[Id].Duration, CS.OpDuration[Id]);
+    EXPECT_EQ(CS.Hot[Id].Channel, CS.ChannelOf[Id]);
+    // Dependency order is preserved exactly (the bit-identity hinge).
+    auto Deps = CS.depsOf(Id);
+    ASSERT_EQ(Deps.size(), O.Deps.size());
+    for (std::size_t I = 0; I != Deps.size(); ++I)
+      EXPECT_EQ(Deps[I], O.Deps[I]);
+    EXPECT_EQ(CS.InDegree[Id], O.Deps.size());
+    if (O.Deps.empty())
+      ++Roots;
+    if (O.Kind == OpKind::Send) {
+      ++Sends;
+      EXPECT_NE(CS.ChannelOf[Id], CompiledSchedule::NoChannel);
+    } else if (O.Kind == OpKind::Recv) {
+      ++Recvs;
+      EXPECT_NE(CS.ChannelOf[Id], CompiledSchedule::NoChannel);
+    } else {
+      EXPECT_EQ(CS.ChannelOf[Id], CompiledSchedule::NoChannel);
+    }
+  }
+  EXPECT_EQ(CS.NumSends, Sends);
+  EXPECT_EQ(CS.NumRecvs, Recvs);
+  EXPECT_EQ(CS.Roots.size(), Roots);
+  // Channel capacities are exact prefix sums of the per-channel
+  // send/recv populations.
+  ASSERT_EQ(CS.ChannelSendOffsets.size(), CS.NumChannels + 1);
+  EXPECT_EQ(CS.ChannelSendOffsets[CS.NumChannels], Sends);
+  EXPECT_EQ(CS.ChannelRecvOffsets[CS.NumChannels], Recvs);
+  // Successor edges are the exact transpose of the dependency edges.
+  std::size_t SuccEdges = 0;
+  for (OpId Id = 0; Id != CS.numOps(); ++Id)
+    SuccEdges += CS.succsOf(Id).size();
+  EXPECT_EQ(SuccEdges, CS.DepList.size());
+}

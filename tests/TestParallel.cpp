@@ -12,10 +12,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "coll/Bcast.h"
 #include "fault/Fault.h"
 #include "model/Calibration.h"
 #include "model/DecisionCache.h"
 #include "model/Gamma.h"
+#include "model/Runner.h"
+#include "mpi/ScheduleIntern.h"
 #include "stat/ParallelSweep.h"
 #include "support/ThreadPool.h"
 
@@ -333,4 +336,99 @@ TEST(DecisionCache, ClearRemovesEveryEntry) {
   CalibratedModels Loaded;
   EXPECT_FALSE(Cache.loadModels(Key, Loaded));
   EXPECT_EQ(Cache.clear(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Schedule interning: the compiled-schedule cache behind the sweeps.
+//===----------------------------------------------------------------------===//
+
+TEST(ScheduleIntern, KeySeparatesEveryShapeParameter) {
+  ScheduleInternCache &Cache = ScheduleInternCache::global();
+  Cache.clear();
+
+  Platform Plat = smallCluster();
+  BcastConfig Config;
+  Config.Algorithm = BcastAlgorithm::Binomial;
+  Config.MessageBytes = 256 * 1024;
+  Config.SegmentBytes = 8 * 1024;
+  runBcastOnce(Plat, 16, Config, 1);
+  EXPECT_EQ(Cache.stats().Entries, 1u);
+
+  // The same grid point again -- any seed -- must hit, not rebuild.
+  runBcastOnce(Plat, 16, Config, 2);
+  EXPECT_EQ(Cache.stats().Entries, 1u);
+  EXPECT_EQ(Cache.stats().Hits, 1u);
+  EXPECT_EQ(Cache.stats().Misses, 1u);
+
+  // Segment size is part of the schedule shape: a different segment
+  // count is a different schedule and must occupy its own entry.
+  Config.SegmentBytes = 16 * 1024;
+  runBcastOnce(Plat, 16, Config, 1);
+  EXPECT_EQ(Cache.stats().Entries, 2u);
+
+  // So are algorithm, rank count and message size.
+  Config.Algorithm = BcastAlgorithm::Chain;
+  runBcastOnce(Plat, 16, Config, 1);
+  Config.Algorithm = BcastAlgorithm::Binomial;
+  runBcastOnce(Plat, 12, Config, 1);
+  Config.MessageBytes = 128 * 1024;
+  runBcastOnce(Plat, 12, Config, 1);
+  EXPECT_EQ(Cache.stats().Entries, 5u);
+  EXPECT_EQ(Cache.stats().Misses, 5u);
+  Cache.clear();
+}
+
+TEST(ScheduleIntern, GrowthBoundedByDistinctGridPoints) {
+  ScheduleInternCache &Cache = ScheduleInternCache::global();
+  Cache.clear();
+
+  Platform Plat = smallCluster();
+  const std::vector<std::uint64_t> Sizes = {8192, 32768, 131072, 524288};
+  for (unsigned Round = 0; Round != 8; ++Round)
+    for (std::uint64_t Bytes : Sizes) {
+      BcastConfig Config;
+      Config.Algorithm = BcastAlgorithm::Binomial;
+      Config.MessageBytes = Bytes;
+      runBcastOnce(Plat, 16, Config, Round + 1);
+    }
+
+  // Thousands of repetitions, four schedules: the cache is bounded by
+  // the grid, not the repetition count.
+  ScheduleInternCache::CacheStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.Entries, Sizes.size());
+  EXPECT_EQ(Stats.Misses, Sizes.size());
+  EXPECT_EQ(Stats.Hits, 8 * Sizes.size() - Sizes.size());
+  Cache.clear();
+}
+
+TEST(ScheduleIntern, ConcurrentInternsSharePointerIdenticalEntry) {
+  ScheduleInternCache &Cache = ScheduleInternCache::global();
+  Cache.clear();
+
+  // Eight workers race to intern one key. Losers of the insertion
+  // race must discard their build and adopt the winner's entry, so
+  // every worker ends up replaying the very same compiled schedule.
+  constexpr std::size_t NumWorkers = 16;
+  std::vector<InternedScheduleRef> Refs(NumWorkers);
+  sweepIndexed(8, NumWorkers, [&](std::size_t I) {
+    Refs[I] = Cache.intern("test|racing-key", [] {
+      ScheduleBuilder B(16);
+      BuiltSchedule Built;
+      BcastConfig Config;
+      Config.Algorithm = BcastAlgorithm::Binomial;
+      Config.MessageBytes = 64 * 1024;
+      Built.Exit = appendBcast(B, Config);
+      Built.S = B.take();
+      return Built;
+    });
+  });
+
+  ASSERT_NE(Refs[0], nullptr);
+  for (std::size_t I = 1; I != NumWorkers; ++I)
+    EXPECT_EQ(Refs[I].get(), Refs[0].get()) << "worker " << I;
+  ScheduleInternCache::CacheStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.Entries, 1u);
+  EXPECT_GE(Stats.Misses, 1u);
+  EXPECT_EQ(Stats.Hits + Stats.Misses, NumWorkers);
+  Cache.clear();
 }

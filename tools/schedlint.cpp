@@ -23,6 +23,13 @@
 // and the results are merged in grid order, so the findings table
 // and the exit status are identical for any job count.
 //
+// Every grid point is compiled exactly once through the process-wide
+// interning cache (mpi/ScheduleIntern.h) and that one CompiledSchedule
+// serves every analysis pass: the static verifier reads its CSR
+// dependency arrays directly (the compiled-schedule verifySchedule
+// overload) and the fault pass replays it in a per-worker Engine --
+// what gets verified is byte-for-byte what gets executed.
+//
 //===----------------------------------------------------------------------===//
 
 #include "coll/Barrier.h"
@@ -31,6 +38,7 @@
 #include "coll/Reduce.h"
 #include "coll/Scatter.h"
 #include "fault/Fault.h"
+#include "mpi/ScheduleIntern.h"
 #include "sim/Engine.h"
 #include "stat/ParallelSweep.h"
 #include "support/CommandLine.h"
@@ -54,10 +62,12 @@ struct Sweep {
   Sweep() = default;
   explicit Sweep(bool ListCleanRows) : ListClean(ListCleanRows) {}
 
-  /// Verifies \p S against \p C and records the outcome.
-  void check(const Schedule &S, const ScheduleContract &C, unsigned P) {
+  /// Verifies the compiled form of one grid point against \p C (via
+  /// its CSR dependency arrays) and records the outcome.
+  void check(const CompiledSchedule &CS, const ScheduleContract &C,
+             unsigned P) {
     ++Schedules;
-    VerifyReport Report = verifySchedule(S, &C);
+    VerifyReport Report = verifySchedule(CS, &C);
     TotalFindings += static_cast<unsigned>(Report.Findings.size());
     if (!Report.Findings.empty())
       for (const VerifyFinding &F : Report.Findings)
@@ -66,20 +76,22 @@ struct Sweep {
                         severityName(F.Sev), F.str()});
     else if (ListClean)
       Rows.push_back({C.Name, strFormat("%u", P), "0", "", "clean"});
-    checkUnderFaults(S, C, P, Report);
+    checkUnderFaults(CS, C, P, Report);
   }
 
-  /// Fault mode: executes \p S under the injected fault scenario and
-  /// cross-checks completion against the static deadlock verdict --
-  /// stalls and stragglers may slow a schedule arbitrarily but must
-  /// never wedge one the verifier proved deadlock-free.
-  void checkUnderFaults(const Schedule &S, const ScheduleContract &C,
+  /// Fault mode: replays the same compiled schedule under the
+  /// injected fault scenario and cross-checks completion against the
+  /// static deadlock verdict -- stalls and stragglers may slow a
+  /// schedule arbitrarily but must never wedge one the verifier
+  /// proved deadlock-free.
+  void checkUnderFaults(const CompiledSchedule &CS, const ScheduleContract &C,
                         unsigned P, const VerifyReport &Report) {
     if (!Faults)
       return;
     ++FaultRuns;
     Platform Plat = makeTestPlatform((P + 1) / 2, 2);
-    ExecutionResult R = runSchedule(S, Plat, /*Seed=*/1, Faults);
+    thread_local Engine WorkerEngine;
+    const ExecutionResult &R = WorkerEngine.run(CS, Plat, /*Seed=*/1, Faults);
     bool ExpectComplete = !Report.deadlocks();
     if (R.Completed == ExpectComplete)
       return;
@@ -110,14 +122,21 @@ struct Sweep {
   unsigned TotalFindings = 0;
 };
 
-/// Builds and checks one standalone collective schedule.
+/// Checks one standalone collective schedule, compiling it at most
+/// once per process: \p Key identifies the grid point in the interning
+/// cache, and every analysis pass shares the cached CompiledSchedule.
 template <typename AppendFn>
 void checkOne(Sweep &SW, unsigned P, const ScheduleContract &C,
-              AppendFn Append) {
-  ScheduleBuilder B(P);
-  Append(B);
-  Schedule S = B.take();
-  SW.check(S, C, P);
+              const std::string &Key, AppendFn Append) {
+  InternedScheduleRef IS =
+      ScheduleInternCache::global().intern(Key, [&] {
+        ScheduleBuilder B(P);
+        Append(B);
+        BuiltSchedule Built;
+        Built.S = B.take();
+        return Built;
+      });
+  SW.check(IS->Compiled, C, P);
 }
 
 } // namespace
@@ -238,6 +257,7 @@ int main(int Argc, char **Argv) {
           SW.Faults = &FaultScenario;
         if (C.Barrier) {
           checkOne(SW, C.P, barrierContract(C.P),
+                   strFormat("lint|barrier|P=%u", C.P),
                    [&](ScheduleBuilder &B) { appendBarrier(B, /*Tag=*/0); });
           return SW;
         }
@@ -250,6 +270,9 @@ int main(int Argc, char **Argv) {
             Config.MessageBytes = M;
             Config.SegmentBytes = Seg;
             checkOne(SW, P, bcastContract(Config, P),
+                     strFormat("lint|bcast|alg=%d|P=%u|m=%llu|seg=%llu",
+                               static_cast<int>(Alg), P,
+                               (unsigned long long)M, (unsigned long long)Seg),
                      [&](ScheduleBuilder &B) { appendBcast(B, Config); });
           }
           for (ReduceAlgorithm Alg : AllReduceAlgorithms) {
@@ -258,6 +281,9 @@ int main(int Argc, char **Argv) {
             Config.MessageBytes = M;
             Config.SegmentBytes = Seg;
             checkOne(SW, P, reduceContract(Config, P),
+                     strFormat("lint|reduce|alg=%d|P=%u|m=%llu|seg=%llu",
+                               static_cast<int>(Alg), P,
+                               (unsigned long long)M, (unsigned long long)Seg),
                      [&](ScheduleBuilder &B) { appendReduce(B, Config); });
           }
         }
@@ -267,6 +293,8 @@ int main(int Argc, char **Argv) {
           Config.BlockBytes = M;
           Config.Synchronised = Sync;
           checkOne(SW, P, gatherContract(Config, P),
+                   strFormat("lint|gather|sync=%d|P=%u|m=%llu", Sync ? 1 : 0,
+                             P, (unsigned long long)M),
                    [&](ScheduleBuilder &B) { appendLinearGather(B, Config); });
         }
         for (ScatterAlgorithm Alg : AllScatterAlgorithms) {
@@ -274,6 +302,9 @@ int main(int Argc, char **Argv) {
           Config.Algorithm = Alg;
           Config.BlockBytes = M;
           checkOne(SW, P, scatterContract(Config, P),
+                   strFormat("lint|scatter|alg=%d|P=%u|m=%llu",
+                             static_cast<int>(Alg), P,
+                             (unsigned long long)M),
                    [&](ScheduleBuilder &B) { appendScatter(B, Config); });
         }
         return SW;
