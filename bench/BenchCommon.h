@@ -19,6 +19,8 @@
 #include "cluster/Platform.h"
 #include "model/Calibration.h"
 #include "model/DecisionCache.h"
+#include "obs/Journal.h"
+#include "support/CommandLine.h"
 #include "support/Json.h"
 
 #include <atomic>
@@ -47,6 +49,17 @@ inline void countAllocation() {
 /// Number of heap allocations observed so far (see AllocationTicks).
 inline std::uint64_t allocationCount() {
   return AllocationTicks.load(std::memory_order_relaxed);
+}
+
+/// Registers the shared `--metrics` flag. Call initObservability
+/// with \p Storage after parsing: a non-empty value points the
+/// obs/Journal.h run journal at a file (or "stderr") and overrides
+/// MPICSEL_METRICS; empty leaves the environment setting in force.
+inline void addMetricsFlag(CommandLine &Cli, std::string &Storage) {
+  Cli.addFlag("metrics",
+              "write a JSONL run journal to this path ('stderr' for the "
+              "terminal; overrides MPICSEL_METRICS)",
+              Storage);
 }
 
 /// The paper's broadcast message-size sweep (Sect. 5.2/5.3).

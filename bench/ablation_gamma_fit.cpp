@@ -49,8 +49,11 @@ int main(int Argc, char **Argv) {
   CommandLine Cli("Ablation: discrete gamma table vs linear-fit "
                   "extrapolation vs gamma == 1.");
   Cli.addFlag("quick", "fewer repetitions per measurement", Quick);
+  std::string MetricsPath;
+  bench::addMetricsFlag(Cli, MetricsPath);
   if (!Cli.parse(Argc, Argv))
     return Cli.helpRequested() ? 0 : 1;
+  obs::initObservability(MetricsPath);
 
   banner("Ablation: gamma estimation variants");
 

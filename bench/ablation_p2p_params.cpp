@@ -59,8 +59,11 @@ int main(int Argc, char **Argv) {
                   "(state of the art) vs the paper's per-algorithm "
                   "collective experiments.");
   Cli.addFlag("quick", "fewer repetitions per measurement", Quick);
+  std::string MetricsPath;
+  bench::addMetricsFlag(Cli, MetricsPath);
   if (!Cli.parse(Argc, Argv))
     return Cli.helpRequested() ? 0 : 1;
+  obs::initObservability(MetricsPath);
 
   banner("Ablation: point-to-point vs per-algorithm parameter estimation");
 

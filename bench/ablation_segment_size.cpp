@@ -30,8 +30,11 @@ int main(int Argc, char **Argv) {
                   "segment size the paper fixes at 8 KB.");
   Cli.addFlag("platform", "cluster to simulate", PlatformName);
   Cli.addFlag("procs", "number of processes", NumProcs);
+  std::string MetricsPath;
+  bench::addMetricsFlag(Cli, MetricsPath);
   if (!Cli.parse(Argc, Argv))
     return Cli.helpRequested() ? 0 : 1;
+  obs::initObservability(MetricsPath);
 
   Platform Plat = platformByName(PlatformName);
   unsigned P = static_cast<unsigned>(NumProcs);

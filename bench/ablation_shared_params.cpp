@@ -48,8 +48,11 @@ int main(int Argc, char **Argv) {
   CommandLine Cli("Ablation: one pooled (alpha, beta) for all six "
                   "algorithms vs the paper's per-algorithm parameters.");
   Cli.addFlag("quick", "fewer repetitions per measurement", Quick);
+  std::string MetricsPath;
+  bench::addMetricsFlag(Cli, MetricsPath);
   if (!Cli.parse(Argc, Argv))
     return Cli.helpRequested() ? 0 : 1;
+  obs::initObservability(MetricsPath);
 
   banner("Ablation: pooled vs per-algorithm alpha/beta");
 

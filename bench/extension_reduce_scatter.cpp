@@ -112,8 +112,11 @@ void runScatterPanel(const Platform &Plat, unsigned CalibProcs,
 int main(int Argc, char **Argv) {
   CommandLine Cli("Extension: the paper's selection method applied to "
                   "MPI_Reduce and MPI_Scatter on both clusters.");
+  std::string MetricsPath;
+  bench::addMetricsFlag(Cli, MetricsPath);
   if (!Cli.parse(Argc, Argv))
     return Cli.helpRequested() ? 0 : 1;
+  obs::initObservability(MetricsPath);
 
   banner("Extension: model-based selection for MPI_Reduce / MPI_Scatter");
   for (const Platform &Plat : {makeGrisou(), makeGros()}) {

@@ -42,8 +42,11 @@ int main(int Argc, char **Argv) {
   Cli.addFlag("platform", "cluster to simulate", PlatformName);
   Cli.addFlag("procs", "number of processes (paper: 90)", NumProcs);
   Cli.addFlag("csv", "emit CSV instead of charts", Csv);
+  std::string MetricsPath;
+  bench::addMetricsFlag(Cli, MetricsPath);
   if (!Cli.parse(Argc, Argv))
     return Cli.helpRequested() ? 0 : 1;
+  obs::initObservability(MetricsPath);
 
   Platform Plat = platformByName(PlatformName);
   unsigned P = static_cast<unsigned>(NumProcs);

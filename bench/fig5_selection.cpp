@@ -111,8 +111,11 @@ int main(int Argc, char **Argv) {
               Threads);
   Cli.addFlag("cache", "memoise calibration in the decision cache",
               UseCache);
+  std::string MetricsPath;
+  bench::addMetricsFlag(Cli, MetricsPath);
   if (!Cli.parse(Argc, Argv))
     return Cli.helpRequested() ? 0 : 1;
+  obs::initObservability(MetricsPath);
 
   banner("Fig. 5: selection accuracy, Open MPI vs model-based vs best");
 

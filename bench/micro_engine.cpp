@@ -137,8 +137,11 @@ int main(int Argc, char **Argv) {
   Cli.addFlag("reps", "repetitions per engine and case (0: default)", Reps);
   Cli.addFlag("json", "write a machine-readable record to this file",
               JsonPath);
+  std::string MetricsPath;
+  bench::addMetricsFlag(Cli, MetricsPath);
   if (!Cli.parse(Argc, Argv))
     return Cli.helpRequested() ? 0 : 1;
+  obs::initObservability(MetricsPath);
 
   // Measure the engines, not the static verifier.
   setPreflightVerification(false);
@@ -188,14 +191,22 @@ int main(int Argc, char **Argv) {
     }
     const double LegacySeconds = secondsSince(LegacyStart);
 
-    // Compiled loop: the probe above warmed the arena, so this loop
-    // must not allocate at all.
-    const std::uint64_t AllocsBefore = allocationCount();
-    auto CompiledStart = std::chrono::steady_clock::now();
-    for (unsigned Rep = 0; Rep != NumReps; ++Rep)
-      Sink += E.run(CS, Plat, Rep + 1).Makespan;
-    const double CompiledSeconds = secondsSince(CompiledStart);
-    const std::uint64_t ReplayAllocs = allocationCount() - AllocsBefore;
+    // Compiled loop: the probe above warmed the arena (and, with
+    // metrics on, this thread's counter shard), so this loop must not
+    // allocate at all. The replay span is scoped so its own string
+    // construction and journal emission land outside the counted
+    // window -- the gate holds with --metrics enabled.
+    double CompiledSeconds = 0.0;
+    std::uint64_t ReplayAllocs = 0;
+    {
+      obs::PhaseSpan ReplaySpan(obs::Phase::Replay, Case.Name);
+      const std::uint64_t AllocsBefore = allocationCount();
+      auto CompiledStart = std::chrono::steady_clock::now();
+      for (unsigned Rep = 0; Rep != NumReps; ++Rep)
+        Sink += E.run(CS, Plat, Rep + 1).Makespan;
+      CompiledSeconds = secondsSince(CompiledStart);
+      ReplayAllocs = allocationCount() - AllocsBefore;
+    }
     AllAllocFree = AllAllocFree && ReplayAllocs == 0;
 
     const double TotalOps = static_cast<double>(NumOps) * NumReps;

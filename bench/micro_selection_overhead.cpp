@@ -16,9 +16,13 @@
 #include "coll/OmpiDecision.h"
 #include "model/Calibration.h"
 #include "model/CostModels.h"
+#include "obs/Journal.h"
 #include "sim/Engine.h"
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 using namespace mpicsel;
 
@@ -93,4 +97,30 @@ BENCHMARK(BM_SimulateBinomialBcast)->Arg(64 << 10)->Arg(1 << 20)->Arg(4 << 20);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the shared --metrics flag works here
+// too: it is peeled off before google-benchmark sees the arguments
+// (which would otherwise reject it as unrecognised).
+int main(int Argc, char **Argv) {
+  std::string MetricsPath;
+  std::vector<char *> Args;
+  for (int I = 0; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    if (Arg.rfind("--metrics=", 0) == 0) {
+      MetricsPath = Arg.substr(std::string("--metrics=").size());
+      continue;
+    }
+    if (Arg == "--metrics" && I + 1 < Argc) {
+      MetricsPath = Argv[++I];
+      continue;
+    }
+    Args.push_back(Argv[I]);
+  }
+  obs::initObservability(MetricsPath);
+  int BenchArgc = static_cast<int>(Args.size());
+  benchmark::Initialize(&BenchArgc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(BenchArgc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

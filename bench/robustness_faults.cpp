@@ -110,8 +110,11 @@ int main(int Argc, char **Argv) {
               JsonPath);
   Cli.addFlag("threads", "calibration sweep threads (0 = MPICSEL_THREADS)",
               Threads);
+  std::string MetricsPath;
+  bench::addMetricsFlag(Cli, MetricsPath);
   if (!Cli.parse(Argc, Argv))
     return Cli.helpRequested() ? 0 : 1;
+  obs::initObservability(MetricsPath);
 
   Platform Plat = PlatformName == "gros" ? makeGros() : makeGrisou();
   unsigned NumProcs = NumProcsFlag > 0

@@ -45,8 +45,11 @@ int main(int Argc, char **Argv) {
               JsonPath);
   Cli.addFlag("threads", "estimation sweep threads (0 = MPICSEL_THREADS)",
               Threads);
+  std::string MetricsPath;
+  bench::addMetricsFlag(Cli, MetricsPath);
   if (!Cli.parse(Argc, Argv))
     return Cli.helpRequested() ? 0 : 1;
+  obs::initObservability(MetricsPath);
 
   banner("Table 1: estimated gamma(P) on Grisou and Gros");
 

@@ -139,6 +139,12 @@ def main():
 
     failures = 0
     for path in args.records:
+        # Runs launched with --metrics drop JSONL journals next to the
+        # bench records; a glob like `out/*.json*` may sweep them in.
+        # They are event streams, not records -- skip, don't fail.
+        if path.endswith(".jsonl"):
+            print(f"skipping run journal (not a bench record): {path}")
+            continue
         record = load_record(path)
         bench = record["bench"]
         target = baseline_path(args.baselines, bench)

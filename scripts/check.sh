@@ -86,6 +86,20 @@ step "schedlint sweep ($THREADS job(s))"
 step "schedlint fault sweep (deadlock-freedom under hung messages)"
 ./build/tools/schedlint --jobs "$THREADS" --faults stall-storm
 
+# Observability must be a pure observer: the differential tests
+# assert bit-identity with the journal on, and micro_engine proves
+# the replay loop stays allocation-free while counting. Serial shard:
+# the test processes would race on one journal file under -j.
+step "metrics-enabled shard (MPICSEL_METRICS on, results unchanged)"
+# Absolute path: ctest runs each test from its own binary directory.
+MPICSEL_METRICS="$PWD/build/metrics-ctest.jsonl" ctest --test-dir build \
+  --output-on-failure -R "Differential|Parallel\." \
+  --timeout "$CTEST_TIMEOUT"
+./build/bench/micro_engine --quick \
+  --metrics build/metrics-engine.jsonl >/dev/null
+test -s build/metrics-engine.jsonl
+grep -q '"ev":"counters"' build/metrics-engine.jsonl
+
 if [ "$RUN_BENCH" -eq 1 ]; then
   step "bench smoke sweep vs committed baselines"
   OUT=build/bench-out

@@ -6,6 +6,7 @@
 #include "support/Random.h"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 
 using namespace mpicsel;
@@ -182,6 +183,30 @@ FaultSchedule mpicsel::makeFaultScenario(const std::string &Name,
              "contaminated-calibration, stall-storm)");
 }
 
+FaultSchedule mpicsel::makeFaultScenarioFromSpec(const std::string &Spec) {
+  std::string Name = Spec;
+  std::uint64_t Seed = 0;
+  if (std::size_t Colon = Spec.find(':'); Colon != std::string::npos) {
+    Name.resize(Colon);
+    const char *Begin = Spec.c_str() + Colon + 1;
+    // strtoull happily wraps "-1" to ULLONG_MAX without setting
+    // errno, so a sign is rejected up front; ERANGE catches values
+    // past 2^64-1 that would otherwise clamp silently.
+    if (*Begin == '-' || *Begin == '+')
+      fatalError("fault spec seed must be a non-negative integer, got '" +
+                 Spec + "'");
+    char *End = nullptr;
+    errno = 0;
+    Seed = std::strtoull(Begin, &End, 0);
+    if (End == Begin || *End != '\0')
+      fatalError("fault spec seed must be an integer, got '" + Spec + "'");
+    if (errno == ERANGE)
+      fatalError("fault spec seed out of range (must fit in 64 bits) in '" +
+                 Spec + "'");
+  }
+  return makeFaultScenario(Name, Seed);
+}
+
 bool mpicsel::isFaultScenarioName(const std::string &Name) {
   for (const std::string &Known : faultScenarioNames())
     if (Name == Known)
@@ -208,19 +233,13 @@ const FaultSchedule *faultScheduleFromEnv() {
   const char *Value = std::getenv("MPICSEL_FAULTS");
   if (!Value || !*Value)
     return nullptr;
-  std::string Spec(Value);
-  std::uint64_t Seed = 0;
-  if (std::size_t Colon = Spec.find(':'); Colon != std::string::npos) {
-    char *End = nullptr;
-    Seed = std::strtoull(Spec.c_str() + Colon + 1, &End, 0);
-    if (End == Spec.c_str() + Colon + 1 || *End != '\0')
-      fatalError("MPICSEL_FAULTS seed must be an integer, got '" + Spec +
-                 "'");
-    Spec.resize(Colon);
-  }
-  if (Spec == "clean")
+  const std::string Spec(Value);
+  // Seed validation (including the ERANGE check) happens even for
+  // "clean:…": a malformed MPICSEL_FAULTS should never pass silently.
+  FaultSchedule Schedule = makeFaultScenarioFromSpec(Spec);
+  if (Schedule.events().empty())
     return nullptr;
-  envFaultScheduleStorage() = makeFaultScenario(Spec, Seed);
+  envFaultScheduleStorage() = std::move(Schedule);
   return &envFaultScheduleStorage();
 }
 

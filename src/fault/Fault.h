@@ -183,6 +183,14 @@ private:
 FaultSchedule makeFaultScenario(const std::string &Name,
                                 std::uint64_t Seed = 0);
 
+/// Builds the schedule described by an MPICSEL_FAULTS-style spec:
+/// "scenario" or "scenario:seed", seed in any strtoull base (0x..
+/// accepted). Malformed, negative or out-of-64-bit-range seeds and
+/// unknown scenario names are fatal errors -- an env var that does
+/// not mean what the user typed must not silently select a different
+/// fault universe.
+FaultSchedule makeFaultScenarioFromSpec(const std::string &Spec);
+
 /// True if \p Name names a scenario makeFaultScenario accepts.
 bool isFaultScenarioName(const std::string &Name);
 

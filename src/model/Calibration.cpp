@@ -3,6 +3,8 @@
 #include "model/Calibration.h"
 
 #include "model/Runner.h"
+#include "obs/Journal.h"
+#include "obs/Metrics.h"
 #include "stat/ParallelSweep.h"
 #include "support/Error.h"
 #include "support/Format.h"
@@ -100,10 +102,24 @@ AdaptiveResult measureExperiment(const Platform &Plat, unsigned NumProcs,
       double Grown = static_cast<double>(BaseMaxReps) *
                      std::pow(Quality.BackoffGrowth, Attempt);
       Adaptive.MaxReps = static_cast<unsigned>(std::ceil(Grown));
+      // Retries are where a contaminated regime costs wall-clock, so
+      // each reseed/backoff is journalled with its grown budget.
+      obs::bump(obs::Counter::CalibRetries);
+      obs::Journal &J = obs::Journal::global();
+      if (J.enabled()) {
+        JsonObject Event = J.line("calib_retry");
+        Event.set("attempt", Attempt);
+        Event.set("max_reps", Adaptive.MaxReps);
+        Event.set("procs", NumProcs);
+        Event.set("message_bytes", Bcast.MessageBytes);
+        J.write(Event);
+      }
     }
     AdaptiveResult R =
         measureBcastGather(Plat, NumProcs, Bcast, GatherBytes, Adaptive);
     AttemptsOut = Attempt + 1;
+    obs::bump(obs::Counter::CalibExperiments);
+    obs::bump(obs::Counter::CalibOutliers, R.OutliersRejected);
     // Timing contamination is one-sided (stalls and spikes only add
     // time), so of several attempts the one with the lowest screened
     // mean is closest to the truth.
@@ -219,6 +235,7 @@ std::string CalibrationReport::str() const {
 CalibratedModels mpicsel::calibrate(const Platform &Plat,
                                     const CalibrationOptions &Options,
                                     CalibrationReport *Report) {
+  obs::PhaseSpan CalibSpan(obs::Phase::Calibration, Plat.Name);
   CalibratedModels Models;
   Models.SegmentBytes = Options.SegmentBytes;
   Models.KChainFanout = Options.KChainFanout;
@@ -255,7 +272,10 @@ CalibratedModels mpicsel::calibrate(const Platform &Plat,
     GammaOpts.Adaptive.ScreenOutliers = true;
     GammaOpts.Adaptive.OutlierMadSigma = Options.Quality.OutlierMadSigma;
   }
-  Models.Gamma = estimateGamma(Plat, GammaOpts).Gamma;
+  {
+    obs::PhaseSpan GammaSpan(obs::Phase::GammaFit);
+    Models.Gamma = estimateGamma(Plat, GammaOpts).Gamma;
+  }
 
   // Stage 2 (Sect. 4.2): one linear system per algorithm. The
   // (algorithm x message-size) experiments are mutually independent

@@ -3,8 +3,11 @@
 #include "model/DecisionCache.h"
 
 #include "fault/Fault.h"
+#include "obs/Journal.h"
+#include "obs/Metrics.h"
 #include "support/Format.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -202,8 +205,17 @@ public:
     std::string W;
     if (!word(W) || W.empty())
       return false;
+    // Signs are rejected up front ("-1" wraps to ULLONG_MAX without
+    // setting errno), and ERANGE catches fields past 2^64-1 that
+    // strtoull would otherwise clamp silently -- either way the
+    // entry is corrupt and the lookup is a miss.
+    if (W[0] == '-' || W[0] == '+')
+      return false;
     char *End = nullptr;
+    errno = 0;
     Out = std::strtoull(W.c_str(), &End, 10);
+    if (errno == ERANGE)
+      return false;
     return End && *End == '\0';
   }
 
@@ -391,6 +403,21 @@ bool writeFileAtomically(const std::string &Path,
   return !Error;
 }
 
+/// Journals one cache lookup/store outcome when the run journal is
+/// open; always bumps the matching process-wide counter.
+void noteCacheOutcome(const char *Outcome, obs::Counter C, const char *Kind,
+                      const std::string &Key) {
+  obs::bump(C);
+  obs::Journal &J = obs::Journal::global();
+  if (!J.enabled())
+    return;
+  JsonObject Event = J.line("cache");
+  Event.set("outcome", Outcome);
+  Event.set("kind", Kind);
+  Event.set("key", Key);
+  J.write(Event);
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -413,23 +440,35 @@ std::string DecisionCache::entryPath(const char *Kind,
 bool DecisionCache::loadModels(const std::string &Key,
                                CalibratedModels &Out) {
   std::string Text;
-  if (readFile(entryPath("calib", Key), Text) &&
-      parseModels(std::move(Text), Out)) {
+  const bool Read = readFile(entryPath("calib", Key), Text);
+  if (Read && parseModels(std::move(Text), Out)) {
     ++Stats.Hits;
+    noteCacheOutcome("hit", obs::Counter::CacheHits, "calib", Key);
     return true;
   }
+  if (Read) {
+    ++Stats.Corrupt;
+    noteCacheOutcome("corrupt", obs::Counter::CacheCorrupt, "calib", Key);
+  }
   ++Stats.Misses;
+  noteCacheOutcome("miss", obs::Counter::CacheMisses, "calib", Key);
   return false;
 }
 
 bool DecisionCache::loadTable(const std::string &Key, DecisionTable &Out) {
   std::string Text;
-  if (readFile(entryPath("table", Key), Text) &&
-      parseTable(std::move(Text), Out)) {
+  const bool Read = readFile(entryPath("table", Key), Text);
+  if (Read && parseTable(std::move(Text), Out)) {
     ++Stats.Hits;
+    noteCacheOutcome("hit", obs::Counter::CacheHits, "table", Key);
     return true;
   }
+  if (Read) {
+    ++Stats.Corrupt;
+    noteCacheOutcome("corrupt", obs::Counter::CacheCorrupt, "table", Key);
+  }
   ++Stats.Misses;
+  noteCacheOutcome("miss", obs::Counter::CacheMisses, "table", Key);
   return false;
 }
 
@@ -442,6 +481,7 @@ bool DecisionCache::storeModels(const std::string &Key,
   if (!writeFileAtomically(entryPath("calib", Key), renderModels(Models)))
     return false;
   ++Stats.Stores;
+  noteCacheOutcome("store", obs::Counter::CacheStores, "calib", Key);
   return true;
 }
 
@@ -454,6 +494,7 @@ bool DecisionCache::storeTable(const std::string &Key,
   if (!writeFileAtomically(entryPath("table", Key), renderTable(T)))
     return false;
   ++Stats.Stores;
+  noteCacheOutcome("store", obs::Counter::CacheStores, "table", Key);
   return true;
 }
 

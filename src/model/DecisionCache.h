@@ -42,6 +42,9 @@ struct DecisionCacheStats {
   unsigned Hits = 0;
   unsigned Misses = 0;
   unsigned Stores = 0;
+  /// Entries that were read successfully but failed to parse; every
+  /// corrupt entry is also counted as a miss.
+  unsigned Corrupt = 0;
 };
 
 /// The model-based selection evaluated over an explicit (P, m) grid:

@@ -5,6 +5,7 @@
 #include "coll/Barrier.h"
 #include "coll/PointToPoint.h"
 #include "mpi/ScheduleIntern.h"
+#include "obs/Metrics.h"
 #include "sim/Engine.h"
 #include "support/Error.h"
 #include "support/Format.h"
@@ -42,6 +43,9 @@ Engine &workerEngine() {
 template <typename MetricFn>
 double runInterned(const InternedScheduleRef &IS, const Platform &P,
                    std::uint64_t Seed, const char *What, MetricFn Metric) {
+  // Every simulated measurement in the process funnels through here,
+  // whichever engine executes it.
+  obs::bump(obs::Counter::RunnerExperiments);
   if (engineMode() == EngineMode::Legacy) {
     ExecutionResult R = runScheduleLegacy(IS->Compiled.Source, P, Seed);
     if (!R.Completed)

@@ -3,6 +3,7 @@
 #include "model/Selection.h"
 
 #include "model/Runner.h"
+#include "obs/Journal.h"
 
 #include <cassert>
 
@@ -13,6 +14,7 @@ SelectionPoint mpicsel::evaluateSelectionPoint(const Platform &P,
                                                std::uint64_t MessageBytes,
                                                const CalibratedModels &Models,
                                                const AdaptiveOptions &Options) {
+  obs::PhaseSpan Span(obs::Phase::Selection);
   SelectionPoint Point;
   Point.NumProcs = NumProcs;
   Point.MessageBytes = MessageBytes;

@@ -2,6 +2,9 @@
 
 #include "mpi/ScheduleIntern.h"
 
+#include "obs/Journal.h"
+#include "obs/Metrics.h"
+
 using namespace mpicsel;
 
 ScheduleInternCache &ScheduleInternCache::global() {
@@ -15,6 +18,7 @@ InternedScheduleRef ScheduleInternCache::lookup(const std::string &Key) {
   if (It == Entries.end())
     return nullptr;
   ++Hits;
+  obs::bump(obs::Counter::InternHits);
   return It->second;
 }
 
@@ -26,6 +30,18 @@ ScheduleInternCache::insert(const std::string &Key,
   auto [It, Inserted] = Entries.try_emplace(Key, std::move(Entry));
   // Losing the race is harmless: both builds compiled the same
   // schedule, and the winner's entry is the one every caller shares.
+  // Builds vs adoptions are journalled so the wasted duplicate work
+  // under wide sweeps stays visible.
+  obs::bump(obs::Counter::InternBuilds);
+  if (!Inserted)
+    obs::bump(obs::Counter::InternAdoptions);
+  obs::Journal &J = obs::Journal::global();
+  if (J.enabled()) {
+    JsonObject Event = J.line("intern");
+    Event.set("key", Key);
+    Event.set("adopted", !Inserted);
+    J.write(Event);
+  }
   return It->second;
 }
 

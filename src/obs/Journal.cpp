@@ -1,0 +1,175 @@
+//===- obs/Journal.cpp - Structured JSONL run journal ----------------------===//
+
+#include "obs/Journal.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <cmath>
+#include <cstdlib>
+
+using namespace mpicsel;
+using namespace mpicsel::obs;
+
+namespace {
+
+/// Journal durations carry microsecond precision; full double
+/// precision would only journal steady_clock conversion noise.
+double roundMicro(double Ms) { return std::round(Ms * 1000.0) / 1000.0; }
+
+double sinceMs(std::chrono::steady_clock::time_point Epoch) {
+  return roundMicro(std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - Epoch)
+                        .count());
+}
+
+} // namespace
+
+Journal &Journal::global() {
+  static Journal J;
+  return J;
+}
+
+Journal::Journal() : Epoch(std::chrono::steady_clock::now()) {
+  if (const char *Env = std::getenv("MPICSEL_METRICS"))
+    if (*Env != '\0')
+      configure(Env);
+}
+
+Journal::~Journal() { close(); }
+
+void Journal::configure(const std::string &Target) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  // Re-pointing the journal mid-run finishes the old sink first so
+  // its summary is not lost.
+  if (Sink)
+    emitSummaryLocked();
+  closeSinkLocked();
+  SummaryDone = false;
+  if (Target.empty()) {
+    setMetricsEnabled(false);
+    return;
+  }
+  if (Target == "stderr") {
+    Sink = stderr;
+    OwnsSink = false;
+  } else {
+    Sink = std::fopen(Target.c_str(), "w");
+    if (!Sink)
+      fatalError(strFormat("MPICSEL_METRICS: cannot open journal '%s'",
+                           Target.c_str()));
+    OwnsSink = true;
+  }
+  setMetricsEnabled(true);
+  Open.store(true, std::memory_order_relaxed);
+}
+
+JsonObject Journal::line(const char *Kind) const {
+  JsonObject Event;
+  Event.set("ev", Kind);
+  Event.set("t_ms", sinceMs(Epoch));
+  return Event;
+}
+
+void Journal::write(const JsonObject &Event) {
+  const std::string Line = Event.renderCompact();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!Sink)
+    return;
+  std::fputs(Line.c_str(), Sink);
+  std::fputc('\n', Sink);
+  // One line per event and an eager flush: a crashed or killed run
+  // still leaves a readable journal up to its last event.
+  std::fflush(Sink);
+}
+
+void Journal::emitSummaryLocked() {
+  if (!Sink || SummaryDone)
+    return;
+  SummaryDone = true;
+  const MetricsSnapshot Snap = snapshotMetrics();
+  JsonObject Event;
+  Event.set("ev", "counters");
+  Event.set("t_ms", sinceMs(Epoch));
+  JsonObject Counters;
+  for (std::size_t I = 0; I != NumCounters; ++I)
+    if (Snap.Counters[I] != 0)
+      Counters.set(counterName(static_cast<Counter>(I)), Snap.Counters[I]);
+  Event.set("counters", std::move(Counters));
+  JsonObject Gauges;
+  for (std::size_t I = 0; I != NumGauges; ++I)
+    if (Snap.Gauges[I] != 0)
+      Gauges.set(gaugeName(static_cast<Gauge>(I)), Snap.Gauges[I]);
+  if (!Gauges.empty())
+    Event.set("gauges", std::move(Gauges));
+  JsonObject Phases;
+  for (std::size_t I = 0; I != NumPhases; ++I) {
+    const auto P = static_cast<Phase>(I);
+    if (Snap.phaseCalls(P) == 0)
+      continue;
+    JsonObject One;
+    One.set("ms", roundMicro(static_cast<double>(Snap.phaseNs(P)) / 1e6));
+    One.set("calls", Snap.phaseCalls(P));
+    Phases.set(phaseName(P), std::move(One));
+  }
+  if (!Phases.empty())
+    Event.set("phases", std::move(Phases));
+  const std::string Line = Event.renderCompact();
+  std::fputs(Line.c_str(), Sink);
+  std::fputc('\n', Sink);
+  std::fflush(Sink);
+}
+
+void Journal::closeSinkLocked() {
+  if (Sink && OwnsSink)
+    std::fclose(Sink);
+  Sink = nullptr;
+  OwnsSink = false;
+  Open.store(false, std::memory_order_relaxed);
+}
+
+void Journal::close() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  emitSummaryLocked();
+  closeSinkLocked();
+}
+
+PhaseSpan::PhaseSpan(Phase P, std::string Detail)
+    : Which(P), Detail(std::move(Detail)), Timer(P) {}
+
+PhaseSpan::~PhaseSpan() {
+  // The ScopedTimer member credits the phase accumulators; this
+  // destructor only journals the span (timer still running here,
+  // member destructors run after the body).
+  Journal &J = Journal::global();
+  if (!J.enabled())
+    return;
+  JsonObject Event = J.line("span");
+  Event.set("phase", phaseName(Which));
+  if (!Detail.empty())
+    Event.set("detail", Detail);
+  Event.set("ms", roundMicro(static_cast<double>(Timer.elapsedNs()) / 1e6));
+  J.write(Event);
+}
+
+void obs::initObservability(const std::string &FlagValue) {
+  // Touching the singleton applies MPICSEL_METRICS; a non-empty
+  // --metrics value then overrides it.
+  Journal &J = Journal::global();
+  if (!FlagValue.empty())
+    J.configure(FlagValue);
+}
+
+void obs::journalCounterSummary() {
+  Journal &J = Journal::global();
+  if (!J.enabled())
+    return;
+  const MetricsSnapshot Snap = snapshotMetrics();
+  JsonObject Event = J.line("counters_now");
+  JsonObject Counters;
+  for (std::size_t I = 0; I != NumCounters; ++I)
+    if (Snap.Counters[I] != 0)
+      Counters.set(counterName(static_cast<Counter>(I)), Snap.Counters[I]);
+  Event.set("counters", std::move(Counters));
+  J.write(Event);
+}

@@ -1,0 +1,110 @@
+//===- obs/Journal.h - Structured JSONL run journal -------------*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured run journal: one JSON object per line (JSONL),
+/// rendered through support/Json, recording what a run *did* --
+/// phase spans, decision-cache hits and misses, calibration
+/// retry/backoff, sweep fan-out, intern-cache builds vs adoptions --
+/// plus a final counter summary. Enabled by `MPICSEL_METRICS=<path>`
+/// (or `stderr`), or the `--metrics` flag every bench and schedlint
+/// expose, which overrides the environment.
+///
+/// Every line carries `ev` (the event kind) and `t_ms` (milliseconds
+/// since the journal opened, steady clock). Emission takes a mutex
+/// and may allocate, so journal events belong on cold paths only;
+/// the engine replay loop uses obs/Metrics.h counters instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_OBS_JOURNAL_H
+#define MPICSEL_OBS_JOURNAL_H
+
+#include "obs/Metrics.h"
+#include "support/Json.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace mpicsel {
+namespace obs {
+
+/// Process-wide JSONL event sink. Disabled (all calls cheap no-ops)
+/// unless MPICSEL_METRICS or configure() provides a target.
+class Journal {
+public:
+  /// The process-wide journal. First use reads MPICSEL_METRICS.
+  static Journal &global();
+
+  /// Whether a sink is open; guard event construction with this.
+  bool enabled() const { return Open.load(std::memory_order_relaxed); }
+
+  /// Points the journal at \p Target: a file path, "stderr", or ""
+  /// to disable. Also flips the metrics registry on/off to match,
+  /// so MPICSEL_METRICS / --metrics is a single observability knob.
+  /// A path that cannot be opened is a fatal error.
+  void configure(const std::string &Target);
+
+  /// Starts an event line: {"ev": Kind, "t_ms": ...}. Fill in the
+  /// fields, then hand it to write().
+  JsonObject line(const char *Kind) const;
+
+  /// Renders \p Event compactly and appends it as one line.
+  void write(const JsonObject &Event);
+
+  /// Emits the final counter/gauge/phase summary (once) and closes
+  /// the sink. Also runs at process exit if never called.
+  void close();
+
+  ~Journal();
+  Journal(const Journal &) = delete;
+  Journal &operator=(const Journal &) = delete;
+
+private:
+  Journal();
+  void closeSinkLocked();
+  void emitSummaryLocked();
+
+  mutable std::mutex Mutex;
+  std::FILE *Sink = nullptr;
+  bool OwnsSink = false;
+  bool SummaryDone = false;
+  std::atomic<bool> Open{false};
+  std::chrono::steady_clock::time_point Epoch;
+};
+
+/// RAII span: times a phase (obs/Metrics.h accumulators) and, when
+/// the journal is open, emits {"ev":"span","phase":...,"ms":...} on
+/// destruction. \p Detail, if given, is recorded verbatim.
+class PhaseSpan {
+public:
+  explicit PhaseSpan(Phase P, std::string Detail = {});
+  ~PhaseSpan();
+  PhaseSpan(const PhaseSpan &) = delete;
+  PhaseSpan &operator=(const PhaseSpan &) = delete;
+
+private:
+  Phase Which;
+  std::string Detail;
+  ScopedTimer Timer;
+};
+
+/// One-call setup for bench/tool mains: \p FlagValue (the --metrics
+/// flag) overrides MPICSEL_METRICS when non-empty; otherwise the
+/// environment setting, if any, is left in force.
+void initObservability(const std::string &FlagValue);
+
+/// Convenience: builds and writes a counters-only event if the
+/// journal is open; used by tests and tool epilogues.
+void journalCounterSummary();
+
+} // namespace obs
+} // namespace mpicsel
+
+#endif // MPICSEL_OBS_JOURNAL_H

@@ -2,6 +2,7 @@
 
 #include "sim/Engine.h"
 
+#include "obs/Metrics.h"
 #include "support/Error.h"
 #include "support/Format.h"
 #include "support/Random.h"
@@ -497,6 +498,7 @@ ExecutionResult mpicsel::runScheduleLegacy(const Schedule &S,
 
   Executor Exec(S, P, Seed, Faults);
   ExecutionResult Result = Exec.run();
+  obs::bump(obs::Counter::EngineLegacyRuns);
 
   if (Preflight)
     crossCheckPreflight(Result, Report);
@@ -829,6 +831,10 @@ void CompiledExecutor::run() {
   // the bound (rather than warming up to an observed size) keeps
   // replay allocation-free across *seeds* -- noise shifts how full
   // the heap actually gets from run to run.
+  if (obs::metricsEnabled())
+    obs::bump(RS.Heap.capacity() >= NumOps + CS.NumSends
+                  ? obs::Counter::EngineArenaReuses
+                  : obs::Counter::EngineArenaWarmups);
   RS.Heap.reserve(NumOps + CS.NumSends);
 
   RS.MsgAvail.resize(CS.NumSends);
@@ -848,8 +854,10 @@ void CompiledExecutor::run() {
   for (OpId Id : CS.Roots)
     activateOp(Id, 0.0);
 
+  std::uint64_t EventsPopped = 0;
   while (!RS.Heap.empty()) {
     const ReplayEvent E = popEvent();
+    ++EventsPopped;
     const OpId Id = E.id();
     switch (E.kind()) {
     case EventKind::TxAcquire:
@@ -876,6 +884,12 @@ void CompiledExecutor::run() {
     }
     }
   }
+
+  // Counters are credited once per replay (never per event) so the
+  // hot loop stays free of atomics; a local tally costs one register
+  // increment per event.
+  obs::bump(obs::Counter::EngineReplays);
+  obs::bump(obs::Counter::EngineEvents, EventsPopped);
 
   Result.Completed = DoneCount == NumOps;
   if (Faults) {

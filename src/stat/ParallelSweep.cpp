@@ -2,6 +2,9 @@
 
 #include "stat/ParallelSweep.h"
 
+#include "obs/Journal.h"
+#include "obs/Metrics.h"
+
 using namespace mpicsel;
 
 unsigned mpicsel::resolveSweepThreads(unsigned Requested) {
@@ -12,13 +15,28 @@ unsigned mpicsel::resolveSweepThreads(unsigned Requested) {
 
 void mpicsel::sweepIndexed(unsigned Threads, std::size_t Count,
                            const std::function<void(std::size_t)> &Task) {
-  if (Threads <= 1 || Count <= 1) {
+  const unsigned Used =
+      (Threads <= 1 || Count <= 1)
+          ? 1
+          : static_cast<unsigned>(std::min<std::size_t>(Threads, Count));
+  obs::gaugeMax(obs::Gauge::SweepThreads, Used);
+  // Sweeps wide enough to matter are journalled with their fan-out;
+  // the single-task degenerate case would only add noise.
+  if (Count > 1) {
+    obs::Journal &J = obs::Journal::global();
+    if (J.enabled()) {
+      JsonObject Event = J.line("sweep");
+      Event.set("tasks", static_cast<std::uint64_t>(Count));
+      Event.set("threads", Used);
+      J.write(Event);
+    }
+  }
+  if (Used == 1) {
     for (std::size_t I = 0; I != Count; ++I)
       Task(I);
     return;
   }
-  ThreadPool Pool(
-      static_cast<unsigned>(std::min<std::size_t>(Threads, Count)));
+  ThreadPool Pool(Used);
   for (std::size_t I = 0; I != Count; ++I)
     Pool.submit([&Task, I] { Task(I); });
   Pool.wait();

@@ -40,6 +40,13 @@ namespace mpicsel {
 /// hardware concurrency); any other value is taken as-is.
 unsigned resolveSweepThreads(unsigned Requested);
 
+/// Void-task variant: runs \p Task(0..Count-1) for side effects on
+/// disjoint, caller-owned slots. Every sweep funnels through this
+/// overload, which records the fan-out (gauge + journal event) for
+/// the observability layer.
+void sweepIndexed(unsigned Threads, std::size_t Count,
+                  const std::function<void(std::size_t)> &Task);
+
 /// Runs \p Task(0..Count-1), each producing one ResultT, and returns
 /// the results indexed by task. \p Threads <= 1 runs the serial loop
 /// in index order; more threads fan the tasks over a work-stealing
@@ -51,23 +58,11 @@ std::vector<ResultT>
 sweepIndexed(unsigned Threads, std::size_t Count,
              const std::function<ResultT(std::size_t)> &Task) {
   std::vector<ResultT> Results(Count);
-  if (Threads <= 1 || Count <= 1) {
-    for (std::size_t I = 0; I != Count; ++I)
-      Results[I] = Task(I);
-    return Results;
-  }
-  ThreadPool Pool(static_cast<unsigned>(
-      std::min<std::size_t>(Threads, Count)));
-  for (std::size_t I = 0; I != Count; ++I)
-    Pool.submit([&Results, &Task, I] { Results[I] = Task(I); });
-  Pool.wait();
+  sweepIndexed(Threads, Count,
+               std::function<void(std::size_t)>(
+                   [&](std::size_t I) { Results[I] = Task(I); }));
   return Results;
 }
-
-/// Void-task variant: runs \p Task(0..Count-1) for side effects on
-/// disjoint, caller-owned slots.
-void sweepIndexed(unsigned Threads, std::size_t Count,
-                  const std::function<void(std::size_t)> &Task);
 
 } // namespace mpicsel
 

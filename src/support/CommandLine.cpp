@@ -45,7 +45,8 @@ CommandLine::FlagInfo *CommandLine::findFlag(const std::string &Name) {
   return nullptr;
 }
 
-bool CommandLine::assignValue(FlagInfo &Flag, const std::string &Value) {
+bool CommandLine::assignValue(FlagInfo &Flag, const std::string &Value,
+                              std::string &Reason) {
   char *End = nullptr;
   switch (Flag.Kind) {
   case FlagKind::Bool: {
@@ -53,28 +54,40 @@ bool CommandLine::assignValue(FlagInfo &Flag, const std::string &Value) {
               Value == "yes" || Value == "on";
     bool Off = Value == "0" || Value == "false" || Value == "no" ||
                Value == "off";
-    if (!On && !Off)
+    if (!On && !Off) {
+      Reason = "expected a boolean (1/0, true/false, yes/no, on/off)";
       return false;
+    }
     *static_cast<bool *>(Flag.Storage) = On;
     return true;
   }
   case FlagKind::Int: {
     errno = 0;
     long long Parsed = std::strtoll(Value.c_str(), &End, 0);
-    if (End == Value.c_str() || *End != '\0' || errno == ERANGE)
-      return false; // Malformed or outside int64 range.
+    if (End == Value.c_str() || *End != '\0') {
+      Reason = "expected an integer";
+      return false;
+    }
+    if (errno == ERANGE) {
+      Reason = "integer out of range (must fit in 64 bits)";
+      return false;
+    }
     *static_cast<std::int64_t *>(Flag.Storage) = Parsed;
     return true;
   }
   case FlagKind::Double: {
     errno = 0;
     double Parsed = std::strtod(Value.c_str(), &End);
-    if (End == Value.c_str() || *End != '\0')
+    if (End == Value.c_str() || *End != '\0') {
+      Reason = "expected a number";
       return false;
+    }
     // Reject overflow and explicit inf/nan; a numeric flag that ends
     // up non-finite poisons every downstream computation silently.
-    if (!std::isfinite(Parsed))
+    if (!std::isfinite(Parsed)) {
+      Reason = "number out of range (must be finite)";
       return false;
+    }
     *static_cast<double *>(Flag.Storage) = Parsed;
     return true;
   }
@@ -82,8 +95,16 @@ bool CommandLine::assignValue(FlagInfo &Flag, const std::string &Value) {
     *static_cast<std::string *>(Flag.Storage) = Value;
     return true;
   case FlagKind::ByteSize:
-    return parseBytes(Value, *static_cast<std::uint64_t *>(Flag.Storage));
+    // parseBytes rejects negatives, malformed suffixes and products
+    // past 2^64-1; the reason covers all three.
+    if (!parseBytes(Value, *static_cast<std::uint64_t *>(Flag.Storage))) {
+      Reason = "expected a non-negative byte size (e.g. 64K, 2M, 1G) "
+               "that fits in 64 bits";
+      return false;
+    }
+    return true;
   }
+  Reason = "unsupported flag kind";
   return false;
 }
 
@@ -158,9 +179,11 @@ bool CommandLine::parse(int Argc, const char *const *Argv) {
       }
       Value = Argv[++I];
     }
-    if (!assignValue(*Flag, Value)) {
-      std::fprintf(stderr, "error: invalid value '%s' for flag '--%s'\n",
-                   Value.c_str(), Name.c_str());
+    std::string Reason;
+    if (!assignValue(*Flag, Value, Reason)) {
+      std::fprintf(stderr,
+                   "error: invalid value '%s' for flag '--%s': %s\n",
+                   Value.c_str(), Name.c_str(), Reason.c_str());
       return false;
     }
   }

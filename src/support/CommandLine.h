@@ -70,7 +70,8 @@ private:
   };
 
   FlagInfo *findFlag(const std::string &Name);
-  bool assignValue(FlagInfo &Flag, const std::string &Value);
+  bool assignValue(FlagInfo &Flag, const std::string &Value,
+                   std::string &Reason);
 
   std::string Overview;
   std::string ProgramName;

@@ -4,6 +4,7 @@
 
 #include "support/Format.h"
 
+#include <charconv>
 #include <cmath>
 
 using namespace mpicsel;
@@ -42,7 +43,11 @@ std::string JsonObject::escape(const std::string &Text) {
 static std::string renderDouble(double Value) {
   if (!std::isfinite(Value))
     return "null";
-  return strFormat("%.17g", Value);
+  // Shortest representation that round-trips the double exactly:
+  // "0.101" instead of the %.17g spelling "0.10100000000000001".
+  char Buf[32];
+  const auto R = std::to_chars(Buf, Buf + sizeof(Buf), Value);
+  return std::string(Buf, R.ptr);
 }
 
 JsonObject::Member &JsonObject::findOrCreate(const std::string &Name) {
@@ -134,5 +139,28 @@ std::string JsonObject::render() const {
   std::string Out;
   renderInto(Out, 0);
   Out += "\n";
+  return Out;
+}
+
+void JsonObject::renderCompactInto(std::string &Out) const {
+  Out += "{";
+  for (std::size_t I = 0; I != Members.size(); ++I) {
+    if (I != 0)
+      Out += ",";
+    const Member &M = Members[I];
+    Out += "\"";
+    Out += escape(M.Name);
+    Out += "\":";
+    if (M.Sub)
+      M.Sub->renderCompactInto(Out);
+    else
+      Out += M.Rendered;
+  }
+  Out += "}";
+}
+
+std::string JsonObject::renderCompact() const {
+  std::string Out;
+  renderCompactInto(Out);
   return Out;
 }

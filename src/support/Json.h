@@ -52,6 +52,11 @@ public:
   /// newline at the top level.
   std::string render() const;
 
+  /// Renders the object on a single line with no whitespace and no
+  /// trailing newline -- the JSONL form the obs/Journal.h run
+  /// journal emits one event per line.
+  std::string renderCompact() const;
+
   /// Escapes \p Text as the contents of a JSON string literal
   /// (without the surrounding quotes).
   static std::string escape(const std::string &Text);
@@ -65,6 +70,7 @@ private:
 
   Member &findOrCreate(const std::string &Name);
   void renderInto(std::string &Out, unsigned Depth) const;
+  void renderCompactInto(std::string &Out) const;
 
   std::vector<Member> Members;
 };

@@ -2,6 +2,8 @@
 
 #include "support/ThreadPool.h"
 
+#include "obs/Metrics.h"
+
 #include <cstdlib>
 #include <string>
 
@@ -10,6 +12,7 @@ using namespace mpicsel;
 ThreadPool::ThreadPool(unsigned NumThreads) {
   if (NumThreads == 0)
     NumThreads = 1;
+  obs::gaugeMax(obs::Gauge::PoolThreads, NumThreads);
   Queues.reserve(NumThreads);
   for (unsigned I = 0; I != NumThreads; ++I)
     Queues.push_back(std::make_unique<WorkerQueue>());
@@ -74,7 +77,12 @@ bool ThreadPool::stealOther(unsigned WorkerIndex,
 void ThreadPool::workerLoop(unsigned WorkerIndex) {
   for (;;) {
     std::function<void()> Task;
-    if (popOwn(WorkerIndex, Task) || stealOther(WorkerIndex, Task)) {
+    bool Stolen = false;
+    if (popOwn(WorkerIndex, Task) ||
+        (Stolen = stealOther(WorkerIndex, Task))) {
+      obs::bump(obs::Counter::PoolTasks);
+      if (Stolen)
+        obs::bump(obs::Counter::PoolSteals);
       Task();
       Task = nullptr; // Release captures before signalling completion.
       std::lock_guard<std::mutex> Lock(Mutex);
@@ -114,9 +122,14 @@ unsigned ThreadPool::threadCountFromEnvironment() {
   for (char C : Text) {
     if (C < '0' || C > '9')
       return 1;
-    if (Count > 100000) // Absurd values mean a typo; fail to serial.
-      return 1;
     Count = Count * 10 + static_cast<unsigned>(C - '0');
+    // Absurd values mean a typo; fail to serial. Checked after the
+    // digit is folded in, so a six-digit value cannot slip through
+    // on the last iteration.
+    if (Count > 100000)
+      return 1;
   }
+  // "0" and "00" reach here with Count == 0: a zero-thread sweep is
+  // meaningless, so non-positive normalises to serial.
   return Count == 0 ? 1 : Count;
 }

@@ -59,7 +59,8 @@ public:
 
   /// The thread count requested via the MPICSEL_THREADS environment
   /// variable: a positive integer, or "max" for the hardware
-  /// concurrency. Unset, empty or malformed values mean 1 (serial).
+  /// concurrency. Unset, empty, malformed, zero ("0", "00") or
+  /// absurdly large (> 100000) values all mean 1 (serial).
   static unsigned threadCountFromEnvironment();
 
 private:

@@ -131,6 +131,13 @@ TEST(ThreadPool, ThreadCountFromEnvironment) {
   EXPECT_EQ(ThreadPool::threadCountFromEnvironment(), 1u);
   ::setenv("MPICSEL_THREADS", "0", 1);
   EXPECT_EQ(ThreadPool::threadCountFromEnvironment(), 1u);
+  ::setenv("MPICSEL_THREADS", "00", 1);
+  EXPECT_EQ(ThreadPool::threadCountFromEnvironment(), 1u);
+  // Regression: the absurd-value guard used to run before the last
+  // digit was folded in, so a six-digit "999999" slipped through and
+  // requested 999999 worker threads.
+  ::setenv("MPICSEL_THREADS", "999999", 1);
+  EXPECT_EQ(ThreadPool::threadCountFromEnvironment(), 1u);
   ::unsetenv("MPICSEL_THREADS");
   EXPECT_EQ(ThreadPool::threadCountFromEnvironment(), 1u);
 }

@@ -39,6 +39,7 @@
 #include "coll/Scatter.h"
 #include "fault/Fault.h"
 #include "mpi/ScheduleIntern.h"
+#include "obs/Journal.h"
 #include "sim/Engine.h"
 #include "stat/ParallelSweep.h"
 #include "support/CommandLine.h"
@@ -164,8 +165,14 @@ int main(int Argc, char **Argv) {
               "worker threads sweeping the grid (0 = MPICSEL_THREADS); "
               "output is identical for any job count",
               Jobs);
+  std::string MetricsPath;
+  Cli.addFlag("metrics",
+              "write a JSONL run journal to this path ('stderr' for the "
+              "terminal; overrides MPICSEL_METRICS)",
+              MetricsPath);
   if (!Cli.parse(Argc, Argv))
     return Cli.helpRequested() ? 0 : 2;
+  obs::initObservability(MetricsPath);
 
   FaultSchedule FaultScenario;
   if (!FaultsFlag.empty()) {
@@ -175,9 +182,26 @@ int main(int Argc, char **Argv) {
       Name = FaultsFlag.substr(0, Colon);
       char *End = nullptr;
       std::string SeedText = FaultsFlag.substr(Colon + 1);
+      // Reject signs before strtoull: "-1" would wrap to ULLONG_MAX
+      // without setting errno. ERANGE catches values past 2^64-1.
+      if (!SeedText.empty() && (SeedText[0] == '-' || SeedText[0] == '+')) {
+        std::fprintf(stderr,
+                     "error: fault seed must be a non-negative integer "
+                     "in '%s'\n",
+                     FaultsFlag.c_str());
+        return 2;
+      }
+      errno = 0;
       FaultSeed = std::strtoull(SeedText.c_str(), &End, 0);
       if (End == SeedText.c_str() || *End != '\0') {
         std::fprintf(stderr, "error: malformed fault seed in '%s'\n",
+                     FaultsFlag.c_str());
+        return 2;
+      }
+      if (errno == ERANGE) {
+        std::fprintf(stderr,
+                     "error: fault seed out of range (must fit in 64 "
+                     "bits) in '%s'\n",
                      FaultsFlag.c_str());
         return 2;
       }
@@ -316,6 +340,19 @@ int main(int Argc, char **Argv) {
   const double Elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
+
+  {
+    obs::Journal &J = obs::Journal::global();
+    if (J.enabled()) {
+      JsonObject Event = J.line("schedlint");
+      Event.set("schedules", SW.Schedules);
+      Event.set("fault_runs", SW.FaultRuns);
+      Event.set("findings", SW.TotalFindings);
+      Event.set("jobs", Threads);
+      Event.set("seconds", Elapsed);
+      J.write(Event);
+    }
+  }
 
   if (!SW.Rows.empty()) {
     Table Findings({"collective", "P", "findings", "worst", "diagnostic"});
