@@ -21,7 +21,10 @@ fails when any metric drifts beyond tolerance:
 
 A metric present in the baseline but missing from the current record
 (or vice versa) is a hard failure -- a silently dropped metric must
-not pass CI.
+not pass CI.  So is a committed baseline whose bench never appears
+among the supplied records (a bench dropped from the sweep must not
+pass either); pass --subset when deliberately comparing a subset.
+Metric values must be numbers on both sides.
 
 Usage:
     scripts/bench_compare.py out/BENCH_table3_selection.json ...
@@ -58,6 +61,17 @@ def load_record(path):
             f"error: '{path}' has schema_version {record['schema_version']}, "
             f"expected {SCHEMA_VERSION}"
         )
+    metrics = record["metrics"]
+    if not isinstance(metrics, dict):
+        raise SystemExit(f"error: '{path}' metrics is not an object")
+    for name, value in metrics.items():
+        # bool is an int subclass; a true/false metric is still a type
+        # error, not something to compare within tolerance.
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SystemExit(
+                f"error: metric '{name}' in '{path}' is not numeric: "
+                f"{value!r}"
+            )
     return record
 
 
@@ -135,9 +149,16 @@ def main():
         action="store_true",
         help="copy the records over the baselines instead of comparing",
     )
+    parser.add_argument(
+        "--subset",
+        action="store_true",
+        help="permit committed baselines with no matching record "
+        "(default: every baseline must be covered)",
+    )
     args = parser.parse_args()
 
     failures = 0
+    seen_benches = set()
     for path in args.records:
         # Runs launched with --metrics drop JSONL journals next to the
         # bench records; a glob like `out/*.json*` may sweep them in.
@@ -147,6 +168,7 @@ def main():
             continue
         record = load_record(path)
         bench = record["bench"]
+        seen_benches.add(bench)
         target = baseline_path(args.baselines, bench)
         if args.update:
             os.makedirs(args.baselines, exist_ok=True)
@@ -170,6 +192,20 @@ def main():
 
     if args.update:
         return 0
+    # A baseline nobody compared against is as dangerous as a dropped
+    # metric: the bench vanished from the sweep and its regressions
+    # now pass silently.
+    if not args.subset and os.path.isdir(args.baselines):
+        for entry in sorted(os.listdir(args.baselines)):
+            if not (entry.startswith("BENCH_") and entry.endswith(".json")):
+                continue
+            name = entry[len("BENCH_") : -len(".json")]
+            if name not in seen_benches:
+                print(
+                    f"{name}: FAIL -- committed baseline {entry} has no "
+                    f"candidate record (pass --subset if this is intended)"
+                )
+                failures += 1
     if failures:
         print(f"\n{failures} metric(s) out of tolerance")
         return 1

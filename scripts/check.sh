@@ -13,15 +13,24 @@
 #   3. Bench smoke sweep: every bench binary in --quick mode with
 #      --json, diffed against the committed bench/baselines/ records
 #      by scripts/bench_compare.py.
-#   4. AddressSanitizer + UBSan build (build-asan/) + full ctest.
-#   5. clang-tidy over the sources, if clang-tidy is installed.
+#   4. modellint audit: quick cached calibrations of both paper
+#      platforms must pass the model/table audit with no violations.
+#   5. AddressSanitizer + UBSan build (build-asan/) + full ctest.
+#   6. clang-tidy over the sources, if clang-tidy is installed.
 #
-# Usage: scripts/check.sh [--threads N] [--no-bench] [--no-asan] [--no-tidy]
+# Usage: scripts/check.sh [--threads N] [--no-bench] [--no-asan]
+#                         [--no-tidy | --tidy] [--tsan]
 #
 #   --threads N   fan the calibration sweeps and the schedlint grid
 #                 over N worker threads (results are bit-identical to
 #                 serial; this only changes wall-clock)
 #   --no-bench    skip the bench smoke sweep
+#   --tidy        make the clang-tidy step mandatory: fail when the
+#                 binary is missing or any gated warning fires
+#                 (.clang-tidy promotes bugprone-*/performance-* to
+#                 errors)
+#   --tsan        also build with ThreadSanitizer (build-tsan/) and run
+#                 the threaded tests and tools under it
 #
 #===----------------------------------------------------------------------===#
 
@@ -29,13 +38,17 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_ASAN=1
+RUN_TSAN=0
+# 0 = skip, 1 = run when installed, 2 = mandatory (--tidy).
 RUN_TIDY=1
 RUN_BENCH=1
 THREADS=1
 while [ "$#" -gt 0 ]; do
   case "$1" in
   --no-asan) RUN_ASAN=0 ;;
+  --tsan) RUN_TSAN=1 ;;
   --no-tidy) RUN_TIDY=0 ;;
+  --tidy) RUN_TIDY=2 ;;
   --no-bench) RUN_BENCH=0 ;;
   --threads)
     if [ "$#" -lt 2 ]; then
@@ -48,7 +61,7 @@ while [ "$#" -gt 0 ]; do
   --threads=*) THREADS="${1#--threads=}" ;;
   *)
     echo "usage: scripts/check.sh [--threads N] [--no-bench] [--no-asan]" \
-      "[--no-tidy]" >&2
+      "[--no-tidy | --tidy] [--tsan]" >&2
     exit 2
     ;;
   esac
@@ -85,6 +98,16 @@ step "schedlint sweep ($THREADS job(s))"
 
 step "schedlint fault sweep (deadlock-freedom under hung messages)"
 ./build/tools/schedlint --jobs "$THREADS" --faults stall-storm
+
+# Quick calibrations of both paper platforms must pass the model/table
+# audit with zero violations (exit 1 otherwise). --cache memoises the
+# calibration so re-runs of this script only pay the audit.
+step "modellint audit (quick calibration, both platforms)"
+for PLATFORM in grisou gros; do
+  MPICSEL_CACHE_DIR=build/modellint-cache ./build/tools/modellint \
+    --quick --cache --platform "$PLATFORM" --jobs "$THREADS" \
+    --json "build/modellint-$PLATFORM.json"
+done
 
 # Observability must be a pure observer: the differential tests
 # assert bit-identity with the journal on, and micro_engine proves
@@ -136,12 +159,35 @@ if [ "$RUN_ASAN" -eq 1 ]; then
   ./build-asan/tests/TestCompiledSchedule
 fi
 
-if [ "$RUN_TIDY" -eq 1 ]; then
+if [ "$RUN_TSAN" -eq 1 ]; then
+  step "build with ThreadSanitizer"
+  cmake -B build-tsan -S . -DMPICSEL_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j
+
+  # Everything that fans work over threads: the sweep tests, the
+  # journal/metrics shards, the audit sweep, and the threaded tools.
+  step "threaded tests under TSan"
+  ctest --test-dir build-tsan --output-on-failure \
+    -R "Parallel|Obs|Audit" --timeout "$CTEST_TIMEOUT"
+
+  step "threaded tools under TSan"
+  ./build-tsan/tools/schedlint --jobs 4
+  MPICSEL_CACHE_DIR=build-tsan/modellint-cache \
+    ./build-tsan/tools/modellint --quick --cache --platform grisou \
+    --jobs 4 --json build-tsan/modellint-grisou.json
+fi
+
+if [ "$RUN_TIDY" -ge 1 ]; then
   if command -v clang-tidy >/dev/null 2>&1; then
     step "clang-tidy"
     # The compile database comes from the normal build tree.
+    # .clang-tidy promotes bugprone-*/performance-* to errors, so any
+    # hit in those families fails this step.
     find src tools -name '*.cpp' -print0 |
       xargs -0 clang-tidy -p build --quiet
+  elif [ "$RUN_TIDY" -eq 2 ]; then
+    echo "error: --tidy given but clang-tidy is not installed" >&2
+    exit 1
   else
     echo "clang-tidy not installed; skipping (config: .clang-tidy)"
   fi

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/bench_compare.py.
+
+Runs the comparator as a subprocess against synthetic records and
+baselines in a temp directory, pinning the behaviours CI relies on:
+tolerance math, missing-metric hard failures, baseline-coverage
+enforcement, non-numeric rejection, and --update.
+
+Wired into ctest as PyBenchCompare; also runnable directly:
+    python3 scripts/test_bench_compare.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "bench_compare.py")
+
+
+def record(bench, metrics, schema_version=1):
+    return {
+        "bench": bench,
+        "schema_version": schema_version,
+        "info": {},
+        "metrics": metrics,
+        "timings": {},
+    }
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.baselines = os.path.join(self.tmp.name, "baselines")
+        os.makedirs(self.baselines)
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write(self, name, payload):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        return path
+
+    def write_baseline(self, bench, metrics):
+        path = os.path.join(self.baselines, f"BENCH_{bench}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(record(bench, metrics), handle)
+        return path
+
+    def run_compare(self, *args):
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, "--baselines", self.baselines]
+            + list(args),
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        return proc.returncode, proc.stdout + proc.stderr
+
+    def test_within_tolerance_passes(self):
+        self.write_baseline("alpha", {"penalty": 1.0})
+        rec = self.write("BENCH_alpha.json", record("alpha", {"penalty": 1.1}))
+        code, out = self.run_compare(rec)
+        self.assertEqual(code, 0, out)
+        self.assertIn("all records within tolerance", out)
+
+    def test_drift_beyond_tolerance_fails(self):
+        self.write_baseline("alpha", {"penalty": 1.0})
+        rec = self.write("BENCH_alpha.json", record("alpha", {"penalty": 2.0}))
+        code, out = self.run_compare(rec)
+        self.assertEqual(code, 1, out)
+        self.assertIn("FAIL", out)
+
+    def test_metric_missing_from_current_fails(self):
+        self.write_baseline("alpha", {"penalty": 1.0, "extra": 2.0})
+        rec = self.write("BENCH_alpha.json", record("alpha", {"penalty": 1.0}))
+        code, out = self.run_compare(rec)
+        self.assertEqual(code, 1, out)
+        self.assertIn("missing from current", out)
+
+    def test_metric_missing_from_baseline_fails(self):
+        self.write_baseline("alpha", {"penalty": 1.0})
+        rec = self.write(
+            "BENCH_alpha.json", record("alpha", {"penalty": 1.0, "new": 3.0})
+        )
+        code, out = self.run_compare(rec)
+        self.assertEqual(code, 1, out)
+        self.assertIn("missing from baseline", out)
+
+    def test_uncovered_baseline_fails(self):
+        self.write_baseline("alpha", {"penalty": 1.0})
+        self.write_baseline("beta", {"penalty": 1.0})
+        rec = self.write("BENCH_alpha.json", record("alpha", {"penalty": 1.0}))
+        code, out = self.run_compare(rec)
+        self.assertEqual(code, 1, out)
+        self.assertIn("no candidate record", out)
+
+    def test_subset_permits_uncovered_baseline(self):
+        self.write_baseline("alpha", {"penalty": 1.0})
+        self.write_baseline("beta", {"penalty": 1.0})
+        rec = self.write("BENCH_alpha.json", record("alpha", {"penalty": 1.0}))
+        code, out = self.run_compare("--subset", rec)
+        self.assertEqual(code, 0, out)
+
+    def test_non_numeric_metric_is_rejected(self):
+        self.write_baseline("alpha", {"penalty": 1.0})
+        rec = self.write(
+            "BENCH_alpha.json", record("alpha", {"penalty": "fast"})
+        )
+        code, out = self.run_compare(rec)
+        self.assertNotEqual(code, 0, out)
+        self.assertIn("not numeric", out)
+
+    def test_boolean_metric_is_rejected(self):
+        self.write_baseline("alpha", {"penalty": 1.0})
+        rec = self.write("BENCH_alpha.json", record("alpha", {"penalty": True}))
+        code, out = self.run_compare(rec)
+        self.assertNotEqual(code, 0, out)
+        self.assertIn("not numeric", out)
+
+    def test_non_numeric_baseline_is_rejected(self):
+        self.write_baseline("alpha", {"penalty": None})
+        rec = self.write("BENCH_alpha.json", record("alpha", {"penalty": 1.0}))
+        code, out = self.run_compare(rec)
+        self.assertNotEqual(code, 0, out)
+        self.assertIn("not numeric", out)
+
+    def test_wrong_schema_version_is_rejected(self):
+        self.write_baseline("alpha", {"penalty": 1.0})
+        rec = self.write(
+            "BENCH_alpha.json",
+            record("alpha", {"penalty": 1.0}, schema_version=99),
+        )
+        code, out = self.run_compare(rec)
+        self.assertNotEqual(code, 0, out)
+        self.assertIn("schema_version", out)
+
+    def test_missing_baseline_file_fails(self):
+        rec = self.write("BENCH_alpha.json", record("alpha", {"penalty": 1.0}))
+        code, out = self.run_compare(rec)
+        self.assertEqual(code, 1, out)
+        self.assertIn("no committed baseline", out)
+
+    def test_update_refreshes_baseline(self):
+        rec = self.write("BENCH_alpha.json", record("alpha", {"penalty": 5.0}))
+        code, out = self.run_compare("--update", rec)
+        self.assertEqual(code, 0, out)
+        target = os.path.join(self.baselines, "BENCH_alpha.json")
+        with open(target, "r", encoding="utf-8") as handle:
+            self.assertEqual(json.load(handle)["metrics"]["penalty"], 5.0)
+        code, out = self.run_compare(rec)
+        self.assertEqual(code, 0, out)
+
+    def test_jsonl_journals_are_skipped(self):
+        self.write_baseline("alpha", {"penalty": 1.0})
+        rec = self.write("BENCH_alpha.json", record("alpha", {"penalty": 1.0}))
+        journal = os.path.join(self.tmp.name, "run.jsonl")
+        with open(journal, "w", encoding="utf-8") as handle:
+            handle.write('{"ev":"counters"}\n')
+        code, out = self.run_compare(rec, journal)
+        self.assertEqual(code, 0, out)
+        self.assertIn("skipping run journal", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

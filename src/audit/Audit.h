@@ -1,0 +1,201 @@
+//===- audit/Audit.h - Static analysis of calibrated models -----*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The performance analogue of the schedule verifier: static analysis
+/// of calibrated model sets and of the decision tables derived from
+/// them, without running the simulator. A contaminated calibration or
+/// a bad gamma fit produces a plausible-looking table that silently
+/// mis-selects; the auditor checks the machine-verifiable invariants
+/// such an artifact must satisfy:
+///
+///  * per-model sanity -- alpha/beta/gamma finite and in range,
+///    predicted cost positive, monotone non-decreasing in both the
+///    message size and the communicator size over a configurable
+///    (P, m) grid;
+///  * cross-algorithm performance guidelines (coll/Guidelines.h),
+///    following Hunold & Carpen-Amarie: segmented bcast must beat the
+///    flat tree on bulk messages, Bcast(m) must not exceed its
+///    Scatter(m) + Allgather(m) emulation, ...;
+///  * decision-table consistency -- the table's shape is sound, every
+///    chosen algorithm is actually (within tolerance) the argmin of
+///    the models, and no crossover island is narrower than the
+///    configured width;
+///  * decision-table diffing -- structural comparison of two tables
+///    (before/after recalibration, model-based vs Open MPI default).
+///
+/// Exposed three ways: the tools/modellint CLI, an automatic hook
+/// after calibrateCached() governed by MPICSEL_AUDIT (warn by
+/// default, `strict` makes violations fatal, `off` disables), and
+/// obs/Journal.h `audit` events so violations land in the JSONL run
+/// journal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_AUDIT_AUDIT_H
+#define MPICSEL_AUDIT_AUDIT_H
+
+#include "model/Calibration.h"
+#include "model/DecisionCache.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpicsel {
+
+/// The check classes the auditor runs; every finding names one.
+enum class AuditCheck : unsigned {
+  ParamFinite,      ///< alpha/beta/gamma/fit values are finite
+  ParamRange,       ///< beta >= 0, alpha not absurd, segment/K sane
+  GammaShape,       ///< gamma >= 1 and non-decreasing in P
+  CostPositive,     ///< predicted cost finite and > 0 on the grid
+  MonotoneMessage,  ///< cost non-decreasing in m at fixed P
+  MonotoneProcs,    ///< cost non-decreasing in P at fixed m
+  Guideline,        ///< a coll/Guidelines.h inequality
+  TableShape,       ///< grid sorted, sizes consistent, algs in range
+  TableConsistency, ///< chosen algorithm is the models' argmin
+  TableIsland,      ///< no crossover island narrower than tolerated
+};
+
+/// Stable identifier of \p Check ("param-finite", "table-island", ...).
+const char *auditCheckName(AuditCheck Check);
+
+/// Findings are either hard violations (the artifact is wrong and
+/// must not be served) or warnings (suspicious but not provably
+/// broken); only violations drive exit codes and strict-mode aborts.
+enum class AuditSeverity : unsigned { Warning, Violation };
+
+const char *auditSeverityName(AuditSeverity Sev);
+
+/// One audit finding, anchored at a grid point when point-specific
+/// (NumProcs == 0 marks model-level findings).
+struct AuditFinding {
+  AuditCheck Check = AuditCheck::ParamFinite;
+  AuditSeverity Sev = AuditSeverity::Violation;
+  /// What the finding is about: an algorithm name, "gamma", "table",
+  /// or a guideline name.
+  std::string Where;
+  unsigned NumProcs = 0;
+  std::uint64_t MessageBytes = 0;
+  std::string Detail;
+
+  /// "violation[cost-positive] chain @ P=8 m=65536: ..." rendering.
+  std::string str() const;
+};
+
+/// Options of one audit pass. The defaults audit the calibrated
+/// message range (extrapolation regimes have their own failure modes
+/// that are not model defects) over a power-of-two communicator
+/// sweep.
+struct AuditOptions {
+  /// Communicator sizes of the grid; empty selects 2,4,...,128.
+  std::vector<unsigned> Procs;
+  /// Message sizes of the grid; empty selects the paper's calibrated
+  /// sweep (8 KB .. 4 MB, doubling).
+  std::vector<std::uint64_t> MessageSizes;
+  /// Relative dip tolerated by the monotonicity checks: measured
+  /// gamma tables wobble, and segment-count rounding makes the cost
+  /// piecewise in m.
+  double MonotoneTolerance = 0.02;
+  /// Relative dip tolerated between consecutive measured gamma values.
+  double GammaMonotoneTolerance = 0.05;
+  /// Multiplicative slack of the cross-algorithm guidelines.
+  double GuidelineSlack = 1.25;
+  /// Relative slack when checking that a table's choice is minimal.
+  double ConsistencyTolerance = 1e-9;
+  /// A run of one algorithm along the m axis narrower than this,
+  /// flanked on both sides by one *same* other algorithm, is a
+  /// suspicious crossover island (warning). 1 disables the check.
+  unsigned MinIslandWidth = 2;
+  /// Worker threads fanning the per-P grid columns (0 = consult
+  /// MPICSEL_THREADS). Any thread count yields the identical report.
+  unsigned Threads = 1;
+};
+
+/// The outcome of one audit pass.
+struct AuditReport {
+  std::vector<AuditFinding> Findings;
+  /// Individual check evaluations performed (grid points x checks).
+  unsigned ChecksRun = 0;
+
+  bool clean() const { return Findings.empty(); }
+  unsigned violations() const;
+  unsigned warnings() const;
+  /// Appends \p Other's findings and counters.
+  void merge(const AuditReport &Other);
+  /// Multi-line human-readable summary (one line per finding).
+  std::string str() const;
+};
+
+/// Statically audits a calibrated model set: parameter sanity, gamma
+/// shape, cost positivity, monotonicity in m and P, and the
+/// registered cross-algorithm guidelines.
+AuditReport auditModels(const CalibratedModels &Models,
+                        const AuditOptions &Options = {});
+
+/// Statically audits a decision table against the models it claims to
+/// be derived from: shape, argmin consistency, island detection.
+AuditReport auditDecisionTable(const DecisionTable &T,
+                               const CalibratedModels &Models,
+                               const AuditOptions &Options = {});
+
+/// One changed cell of a decision-table diff.
+struct TableCellDiff {
+  unsigned NumProcs = 0;
+  std::uint64_t MessageBytes = 0;
+  BcastAlgorithm Before = BcastAlgorithm::Linear;
+  BcastAlgorithm After = BcastAlgorithm::Linear;
+};
+
+/// Structural comparison of two decision tables over the same grid.
+struct TableDiff {
+  /// False when the grids differ; GridMismatch then says how, and
+  /// Changed is meaningless.
+  bool Comparable = false;
+  std::string GridMismatch;
+  std::vector<TableCellDiff> Changed;
+  /// Cells compared (grid size) when comparable.
+  unsigned CellCount = 0;
+
+  bool identical() const { return Comparable && Changed.empty(); }
+  std::string str() const;
+};
+
+/// Diffs \p Before against \p After cell by cell (e.g. pre/post
+/// recalibration, or model-selected vs Open MPI default).
+TableDiff diffDecisionTables(const DecisionTable &Before,
+                             const DecisionTable &After);
+
+/// The post-calibration audit policy, from MPICSEL_AUDIT: "off"
+/// disables, "warn" (or unset/empty) reports violations to stderr,
+/// "strict" makes them fatal. Any other value is a fatal usage error.
+enum class AuditMode : unsigned { Off, Warn, Strict };
+
+AuditMode auditModeFromEnv();
+
+/// Writes one `audit` journal event per finding plus a summary event
+/// when the obs run journal is open; \p Subject names the audited
+/// artifact ("grisou", "table", ...). Always bumps the audit
+/// counters.
+void journalAuditReport(const AuditReport &Report, const std::string &Subject);
+
+/// The library hook calibrateCached() invokes on every result it
+/// returns (fresh or cache hit): audits \p Models under the default
+/// options and applies the MPICSEL_AUDIT policy -- silent when clean
+/// or Off, a stderr report in Warn, fatal in Strict. \p MaxProcs
+/// caps the audited communicator grid at the platform's size (0
+/// leaves the default grid unrestricted): the models are audited in
+/// the regime they will actually serve. Returns the report for
+/// callers that want it.
+AuditReport postCalibrationAudit(const CalibratedModels &Models,
+                                 const std::string &Context,
+                                 unsigned MaxProcs = 0);
+
+} // namespace mpicsel
+
+#endif // MPICSEL_AUDIT_AUDIT_H

@@ -1,0 +1,117 @@
+//===- coll/Guidelines.cpp - Performance-guideline registry ----------------===//
+
+#include "coll/Guidelines.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+using namespace mpicsel;
+
+namespace {
+
+constexpr std::uint64_t Unbounded =
+    std::numeric_limits<std::uint64_t>::max();
+
+double minCostOver(const GuidelinePoint &Point,
+                   std::initializer_list<BcastAlgorithm> Algs,
+                   BcastAlgorithm &ArgMin) {
+  double Best = std::numeric_limits<double>::infinity();
+  for (BcastAlgorithm Alg : Algs) {
+    double Cost = Point.BcastCost[static_cast<unsigned>(Alg)];
+    if (Cost < Best) {
+      Best = Cost;
+      ArgMin = Alg;
+    }
+  }
+  return Best;
+}
+
+/// Bulk messages: the best segmented algorithm must not lose to the
+/// flat linear tree. The linear tree serialises gamma(P) whole-message
+/// sends through the root; pipelining exists precisely to beat that,
+/// so a calibration in which it does not is contaminated.
+std::string checkSegmentedBeatsLinearBulk(const GuidelinePoint &Point,
+                                          double Slack) {
+  const double Linear =
+      Point.BcastCost[static_cast<unsigned>(BcastAlgorithm::Linear)];
+  BcastAlgorithm BestAlg = BcastAlgorithm::Chain;
+  const double BestSegmented = minCostOver(
+      Point,
+      {BcastAlgorithm::Chain, BcastAlgorithm::KChain, BcastAlgorithm::Binary,
+       BcastAlgorithm::SplitBinary, BcastAlgorithm::Binomial},
+      BestAlg);
+  if (BestSegmented <= Slack * Linear)
+    return {};
+  return strFormat("best segmented %s predicts %.3e s vs linear %.3e s "
+                   "(allowed slack %.2fx)",
+                   bcastAlgorithmName(BestAlg), BestSegmented, Linear, Slack);
+}
+
+/// Small messages: some logarithmic tree must not lose to the flat
+/// linear tree once the communicator is wide -- ceil(log2 P) latency
+/// rounds against gamma(P) serialised sends.
+std::string checkTreeBeatsLinearSmall(const GuidelinePoint &Point,
+                                      double Slack) {
+  const double Linear =
+      Point.BcastCost[static_cast<unsigned>(BcastAlgorithm::Linear)];
+  BcastAlgorithm BestAlg = BcastAlgorithm::Binomial;
+  const double BestTree =
+      minCostOver(Point,
+                  {BcastAlgorithm::Binary, BcastAlgorithm::SplitBinary,
+                   BcastAlgorithm::Binomial},
+                  BestAlg);
+  if (BestTree <= Slack * Linear)
+    return {};
+  return strFormat("best tree %s predicts %.3e s vs linear %.3e s "
+                   "(allowed slack %.2fx)",
+                   bcastAlgorithmName(BestAlg), BestTree, Linear, Slack);
+}
+
+/// The Hunold-style composition bound: Bcast(m) <~ Scatter(m) +
+/// Allgather(m). Broadcasting can always be emulated by scattering
+/// m/P-byte blocks and reconstructing with a ring allgather, so the
+/// *selected* (minimal) broadcast model must not exceed the priced
+/// emulation by more than the slack.
+std::string checkBcastBoundedByScatterAllgather(const GuidelinePoint &Point,
+                                                double Slack) {
+  if (!std::isfinite(Point.CompositionCost))
+    return {};
+  BcastAlgorithm BestAlg = BcastAlgorithm::Linear;
+  const double Best =
+      minCostOver(Point,
+                  {BcastAlgorithm::Linear, BcastAlgorithm::Chain,
+                   BcastAlgorithm::KChain, BcastAlgorithm::Binary,
+                   BcastAlgorithm::SplitBinary, BcastAlgorithm::Binomial},
+                  BestAlg);
+  if (Best <= Slack * Point.CompositionCost)
+    return {};
+  return strFormat("selected bcast %s predicts %.3e s vs scatter+allgather "
+                   "emulation %.3e s (allowed slack %.2fx)",
+                   bcastAlgorithmName(BestAlg), Best, Point.CompositionCost,
+                   Slack);
+}
+
+} // namespace
+
+const std::vector<PerformanceGuideline> &mpicsel::bcastGuidelines() {
+  static const std::vector<PerformanceGuideline> Registry = {
+      {"segmented-beats-linear-bulk",
+       "min over segmented bcasts <= slack * linear bcast for bulk messages",
+       /*MinMessageBytes=*/512 * 1024, Unbounded, /*MinProcs=*/8,
+       checkSegmentedBeatsLinearBulk},
+      {"tree-beats-linear-small",
+       "min over tree bcasts <= slack * linear bcast for small messages on "
+       "wide communicators",
+       /*MinMessageBytes=*/0, /*MaxMessageBytes=*/16 * 1024, /*MinProcs=*/16,
+       checkTreeBeatsLinearSmall},
+      {"bcast-bounded-by-scatter-allgather",
+       "min over bcasts <= slack * (linear scatter + ring allgather) "
+       "emulation",
+       /*MinMessageBytes=*/8 * 1024, Unbounded, /*MinProcs=*/4,
+       checkBcastBoundedByScatterAllgather},
+  };
+  return Registry;
+}

@@ -1,0 +1,84 @@
+//===- coll/Guidelines.h - Performance-guideline registry -------*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-checkable performance guidelines in the spirit of Hunold &
+/// Carpen-Amarie's "Tuning MPI Collectives by Verifying Performance
+/// Guidelines": cross-algorithm inequalities that any sane calibrated
+/// model set must satisfy, e.g. a segmented pipeline broadcast must
+/// not lose to the flat linear tree on bulk messages, and no
+/// broadcast should cost (much) more than its scatter + allgather
+/// emulation.
+///
+/// Guidelines are *registered next to the collectives they govern*,
+/// mirroring how verify/Contract.h obligations are registered by the
+/// coll/ builders: this header owns the catalogue, and the auditor
+/// (audit/Audit.h) evaluates it. The registry is deliberately
+/// model-agnostic -- a guideline sees only predicted costs at one
+/// (P, m) point, handed in by the caller -- so coll/ keeps its place
+/// below model/ in the dependency order: the audit layer prices the
+/// points with the calibrated models and feeds them down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_COLL_GUIDELINES_H
+#define MPICSEL_COLL_GUIDELINES_H
+
+#include "coll/Algorithms.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpicsel {
+
+/// One priced grid point a guideline is evaluated at: the predicted
+/// time of every broadcast algorithm, plus the cost of the composed
+/// scatter + ring-allgather emulation of the same broadcast (NaN when
+/// the caller cannot price it).
+struct GuidelinePoint {
+  unsigned NumProcs = 0;
+  std::uint64_t MessageBytes = 0;
+  /// Predicted broadcast time per algorithm, indexed by
+  /// static_cast<unsigned>(BcastAlgorithm).
+  std::array<double, NumBcastAlgorithms> BcastCost{};
+  /// Predicted time of broadcasting m bytes as a linear scatter of
+  /// m/P-byte blocks followed by a ring allgather (the classic
+  /// van de Geijn emulation); NaN disables composition guidelines.
+  double CompositionCost = 0.0;
+};
+
+/// One registered performance guideline. `Check` returns an empty
+/// string when the inequality holds at the point (with the caller's
+/// multiplicative \p Slack), otherwise a human-readable account of
+/// the violated bound.
+struct PerformanceGuideline {
+  /// Stable identifier ("segmented-beats-linear-bulk", ...).
+  const char *Name;
+  /// One-line statement of the inequality.
+  const char *Description;
+  /// The guideline only applies at or beyond these thresholds --
+  /// asymptotic statements are not checked in regimes where they do
+  /// not hold (e.g. pipelining cannot win on a two-rank chain).
+  std::uint64_t MinMessageBytes;
+  std::uint64_t MaxMessageBytes; // inclusive; UINT64_MAX = unbounded
+  unsigned MinProcs;
+  std::string (*Check)(const GuidelinePoint &Point, double Slack);
+
+  bool applies(unsigned NumProcs, std::uint64_t MessageBytes) const {
+    return NumProcs >= MinProcs && MessageBytes >= MinMessageBytes &&
+           MessageBytes <= MaxMessageBytes;
+  }
+};
+
+/// The broadcast guideline catalogue, in evaluation order.
+const std::vector<PerformanceGuideline> &bcastGuidelines();
+
+} // namespace mpicsel
+
+#endif // MPICSEL_COLL_GUIDELINES_H

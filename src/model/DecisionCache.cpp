@@ -2,6 +2,7 @@
 
 #include "model/DecisionCache.h"
 
+#include "audit/Audit.h"
 #include "fault/Fault.h"
 #include "obs/Journal.h"
 #include "obs/Metrics.h"
@@ -545,9 +546,30 @@ CalibratedModels mpicsel::calibrateCached(const Platform &P,
   if (Cache.loadModels(Key, Models)) {
     if (Report)
       *Report = CalibrationReport();
+    // A cache hit skips the measurement campaign but not the audit: a
+    // corrupt-but-parseable entry must be flagged, not served.
+    postCalibrationAudit(Models, P.Name, P.maxProcs());
     return Models;
   }
   Models = calibrate(P, Options, Report);
   Cache.storeModels(Key, Models);
+  postCalibrationAudit(Models, P.Name, P.maxProcs());
   return Models;
+}
+
+bool mpicsel::readCalibratedModelsFile(const std::string &Path,
+                                       CalibratedModels &Out) {
+  std::string Text;
+  return readFile(Path, Text) && parseModels(std::move(Text), Out);
+}
+
+bool mpicsel::readDecisionTableFile(const std::string &Path,
+                                    DecisionTable &Out) {
+  std::string Text;
+  return readFile(Path, Text) && parseTable(std::move(Text), Out);
+}
+
+bool mpicsel::writeDecisionTableFile(const std::string &Path,
+                                     const DecisionTable &T) {
+  return writeFileAtomically(Path, renderTable(T));
 }

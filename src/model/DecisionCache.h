@@ -123,10 +123,24 @@ private:
 /// bit-identical to what the pass would compute; \p Report (if
 /// non-null) is default-initialised on a hit, since quality records
 /// describe a measurement campaign that did not run.
+///
+/// Every returned model set -- fresh or cache hit -- passes through
+/// the post-calibration audit (audit/Audit.h): a cached entry that
+/// parses cleanly but violates the performance guidelines is reported
+/// (MPICSEL_AUDIT=warn, the default) or rejected fatally
+/// (MPICSEL_AUDIT=strict) instead of being served silently.
 CalibratedModels calibrateCached(const Platform &P,
                                  const CalibrationOptions &Options,
                                  DecisionCache &Cache,
                                  CalibrationReport *Report = nullptr);
+
+/// File-level entry IO for tools (modellint --diff / --dump-table):
+/// the same versioned text formats the cache stores, read from and
+/// written to explicit paths. The readers fail softly (false on a
+/// missing, unreadable or malformed file).
+bool readCalibratedModelsFile(const std::string &Path, CalibratedModels &Out);
+bool readDecisionTableFile(const std::string &Path, DecisionTable &Out);
+bool writeDecisionTableFile(const std::string &Path, const DecisionTable &T);
 
 } // namespace mpicsel
 

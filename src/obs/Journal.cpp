@@ -134,8 +134,8 @@ void Journal::close() {
   closeSinkLocked();
 }
 
-PhaseSpan::PhaseSpan(Phase P, std::string Detail)
-    : Which(P), Detail(std::move(Detail)), Timer(P) {}
+PhaseSpan::PhaseSpan(Phase P, std::string SpanDetail)
+    : Which(P), Detail(std::move(SpanDetail)), Timer(P) {}
 
 PhaseSpan::~PhaseSpan() {
   // The ScopedTimer member credits the phase accumulators; this

@@ -43,6 +43,10 @@ const char *obs::counterName(Counter C) {
     return "pool.tasks";
   case Counter::PoolSteals:
     return "pool.steals";
+  case Counter::AuditChecks:
+    return "audit.checks";
+  case Counter::AuditViolations:
+    return "audit.violations";
   case Counter::NumCounters:
     break;
   }

@@ -58,6 +58,8 @@ enum class Counter : unsigned {
   CacheStores,        ///< decision-cache entries written
   PoolTasks,          ///< thread-pool tasks executed
   PoolSteals,         ///< tasks executed from another worker's deque
+  AuditChecks,        ///< model/table audit checks evaluated
+  AuditViolations,    ///< audit findings at violation severity
   NumCounters         ///< sentinel: number of counters
 };
 

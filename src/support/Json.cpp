@@ -107,6 +107,20 @@ void JsonObject::set(const std::string &Name,
   M.Rendered = std::move(Out);
 }
 
+void JsonObject::set(const std::string &Name,
+                     const std::vector<JsonObject> &Values) {
+  Member &M = findOrCreate(Name);
+  M.Sub = nullptr;
+  std::string Out = "[";
+  for (std::size_t I = 0; I != Values.size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    Values[I].renderCompactInto(Out);
+  }
+  Out += "]";
+  M.Rendered = std::move(Out);
+}
+
 void JsonObject::set(const std::string &Name, JsonObject Value) {
   Member &M = findOrCreate(Name);
   M.Rendered.clear();

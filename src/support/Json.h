@@ -44,6 +44,10 @@ public:
     set(Name, std::string(Value));
   }
   void set(const std::string &Name, const std::vector<double> &Values);
+  /// An array of objects, each rendered compactly (one line per
+  /// element would be the JSONL habit; inside a document the array
+  /// stays on the member's line).
+  void set(const std::string &Name, const std::vector<JsonObject> &Values);
   void set(const std::string &Name, JsonObject Value);
 
   bool empty() const { return Members.empty(); }
