@@ -19,7 +19,7 @@
 #   6. clang-tidy over the sources, if clang-tidy is installed.
 #
 # Usage: scripts/check.sh [--threads N] [--no-bench] [--no-asan]
-#                         [--no-tidy | --tidy] [--tsan]
+#                         [--no-tidy | --tidy] [--tsan] [--drift]
 #
 #   --threads N   fan the calibration sweeps and the schedlint grid
 #                 over N worker threads (results are bit-identical to
@@ -31,6 +31,11 @@
 #                 errors)
 #   --tsan        also build with ThreadSanitizer (build-tsan/) and run
 #                 the threaded tests and tools under it
+#   --drift       also run the drift-recovery sweep end to end: corrupt
+#                 one algorithm's calibration under the degraded-link
+#                 scenario, let the sentinel quarantine and repair it
+#                 (MPICSEL_DRIFT=repair semantics), then modellint the
+#                 repaired models/table and driftwatch the run journal
 #
 #===----------------------------------------------------------------------===#
 
@@ -42,6 +47,7 @@ RUN_TSAN=0
 # 0 = skip, 1 = run when installed, 2 = mandatory (--tidy).
 RUN_TIDY=1
 RUN_BENCH=1
+RUN_DRIFT=0
 THREADS=1
 while [ "$#" -gt 0 ]; do
   case "$1" in
@@ -50,6 +56,7 @@ while [ "$#" -gt 0 ]; do
   --no-tidy) RUN_TIDY=0 ;;
   --tidy) RUN_TIDY=2 ;;
   --no-bench) RUN_BENCH=0 ;;
+  --drift) RUN_DRIFT=1 ;;
   --threads)
     if [ "$#" -lt 2 ]; then
       echo "error: --threads needs a value" >&2
@@ -61,7 +68,7 @@ while [ "$#" -gt 0 ]; do
   --threads=*) THREADS="${1#--threads=}" ;;
   *)
     echo "usage: scripts/check.sh [--threads N] [--no-bench] [--no-asan]" \
-      "[--no-tidy | --tidy] [--tsan]" >&2
+      "[--no-tidy | --tidy] [--tsan] [--drift]" >&2
     exit 2
     ;;
   esac
@@ -136,11 +143,40 @@ if [ "$RUN_BENCH" -eq 1 ]; then
     --json "$OUT/BENCH_fig5_selection.json" >/dev/null
   ./build/bench/robustness_faults --quick --threads "$THREADS" \
     --json "$OUT/BENCH_robustness_faults.json" >/dev/null
+  # drift_recovery exits non-zero unless the sentinel trips only the
+  # corrupted algorithm and the repair restores the clean table.
+  ./build/bench/drift_recovery --quick --threads "$THREADS" \
+    --json "$OUT/BENCH_drift_recovery.json" >/dev/null
   # micro_engine exits non-zero unless compiled replay is bit-identical
   # to the legacy interpreter and allocation-free after warm-up.
   ./build/bench/micro_engine --quick \
     --json "$OUT/BENCH_micro_engine.json" >/dev/null
   python3 scripts/bench_compare.py "$OUT"/BENCH_*.json
+fi
+
+if [ "$RUN_DRIFT" -eq 1 ]; then
+  step "drift recovery sweep (quarantine, targeted repair, artifacts)"
+  DRIFT_OUT=build/drift-out
+  rm -rf "$DRIFT_OUT"
+  mkdir -p "$DRIFT_OUT"
+  ./build/bench/drift_recovery --quick --threads "$THREADS" \
+    --table-file "$DRIFT_OUT/table.txt" \
+    --models-file "$DRIFT_OUT/models.txt" \
+    --cache-dir "$DRIFT_OUT/cache" \
+    --metrics "$DRIFT_OUT/journal.jsonl" \
+    --json "$DRIFT_OUT/BENCH_drift_recovery.json"
+
+  step "modellint audit of the repaired models and table"
+  ./build/tools/modellint --models "$DRIFT_OUT/models.txt" \
+    --table "$DRIFT_OUT/table.txt" \
+    --json "$DRIFT_OUT/modellint-repaired.json"
+
+  step "driftwatch over the run journal (exit 1 on any giveup)"
+  ./build/tools/driftwatch --journal "$DRIFT_OUT/journal.jsonl" --verbose \
+    --json "$DRIFT_OUT/driftwatch.json"
+  grep -q '"ev":"drift_repair"' "$DRIFT_OUT/journal.jsonl"
+  python3 scripts/bench_compare.py --subset \
+    "$DRIFT_OUT/BENCH_drift_recovery.json"
 fi
 
 if [ "$RUN_ASAN" -eq 1 ]; then
@@ -157,6 +193,12 @@ if [ "$RUN_ASAN" -eq 1 ]; then
 
   step "compiled-vs-legacy engine differential under ASan/UBSan"
   ./build-asan/tests/TestCompiledSchedule
+
+  step "drift sentinel state machine + driftwatch under ASan/UBSan"
+  ./build-asan/tests/TestDrift
+  ./build-asan/bench/drift_recovery --quick \
+    --metrics build-asan/drift-journal.jsonl >/dev/null
+  ./build-asan/tools/driftwatch --journal build-asan/drift-journal.jsonl
 fi
 
 if [ "$RUN_TSAN" -eq 1 ]; then
@@ -168,7 +210,7 @@ if [ "$RUN_TSAN" -eq 1 ]; then
   # journal/metrics shards, the audit sweep, and the threaded tools.
   step "threaded tests under TSan"
   ctest --test-dir build-tsan --output-on-failure \
-    -R "Parallel|Obs|Audit" --timeout "$CTEST_TIMEOUT"
+    -R "Parallel|Obs|Audit|Drift" --timeout "$CTEST_TIMEOUT"
 
   step "threaded tools under TSan"
   ./build-tsan/tools/schedlint --jobs 4

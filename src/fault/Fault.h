@@ -215,6 +215,10 @@ class ScopedFaultInjection {
 public:
   explicit ScopedFaultInjection(const FaultSchedule &Faults)
       : Previous(setGlobalFaultSchedule(&Faults)) {}
+  /// A temporary (e.g. makeFaultScenario(...) passed inline) would be
+  /// destroyed at the end of the declaration, leaving the global
+  /// pointing at freed memory -- and the injection silently inert.
+  explicit ScopedFaultInjection(FaultSchedule &&) = delete;
   ~ScopedFaultInjection() { setGlobalFaultSchedule(Previous); }
   ScopedFaultInjection(const ScopedFaultInjection &) = delete;
   ScopedFaultInjection &operator=(const ScopedFaultInjection &) = delete;

@@ -215,6 +215,123 @@ void evaluateGates(const AlgorithmCalibration &Calib,
                         .c_str()));
 }
 
+/// The resolved stage-2 experiment grid: process count plus the
+/// paired message/gather size ramps. calibrate() and
+/// calibrateSingleAlgorithm() must resolve identically, or the
+/// targeted repair loses its bit-identity with the full pass.
+struct CalibrationGrid {
+  unsigned NumProcs = 0;
+  std::vector<std::uint64_t> MessageSizes;
+  std::vector<std::uint64_t> GatherSizes;
+};
+
+CalibrationGrid resolveCalibrationGrid(const Platform &Plat,
+                                       const CalibrationOptions &Options) {
+  CalibrationGrid Grid;
+  Grid.NumProcs = Options.NumProcs;
+  if (Grid.NumProcs == 0)
+    Grid.NumProcs = std::max(2u, Plat.maxProcs() / 2);
+  if (Grid.NumProcs > Plat.maxProcs())
+    fatalError("calibration requests more processes than the platform hosts");
+  Grid.MessageSizes = Options.MessageSizes;
+  if (Grid.MessageSizes.empty())
+    Grid.MessageSizes = defaultMessageSizes();
+  Grid.GatherSizes = Options.GatherSizes;
+  if (Grid.GatherSizes.empty())
+    Grid.GatherSizes =
+        defaultGatherSizes(Grid.MessageSizes, Options.SegmentBytes);
+  if (Grid.GatherSizes.size() != Grid.MessageSizes.size())
+    fatalError("calibration needs one gather size per message size");
+  return Grid;
+}
+
+/// One stage-2 measurement plus its quality record.
+struct ExperimentOutcome {
+  AdaptiveResult Result;
+  ExperimentRecord Record;
+};
+
+/// Runs the (Alg, I) stage-2 experiment of \p Grid. The seed derives
+/// from the grid position off \p BaseAdaptive, so any sweep order --
+/// and the single-algorithm repair pass -- reproduces the full pass's
+/// measurement stream bit for bit.
+ExperimentOutcome runCalibrationPoint(const Platform &Plat,
+                                      const CalibrationGrid &Grid,
+                                      const CalibrationOptions &Options,
+                                      const AdaptiveOptions &BaseAdaptive,
+                                      BcastAlgorithm Alg, std::size_t I) {
+  BcastConfig Bcast;
+  Bcast.Algorithm = Alg;
+  Bcast.MessageBytes = Grid.MessageSizes[I];
+  Bcast.SegmentBytes =
+      Alg == BcastAlgorithm::Linear ? 0 : Options.SegmentBytes;
+  Bcast.Root = 0;
+  Bcast.KChainFanout = Options.KChainFanout;
+
+  AdaptiveOptions Adaptive = BaseAdaptive;
+  Adaptive.BaseSeed = BaseAdaptive.BaseSeed +
+                      0x100000ull * static_cast<unsigned>(Alg) +
+                      0x100ull * I;
+  ExperimentOutcome Outcome;
+  Outcome.Record.MessageBytes = Grid.MessageSizes[I];
+  Outcome.Record.GatherBytes = Grid.GatherSizes[I];
+  Outcome.Result =
+      measureExperiment(Plat, Grid.NumProcs, Bcast, Grid.GatherSizes[I],
+                        Adaptive, Options.Quality, Outcome.Record.Attempts);
+  Outcome.Record.OutliersRejected = Outcome.Result.OutliersRejected;
+  Outcome.Record.Converged = Outcome.Result.Converged;
+  Outcome.Record.Precision = Outcome.Result.Stats.relativePrecision();
+  Outcome.Record.Mean = Outcome.Result.Stats.Mean;
+  return Outcome;
+}
+
+/// Assembles one algorithm's canonical system from its \p Outcomes
+/// (one per grid size, in grid order), fits it, applies the
+/// physical clamps and -- when enabled -- the quality gates.
+void assembleAlgorithm(const CalibrationGrid &Grid,
+                       const CalibrationOptions &Options,
+                       const GammaFunction &Gamma, BcastAlgorithm Alg,
+                       const ExperimentOutcome *Outcomes,
+                       AlgorithmCalibration &Calib,
+                       AlgorithmCalibrationReport &Rep) {
+  Calib.Algorithm = Alg;
+  Rep.Algorithm = Alg;
+  for (std::size_t I = 0; I != Grid.MessageSizes.size(); ++I) {
+    const ExperimentOutcome &Outcome = Outcomes[I];
+    Rep.Experiments.push_back(Outcome.Record);
+
+    // Canonical form of Fig. 4: T / (A_tot) = alpha + beta * (B_tot
+    // / A_tot).
+    BcastModelQuery Query;
+    Query.NumProcs = Grid.NumProcs;
+    Query.MessageBytes = Grid.MessageSizes[I];
+    Query.SegmentBytes =
+        Alg == BcastAlgorithm::Linear ? 0 : Options.SegmentBytes;
+    Query.KChainFanout = Options.KChainFanout;
+    CostCoefficients BcastCost = bcastCostCoefficients(Alg, Query, Gamma);
+    CostCoefficients GatherCost =
+        linearGatherCostCoefficients(Grid.NumProcs, Grid.GatherSizes[I]);
+    CostCoefficients Total = BcastCost + GatherCost;
+    assert(Total.A > 0 && "degenerate experiment coefficients");
+    Calib.CanonicalX.push_back(Total.B / Total.A);
+    Calib.CanonicalT.push_back(Outcome.Result.Stats.Mean / Total.A);
+  }
+
+  Calib.Fit = Options.UseHuber
+                  ? fitHuber(Calib.CanonicalX, Calib.CanonicalT)
+                  : fitLeastSquares(Calib.CanonicalX, Calib.CanonicalT);
+  if (!Calib.Fit.Valid && !Options.Quality.Enabled)
+    fatalError("alpha/beta regression degenerate for algorithm " +
+               std::string(bcastAlgorithmName(Alg)));
+  // Physically, both parameters are non-negative; tiny negative
+  // intercepts are regression noise (the paper's alphas are
+  // O(1e-12)).
+  Calib.Alpha = std::max(Calib.Fit.Intercept, 0.0);
+  Calib.Beta = std::max(Calib.Fit.Slope, 0.0);
+  if (Options.Quality.Enabled)
+    evaluateGates(Calib, Rep, Options.Quality);
+}
+
 } // namespace
 
 std::string CalibrationReport::str() const {
@@ -240,20 +357,7 @@ CalibratedModels mpicsel::calibrate(const Platform &Plat,
   Models.SegmentBytes = Options.SegmentBytes;
   Models.KChainFanout = Options.KChainFanout;
 
-  unsigned NumProcs = Options.NumProcs;
-  if (NumProcs == 0)
-    NumProcs = std::max(2u, Plat.maxProcs() / 2);
-  if (NumProcs > Plat.maxProcs())
-    fatalError("calibration requests more processes than the platform hosts");
-
-  std::vector<std::uint64_t> MessageSizes = Options.MessageSizes;
-  if (MessageSizes.empty())
-    MessageSizes = defaultMessageSizes();
-  std::vector<std::uint64_t> GatherSizes = Options.GatherSizes;
-  if (GatherSizes.empty())
-    GatherSizes = defaultGatherSizes(MessageSizes, Options.SegmentBytes);
-  if (GatherSizes.size() != MessageSizes.size())
-    fatalError("calibration needs one gather size per message size");
+  const CalibrationGrid Grid = resolveCalibrationGrid(Plat, Options);
 
   // Resolve the sweep parallelism once; both stages fan their
   // independent experiments over it with bit-identical results.
@@ -283,95 +387,58 @@ CalibratedModels mpicsel::calibrate(const Platform &Plat,
   // across the sweep pool; the canonical systems are then assembled
   // serially in grid order, making the results bit-identical to the
   // historical nested loop for any thread count.
-  const CalibrationQualityOptions &Quality = Options.Quality;
   CalibrationReport LocalReport;
-  const std::size_t NumSizes = MessageSizes.size();
-  struct ExperimentOutcome {
-    AdaptiveResult Result;
-    ExperimentRecord Record;
-  };
+  const std::size_t NumSizes = Grid.MessageSizes.size();
   std::vector<ExperimentOutcome> Outcomes =
       sweepIndexed<ExperimentOutcome>(
           Threads, AllBcastAlgorithms.size() * NumSizes,
           [&](std::size_t Task) {
-            const BcastAlgorithm Alg = AllBcastAlgorithms[Task / NumSizes];
-            const std::size_t I = Task % NumSizes;
-            const std::uint64_t MessageBytes = MessageSizes[I];
-            const std::uint64_t GatherBytes = GatherSizes[I];
-
-            BcastConfig Bcast;
-            Bcast.Algorithm = Alg;
-            Bcast.MessageBytes = MessageBytes;
-            Bcast.SegmentBytes =
-                Alg == BcastAlgorithm::Linear ? 0 : Options.SegmentBytes;
-            Bcast.Root = 0;
-            Bcast.KChainFanout = Options.KChainFanout;
-
-            AdaptiveOptions Adaptive = Options.Adaptive;
-            Adaptive.BaseSeed = Options.Adaptive.BaseSeed +
-                                0x100000ull * static_cast<unsigned>(Alg) +
-                                0x100ull * I;
-            ExperimentOutcome Outcome;
-            Outcome.Record.MessageBytes = MessageBytes;
-            Outcome.Record.GatherBytes = GatherBytes;
-            Outcome.Result =
-                measureExperiment(Plat, NumProcs, Bcast, GatherBytes,
-                                  Adaptive, Quality,
-                                  Outcome.Record.Attempts);
-            Outcome.Record.OutliersRejected = Outcome.Result.OutliersRejected;
-            Outcome.Record.Converged = Outcome.Result.Converged;
-            Outcome.Record.Precision =
-                Outcome.Result.Stats.relativePrecision();
-            Outcome.Record.Mean = Outcome.Result.Stats.Mean;
-            return Outcome;
+            return runCalibrationPoint(Plat, Grid, Options, Options.Adaptive,
+                                       AllBcastAlgorithms[Task / NumSizes],
+                                       Task % NumSizes);
           });
 
   for (BcastAlgorithm Alg : AllBcastAlgorithms) {
-    AlgorithmCalibration &Calib =
-        Models.Algorithms[static_cast<unsigned>(Alg)];
-    Calib.Algorithm = Alg;
-    AlgorithmCalibrationReport &Rep =
-        LocalReport.Algorithms[static_cast<unsigned>(Alg)];
-    Rep.Algorithm = Alg;
-
-    for (std::size_t I = 0; I != NumSizes; ++I) {
-      const ExperimentOutcome &Outcome =
-          Outcomes[static_cast<unsigned>(Alg) * NumSizes + I];
-      Rep.Experiments.push_back(Outcome.Record);
-
-      // Canonical form of Fig. 4: T / (A_tot) = alpha + beta * (B_tot
-      // / A_tot).
-      BcastModelQuery Query;
-      Query.NumProcs = NumProcs;
-      Query.MessageBytes = MessageSizes[I];
-      Query.SegmentBytes =
-          Alg == BcastAlgorithm::Linear ? 0 : Options.SegmentBytes;
-      Query.KChainFanout = Options.KChainFanout;
-      CostCoefficients BcastCost =
-          bcastCostCoefficients(Alg, Query, Models.Gamma);
-      CostCoefficients GatherCost =
-          linearGatherCostCoefficients(NumProcs, GatherSizes[I]);
-      CostCoefficients Total = BcastCost + GatherCost;
-      assert(Total.A > 0 && "degenerate experiment coefficients");
-      Calib.CanonicalX.push_back(Total.B / Total.A);
-      Calib.CanonicalT.push_back(Outcome.Result.Stats.Mean / Total.A);
-    }
-
-    Calib.Fit = Options.UseHuber
-                    ? fitHuber(Calib.CanonicalX, Calib.CanonicalT)
-                    : fitLeastSquares(Calib.CanonicalX, Calib.CanonicalT);
-    if (!Calib.Fit.Valid && !Quality.Enabled)
-      fatalError("alpha/beta regression degenerate for algorithm " +
-                 std::string(bcastAlgorithmName(Alg)));
-    // Physically, both parameters are non-negative; tiny negative
-    // intercepts are regression noise (the paper's alphas are
-    // O(1e-12)).
-    Calib.Alpha = std::max(Calib.Fit.Intercept, 0.0);
-    Calib.Beta = std::max(Calib.Fit.Slope, 0.0);
-    if (Quality.Enabled)
-      evaluateGates(Calib, Rep, Quality);
+    assembleAlgorithm(Grid, Options, Models.Gamma, Alg,
+                      Outcomes.data() + static_cast<unsigned>(Alg) * NumSizes,
+                      Models.Algorithms[static_cast<unsigned>(Alg)],
+                      LocalReport.Algorithms[static_cast<unsigned>(Alg)]);
   }
   if (Report)
     *Report = std::move(LocalReport);
   return Models;
+}
+
+AlgorithmCalibration mpicsel::calibrateSingleAlgorithm(
+    const Platform &Plat, const CalibrationOptions &Options,
+    const GammaFunction &Gamma, BcastAlgorithm Alg, unsigned Attempt,
+    AlgorithmCalibrationReport *Report) {
+  const CalibrationGrid Grid = resolveCalibrationGrid(Plat, Options);
+  const unsigned Threads = resolveSweepThreads(Options.Threads);
+
+  // Attempt 0 replays the full pass's exact measurement stream for
+  // this algorithm (the per-experiment seeds derive from the grid
+  // position). Repair retries reseed the whole stream and grow the
+  // repetition budget, mirroring the per-experiment retry policy.
+  AdaptiveOptions Base = Options.Adaptive;
+  if (Attempt != 0) {
+    Base.BaseSeed =
+        SplitMix64(Base.BaseSeed ^ (0xA24BAED4963EE407ull + Attempt)).next();
+    const double Growth =
+        Options.Quality.Enabled ? Options.Quality.BackoffGrowth : 2.0;
+    Base.MaxReps = static_cast<unsigned>(std::ceil(
+        static_cast<double>(Base.MaxReps) * std::pow(Growth, Attempt)));
+  }
+
+  std::vector<ExperimentOutcome> Outcomes = sweepIndexed<ExperimentOutcome>(
+      Threads, Grid.MessageSizes.size(), [&](std::size_t I) {
+        return runCalibrationPoint(Plat, Grid, Options, Base, Alg, I);
+      });
+
+  AlgorithmCalibration Calib;
+  AlgorithmCalibrationReport Rep;
+  assembleAlgorithm(Grid, Options, Gamma, Alg, Outcomes.data(), Calib, Rep);
+  if (Report)
+    *Report = std::move(Rep);
+  return Calib;
 }

@@ -239,6 +239,23 @@ CalibratedModels calibrate(const Platform &P,
                            const CalibrationOptions &Options = {},
                            CalibrationReport *Report = nullptr);
 
+/// Recalibrates a single algorithm's stage-2 system (alpha/beta) on
+/// \p P, reusing an already-estimated \p Gamma instead of re-running
+/// stage 1. With \p Attempt == 0 the experiments, their seeds, the
+/// canonical assembly and the fit are exactly those the full
+/// calibrate() pass runs for \p Alg, so the result is bit-identical
+/// to a full pass under the same conditions -- this is the targeted
+/// repair primitive of the drift sentinel (drift/Drift.h): one
+/// algorithm's ~10 experiments instead of the full
+/// (gamma + 6-algorithm) campaign. \p Attempt != 0 reseeds the whole
+/// measurement stream and grows the repetition budget (the repair
+/// retry/backoff), deterministically per attempt.
+AlgorithmCalibration
+calibrateSingleAlgorithm(const Platform &P, const CalibrationOptions &Options,
+                         const GammaFunction &Gamma, BcastAlgorithm Alg,
+                         unsigned Attempt = 0,
+                         AlgorithmCalibrationReport *Report = nullptr);
+
 } // namespace mpicsel
 
 #endif // MPICSEL_MODEL_CALIBRATION_H

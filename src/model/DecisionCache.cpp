@@ -433,6 +433,22 @@ DecisionCache::DecisionCache(std::string Directory) {
   Dir = std::move(Directory);
 }
 
+DecisionCache::~DecisionCache() {
+  if (Stats.Hits == 0 && Stats.Misses == 0 && Stats.Stores == 0 &&
+      Stats.Corrupt == 0)
+    return;
+  obs::Journal &J = obs::Journal::global();
+  if (!J.enabled())
+    return;
+  JsonObject Event = J.line("cache_stats");
+  Event.set("dir", Dir);
+  Event.set("hits", Stats.Hits);
+  Event.set("misses", Stats.Misses);
+  Event.set("stores", Stats.Stores);
+  Event.set("corrupt", Stats.Corrupt);
+  J.write(Event);
+}
+
 std::string DecisionCache::entryPath(const char *Kind,
                                      const std::string &Key) const {
   return Dir + "/" + Kind + "-" + Key + ".txt";
@@ -572,4 +588,9 @@ bool mpicsel::readDecisionTableFile(const std::string &Path,
 bool mpicsel::writeDecisionTableFile(const std::string &Path,
                                      const DecisionTable &T) {
   return writeFileAtomically(Path, renderTable(T));
+}
+
+bool mpicsel::writeCalibratedModelsFile(const std::string &Path,
+                                        const CalibratedModels &Models) {
+  return writeFileAtomically(Path, renderModels(Models));
 }

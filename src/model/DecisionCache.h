@@ -76,6 +76,15 @@ public:
   /// store.
   explicit DecisionCache(std::string Directory = "");
 
+  /// Journals this instance's final hit/miss/store/corrupt tally as a
+  /// `cache_stats` event (when the run journal is open and anything
+  /// happened), so offline tools can correlate repairs with cache
+  /// churn without parsing bench --json records. Non-copyable so the
+  /// tally is emitted exactly once per instance.
+  ~DecisionCache();
+  DecisionCache(const DecisionCache &) = delete;
+  DecisionCache &operator=(const DecisionCache &) = delete;
+
   const std::string &directory() const { return Dir; }
 
   /// The content-hash key of a calibration request: a stable hex
@@ -141,6 +150,11 @@ CalibratedModels calibrateCached(const Platform &P,
 bool readCalibratedModelsFile(const std::string &Path, CalibratedModels &Out);
 bool readDecisionTableFile(const std::string &Path, DecisionTable &Out);
 bool writeDecisionTableFile(const std::string &Path, const DecisionTable &T);
+/// Writes \p Models in the cache's versioned text format (temp +
+/// rename); the drift-repair sweep uses it to hand patched models to
+/// modellint.
+bool writeCalibratedModelsFile(const std::string &Path,
+                               const CalibratedModels &Models);
 
 } // namespace mpicsel
 

@@ -2,7 +2,32 @@
 
 #include "model/RobustSelector.h"
 
+#include "drift/Drift.h"
+#include "obs/Journal.h"
+#include "obs/Metrics.h"
+
 using namespace mpicsel;
+
+namespace {
+
+/// Every degradation to the OMPI decision leaves a trace: a
+/// `robust_fallback` journal event naming why, plus the
+/// selector.fallbacks counter.
+void noteFallback(const char *Reason, unsigned NumProcs,
+                  std::uint64_t MessageBytes, unsigned Usable) {
+  obs::bump(obs::Counter::SelectorFallbacks);
+  obs::Journal &J = obs::Journal::global();
+  if (!J.enabled())
+    return;
+  JsonObject Event = J.line("robust_fallback");
+  Event.set("reason", Reason);
+  Event.set("procs", NumProcs);
+  Event.set("message_bytes", MessageBytes);
+  Event.set("usable", Usable);
+  J.write(Event);
+}
+
+} // namespace
 
 RobustDecision mpicsel::selectRobust(const CalibratedModels &Models,
                                      const CalibrationReport &Report,
@@ -17,6 +42,7 @@ RobustDecision mpicsel::selectRobust(const CalibratedModels &Models,
     Decision.Algorithm = Ompi.Algorithm;
     Decision.SegmentBytes = Ompi.SegmentBytes;
     Decision.UsedFallback = true;
+    noteFallback("few-usable", NumProcs, MessageBytes, Usable);
     return Decision;
   }
   bool HaveBest = false;
@@ -29,6 +55,33 @@ RobustDecision mpicsel::selectRobust(const CalibratedModels &Models,
       Decision.Algorithm = Alg;
       BestTime = Time;
       HaveBest = true;
+    }
+  }
+  // The drift quarantine: when the sentinel has tripped *any*
+  // algorithm's cell at this (P, m) region, the argmin above consumed
+  // at least one lying prediction, so the winner it produced is
+  // untrustworthy no matter which algorithm it is (an inflated victim
+  // loses the argmin silently; a deflated one wins it falsely).
+  // Degrade the whole region to the calibration-free OMPI decision
+  // until the repair loop lifts the quarantine.
+  if (DriftSentinel *Sentinel = globalDriftSentinel()) {
+    if (Sentinel->anyQuarantined(NumProcs, MessageBytes)) {
+      obs::bump(obs::Counter::DriftQuarantines);
+      obs::Journal &J = obs::Journal::global();
+      if (J.enabled()) {
+        JsonObject Event = J.line("drift_quarantine");
+        Event.set("alg", bcastAlgorithmName(Decision.Algorithm));
+        Event.set("procs", NumProcs);
+        Event.set("message_bytes", MessageBytes);
+        J.write(Event);
+      }
+      BcastDecision Ompi = ompiBcastDecisionFixed(NumProcs, MessageBytes);
+      Decision.Algorithm = Ompi.Algorithm;
+      Decision.SegmentBytes = Ompi.SegmentBytes;
+      Decision.UsedFallback = true;
+      Decision.DriftQuarantined = true;
+      noteFallback("drift-quarantine", NumProcs, MessageBytes, Usable);
+      return Decision;
     }
   }
   Decision.SegmentBytes =

@@ -47,6 +47,10 @@ struct RobustDecision {
   bool UsedFallback = false;
   /// At least one algorithm was excluded by the quality gates.
   bool ExcludedAny = false;
+  /// The fallback was forced by a drift quarantine on the cell the
+  /// models would have chosen (drift/Drift.h), not by calibration
+  /// quality.
+  bool DriftQuarantined = false;
 };
 
 /// Model-based selection restricted to the algorithms whose

@@ -4,6 +4,7 @@
 
 #include "coll/Barrier.h"
 #include "coll/PointToPoint.h"
+#include "drift/Drift.h"
 #include "mpi/ScheduleIntern.h"
 #include "obs/Metrics.h"
 #include "sim/Engine.h"
@@ -80,12 +81,22 @@ double mpicsel::runBcastOnce(const Platform &P, unsigned NumProcs,
         Built.S = B.take();
         return Built;
       });
-  return runInterned(IS, P, Seed, "broadcast", [&](const ExecutionResult &R) {
-    double Latest = 0.0;
-    for (OpId Id : IS->Exit)
-      Latest = std::max(Latest, R.doneTime(Id));
-    return Latest;
-  });
+  const double Latency =
+      runInterned(IS, P, Seed, "broadcast", [&](const ExecutionResult &R) {
+        double Latest = 0.0;
+        for (OpId Id : IS->Exit)
+          Latest = std::max(Latest, R.doneTime(Id));
+        return Latest;
+      });
+  // Plain broadcast replays are what the deployed selection serves,
+  // so they are the drift sentinel's feed; the calibration's
+  // bcast+gather experiments deliberately are not (a repair measuring
+  // through them must not re-trigger itself). One atomic load when no
+  // sentinel is installed.
+  if (DriftSentinel *Sentinel = globalDriftSentinel())
+    Sentinel->observe(Config.Algorithm, NumProcs, Config.MessageBytes,
+                      Latency);
+  return Latency;
 }
 
 AdaptiveResult mpicsel::measureBcast(const Platform &P, unsigned NumProcs,

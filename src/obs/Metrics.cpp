@@ -47,6 +47,20 @@ const char *obs::counterName(Counter C) {
     return "audit.checks";
   case Counter::AuditViolations:
     return "audit.violations";
+  case Counter::SelectorFallbacks:
+    return "selector.fallbacks";
+  case Counter::DriftSamples:
+    return "drift.samples";
+  case Counter::DriftScreened:
+    return "drift.screened";
+  case Counter::DriftTrips:
+    return "drift.trips";
+  case Counter::DriftQuarantines:
+    return "drift.quarantines";
+  case Counter::DriftRepairs:
+    return "drift.repairs";
+  case Counter::DriftGiveups:
+    return "drift.giveups";
   case Counter::NumCounters:
     break;
   }

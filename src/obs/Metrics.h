@@ -60,6 +60,13 @@ enum class Counter : unsigned {
   PoolSteals,         ///< tasks executed from another worker's deque
   AuditChecks,        ///< model/table audit checks evaluated
   AuditViolations,    ///< audit findings at violation severity
+  SelectorFallbacks,  ///< robust selections degraded to the OMPI decision
+  DriftSamples,       ///< replay residuals fed to the drift sentinel
+  DriftScreened,      ///< residuals the sentinel's MAD screen discarded
+  DriftTrips,         ///< drift cells tripped
+  DriftQuarantines,   ///< selections degraded by a quarantined cell
+  DriftRepairs,       ///< algorithms repaired by targeted recalibration
+  DriftGiveups,       ///< algorithms abandoned after repair backoff
   NumCounters         ///< sentinel: number of counters
 };
 

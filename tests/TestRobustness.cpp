@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "coll/OmpiDecision.h"
+#include "drift/Drift.h"
 #include "fault/Fault.h"
 #include "model/Calibration.h"
 #include "model/RobustSelector.h"
@@ -476,6 +477,45 @@ TEST(RobustnessAcceptance, ContaminatedCalibrationStaysNearOracle) {
       << RobustOut.mean(N);
   EXPECT_GE(RawOut.Worst, RobustOut.Worst)
       << "raw worst " << RawOut.Worst << " vs robust " << RobustOut.Worst;
+}
+
+TEST(RobustnessAcceptance, CleanRunNeverTripsDriftSentinel) {
+  // The drift sentinel's false-positive pin: commissioned against a
+  // healthy calibration and fed healthy replays (fresh noise draws),
+  // it must never trip -- the paper's honest per-cell model error is
+  // part of the reference profile, not drift.
+  PreflightOff NoPreflight;
+  const CleanCalibration &C = cleanCalibration();
+  Platform Plat = makeGrisou();
+  DriftSentinel Sentinel(DriftMode::Warn);
+  Sentinel.bindModels(&C.Models);
+  ScopedDriftSentinel Install(Sentinel);
+
+  const std::vector<std::uint64_t> Messages = paperSweep();
+  auto sweep = [&](std::uint64_t SeedBase, unsigned Reps) {
+    for (std::size_t A = 0; A != AllBcastAlgorithms.size(); ++A) {
+      BcastConfig Config;
+      Config.Algorithm = AllBcastAlgorithms[A];
+      Config.SegmentBytes = Config.Algorithm == BcastAlgorithm::Linear
+                                ? 0
+                                : C.Models.SegmentBytes;
+      for (std::size_t S = 0; S != Messages.size(); ++S) {
+        Config.MessageBytes = Messages[S];
+        for (unsigned R = 0; R != Reps; ++R)
+          runBcastOnce(Plat, 16, Config,
+                       SeedBase + 0x10000ull * A + 0x100ull * S + R);
+      }
+    }
+  };
+  Sentinel.beginReferenceCapture();
+  sweep(0xC0AA51D5ull, 4);
+  Sentinel.endReferenceCapture();
+  sweep(0xDE7EC7ull, 8);
+
+  const DriftStats Stats = Sentinel.stats();
+  EXPECT_GT(Stats.Samples, 0u);
+  EXPECT_EQ(Stats.Trips, 0u) << Sentinel.report();
+  EXPECT_EQ(Stats.Quarantined, 0u);
 }
 
 TEST(RobustnessAcceptance, FaultTimelineIsReproducible) {

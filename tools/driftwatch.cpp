@@ -1,0 +1,487 @@
+//===- tools/driftwatch.cpp - Offline drift-journal inspector -------------===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+//
+// Replays a run journal (the JSONL stream obs/Journal.h emits under
+// MPICSEL_METRICS=journal:<file>) and reconstructs the drift story:
+// which (algorithm, P, bucket) cells tripped the sentinel, which
+// selections were degraded by quarantine, which algorithms were
+// repaired (and in how many attempts) or given up on, what the
+// robust-selector fallback mix looked like, and how the decision
+// cache behaved. The final `counters` summary event is echoed so the
+// numbers can be correlated with drift.* / selector.* metrics.
+//
+// `--diff-old/--diff-new` additionally (or instead) compares two
+// decision-table files cell by cell -- the offline view of the atomic
+// table swap repairDriftedCells() performs.
+//
+// The journal is line-oriented JSON with a known, flat schema, so the
+// extraction here is a deliberately small hand-rolled scanner rather
+// than a JSON parser (the C++ tree only emits JSON; parsing stays in
+// Python elsewhere). Unknown event kinds are ignored, so the tool is
+// forward-compatible with new journal events.
+//
+// Exit status: 0 on a clean story, 1 if any algorithm was given up on
+// (drift_giveup) or the tables are not comparable, 2 on usage errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "audit/Audit.h"
+#include "coll/Algorithms.h"
+#include "model/DecisionCache.h"
+#include "support/CommandLine.h"
+#include "support/Json.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace mpicsel;
+
+namespace {
+
+/// Finds the raw value token of top-level member \p Key in the
+/// compact one-line JSON object \p Line. Returns the substring after
+/// the colon up to the member-terminating ',' or '}' (quotes and
+/// brace/bracket nesting respected). False when the key is absent.
+bool findRawMember(const std::string &Line, const std::string &Key,
+                   std::string &Raw) {
+  const std::string Needle = "\"" + Key + "\":";
+  std::size_t Pos = 0;
+  while ((Pos = Line.find(Needle, Pos)) != std::string::npos) {
+    // Only accept matches that sit at nesting depth 1 (top level of
+    // the event object), not keys of the same name inside a nested
+    // object such as "counters".
+    int Depth = 0;
+    bool InString = false;
+    for (std::size_t I = 0; I < Pos; ++I) {
+      char C = Line[I];
+      if (InString) {
+        if (C == '\\')
+          ++I;
+        else if (C == '"')
+          InString = false;
+      } else if (C == '"') {
+        InString = true;
+      } else if (C == '{' || C == '[') {
+        ++Depth;
+      } else if (C == '}' || C == ']') {
+        --Depth;
+      }
+    }
+    if (Depth != 1 || InString) {
+      Pos += Needle.size();
+      continue;
+    }
+    std::size_t Start = Pos + Needle.size();
+    int ValDepth = 0;
+    bool ValString = false;
+    std::size_t End = Start;
+    for (; End < Line.size(); ++End) {
+      char C = Line[End];
+      if (ValString) {
+        if (C == '\\')
+          ++End;
+        else if (C == '"')
+          ValString = false;
+        continue;
+      }
+      if (C == '"')
+        ValString = true;
+      else if (C == '{' || C == '[')
+        ++ValDepth;
+      else if (C == '}' || C == ']') {
+        if (ValDepth == 0)
+          break;
+        --ValDepth;
+      } else if (C == ',' && ValDepth == 0)
+        break;
+    }
+    Raw = Line.substr(Start, End - Start);
+    return true;
+  }
+  return false;
+}
+
+/// Journal strings are simple identifiers and paths; unescape just
+/// the sequences JsonObject::escape() can produce for them.
+std::string unquote(const std::string &Raw) {
+  if (Raw.size() < 2 || Raw.front() != '"' || Raw.back() != '"')
+    return Raw;
+  std::string Out;
+  Out.reserve(Raw.size() - 2);
+  for (std::size_t I = 1; I + 1 < Raw.size(); ++I) {
+    char C = Raw[I];
+    if (C == '\\' && I + 2 < Raw.size()) {
+      char N = Raw[++I];
+      switch (N) {
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      default:
+        Out += N;
+        break;
+      }
+    } else {
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+bool getString(const std::string &Line, const std::string &Key,
+               std::string &Out) {
+  std::string Raw;
+  if (!findRawMember(Line, Key, Raw) || Raw.empty() || Raw.front() != '"')
+    return false;
+  Out = unquote(Raw);
+  return true;
+}
+
+bool getNumber(const std::string &Line, const std::string &Key, double &Out) {
+  std::string Raw;
+  if (!findRawMember(Line, Key, Raw) || Raw.empty())
+    return false;
+  char *End = nullptr;
+  Out = std::strtod(Raw.c_str(), &End);
+  return End != Raw.c_str();
+}
+
+std::uint64_t getCount(const std::string &Line, const std::string &Key) {
+  double V = 0;
+  if (!getNumber(Line, Key, V) || V < 0)
+    return 0;
+  return static_cast<std::uint64_t>(V);
+}
+
+/// Iterates the flat "name":number members of a nested object (the
+/// "counters" payload) into \p Out.
+void parseFlatCounters(const std::string &Raw,
+                       std::map<std::string, std::uint64_t> &Out) {
+  std::size_t Pos = 0;
+  while ((Pos = Raw.find('"', Pos)) != std::string::npos) {
+    std::size_t NameEnd = Raw.find('"', Pos + 1);
+    if (NameEnd == std::string::npos)
+      return;
+    const std::string Name = Raw.substr(Pos + 1, NameEnd - Pos - 1);
+    std::size_t Colon = Raw.find(':', NameEnd);
+    if (Colon == std::string::npos)
+      return;
+    char *End = nullptr;
+    const double V = std::strtod(Raw.c_str() + Colon + 1, &End);
+    if (End != Raw.c_str() + Colon + 1 && V >= 0)
+      Out[Name] = static_cast<std::uint64_t>(V);
+    Pos = End ? static_cast<std::size_t>(End - Raw.c_str()) : Colon + 1;
+  }
+}
+
+/// Aggregated drift story for one algorithm (keyed by journal name).
+struct AlgorithmStory {
+  std::uint64_t Trips = 0;
+  std::uint64_t Quarantines = 0; // selections degraded at replay time
+  bool Repaired = false;
+  bool GivenUp = false;
+  std::uint64_t Attempts = 0;
+  std::uint64_t ViolationsAfter = 0;
+};
+
+struct JournalSummary {
+  std::uint64_t Lines = 0;
+  std::uint64_t Trips = 0;
+  std::uint64_t Quarantines = 0;
+  std::uint64_t Repairs = 0;
+  std::uint64_t Giveups = 0;
+  std::uint64_t Fallbacks = 0;
+  std::uint64_t TableCellsChanged = 0;
+  std::map<std::string, AlgorithmStory> ByAlgorithm;
+  std::map<std::string, std::uint64_t> FallbackReasons;
+  std::map<std::string, std::uint64_t> Cache;    // summed cache_stats
+  std::map<std::string, std::uint64_t> Counters; // last counters event
+  std::vector<std::string> TripLines;            // human one-liners
+};
+
+bool scanJournal(const std::string &Path, JournalSummary &S) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    ++S.Lines;
+    std::string Ev;
+    if (!getString(Line, "ev", Ev))
+      continue;
+    std::string Alg;
+    getString(Line, "alg", Alg);
+    if (Ev == "drift_trip") {
+      ++S.Trips;
+      AlgorithmStory &A = S.ByAlgorithm[Alg];
+      ++A.Trips;
+      double Score = 0, Residual = 0;
+      getNumber(Line, "score", Score);
+      getNumber(Line, "residual", Residual);
+      char Buf[160];
+      std::snprintf(Buf, sizeof(Buf),
+                    "%-14s P=%-4llu bucket=%-2llu score=%.3g residual=%.3g "
+                    "samples=%llu",
+                    Alg.c_str(),
+                    static_cast<unsigned long long>(getCount(Line, "procs")),
+                    static_cast<unsigned long long>(getCount(Line, "bucket")),
+                    Score, Residual,
+                    static_cast<unsigned long long>(getCount(Line, "samples")));
+      S.TripLines.push_back(Buf);
+    } else if (Ev == "drift_quarantine") {
+      ++S.Quarantines;
+      ++S.ByAlgorithm[Alg].Quarantines;
+    } else if (Ev == "drift_repair") {
+      ++S.Repairs;
+      AlgorithmStory &A = S.ByAlgorithm[Alg];
+      A.Repaired = true;
+      A.Attempts = getCount(Line, "attempts");
+      A.ViolationsAfter = getCount(Line, "violations_after");
+    } else if (Ev == "drift_giveup") {
+      ++S.Giveups;
+      AlgorithmStory &A = S.ByAlgorithm[Alg];
+      A.GivenUp = true;
+      A.Attempts = getCount(Line, "attempts");
+    } else if (Ev == "robust_fallback") {
+      ++S.Fallbacks;
+      std::string Reason = "?";
+      getString(Line, "reason", Reason);
+      ++S.FallbackReasons[Reason];
+    } else if (Ev == "cache_stats") {
+      for (const char *Key : {"hits", "misses", "stores", "corrupt"})
+        S.Cache[Key] += getCount(Line, Key);
+    } else if (Ev == "counters" || Ev == "counters_now") {
+      std::string Raw;
+      if (findRawMember(Line, "counters", Raw)) {
+        S.Counters.clear(); // keep the last (final) summary
+        parseFlatCounters(Raw, S.Counters);
+      }
+    }
+  }
+  return true;
+}
+
+void printSummary(const std::string &Path, const JournalSummary &S,
+                  bool Verbose) {
+  std::printf("driftwatch: %s (%llu events)\n", Path.c_str(),
+              static_cast<unsigned long long>(S.Lines));
+  std::printf(
+      "  trips=%llu quarantined-selections=%llu repairs=%llu giveups=%llu "
+      "fallbacks=%llu\n",
+      static_cast<unsigned long long>(S.Trips),
+      static_cast<unsigned long long>(S.Quarantines),
+      static_cast<unsigned long long>(S.Repairs),
+      static_cast<unsigned long long>(S.Giveups),
+      static_cast<unsigned long long>(S.Fallbacks));
+  for (const auto &Entry : S.ByAlgorithm) {
+    const AlgorithmStory &A = Entry.second;
+    const char *Outcome = A.GivenUp    ? "GAVE UP"
+                          : A.Repaired ? "repaired"
+                          : A.Trips    ? "tripped"
+                                       : "clean";
+    std::printf("  %-14s trips=%-3llu degraded=%-3llu %s",
+                Entry.first.c_str(),
+                static_cast<unsigned long long>(A.Trips),
+                static_cast<unsigned long long>(A.Quarantines), Outcome);
+    if (A.Repaired || A.GivenUp)
+      std::printf(" (attempts=%llu)",
+                  static_cast<unsigned long long>(A.Attempts));
+    std::printf("\n");
+  }
+  if (!S.FallbackReasons.empty()) {
+    std::printf("  fallback reasons:");
+    for (const auto &R : S.FallbackReasons)
+      std::printf(" %s=%llu", R.first.c_str(),
+                  static_cast<unsigned long long>(R.second));
+    std::printf("\n");
+  }
+  if (!S.Cache.empty()) {
+    std::printf("  cache:");
+    for (const auto &C : S.Cache)
+      std::printf(" %s=%llu", C.first.c_str(),
+                  static_cast<unsigned long long>(C.second));
+    std::printf("\n");
+  }
+  if (!S.Counters.empty()) {
+    std::printf("  final counters:");
+    for (const auto &C : S.Counters)
+      std::printf(" %s=%llu", C.first.c_str(),
+                  static_cast<unsigned long long>(C.second));
+    std::printf("\n");
+  }
+  if (Verbose && !S.TripLines.empty()) {
+    std::printf("  trip detail:\n");
+    for (const std::string &T : S.TripLines)
+      std::printf("    %s\n", T.c_str());
+  }
+}
+
+JsonObject summaryToJson(const std::string &Path, const JournalSummary &S) {
+  JsonObject Record;
+  Record.set("tool", "driftwatch");
+  Record.set("schema_version", static_cast<std::uint64_t>(1));
+  Record.set("journal", Path);
+  Record.set("events", S.Lines);
+  Record.set("trips", S.Trips);
+  Record.set("quarantined_selections", S.Quarantines);
+  Record.set("repairs", S.Repairs);
+  Record.set("giveups", S.Giveups);
+  Record.set("fallbacks", S.Fallbacks);
+  std::vector<JsonObject> Algs;
+  for (const auto &Entry : S.ByAlgorithm) {
+    const AlgorithmStory &A = Entry.second;
+    JsonObject O;
+    O.set("alg", Entry.first);
+    O.set("trips", A.Trips);
+    O.set("degraded", A.Quarantines);
+    O.set("repaired", A.Repaired);
+    O.set("gave_up", A.GivenUp);
+    O.set("attempts", A.Attempts);
+    Algs.push_back(std::move(O));
+  }
+  Record.set("algorithms", Algs);
+  JsonObject Reasons;
+  for (const auto &R : S.FallbackReasons)
+    Reasons.set(R.first, R.second);
+  Record.set("fallback_reasons", std::move(Reasons));
+  JsonObject Cache;
+  for (const auto &C : S.Cache)
+    Cache.set(C.first, C.second);
+  Record.set("cache", std::move(Cache));
+  JsonObject Counters;
+  for (const auto &C : S.Counters)
+    Counters.set(C.first, C.second);
+  Record.set("counters", std::move(Counters));
+  return Record;
+}
+
+/// Compares two table files; returns the process exit code.
+int diffTables(const std::string &OldPath, const std::string &NewPath,
+               JsonObject *JsonOut) {
+  DecisionTable Old, New;
+  if (!readDecisionTableFile(OldPath, Old)) {
+    std::fprintf(stderr, "error: cannot read table '%s'\n", OldPath.c_str());
+    return 2;
+  }
+  if (!readDecisionTableFile(NewPath, New)) {
+    std::fprintf(stderr, "error: cannot read table '%s'\n", NewPath.c_str());
+    return 2;
+  }
+  const TableDiff Diff = diffDecisionTables(Old, New);
+  if (!Diff.Comparable) {
+    std::printf("driftwatch diff: grids not comparable (%s)\n",
+                Diff.GridMismatch.c_str());
+    return 1;
+  }
+  std::printf("driftwatch diff: %zu/%u cells changed\n", Diff.Changed.size(),
+              Diff.CellCount);
+  for (const TableCellDiff &C : Diff.Changed)
+    std::printf("  P=%-4u m=%-10llu %s -> %s\n", C.NumProcs,
+                static_cast<unsigned long long>(C.MessageBytes),
+                bcastAlgorithmName(C.Before), bcastAlgorithmName(C.After));
+  if (JsonOut) {
+    JsonObject D;
+    D.set("old", OldPath);
+    D.set("new", NewPath);
+    D.set("cells", Diff.CellCount);
+    std::vector<JsonObject> Changed;
+    for (const TableCellDiff &C : Diff.Changed) {
+      JsonObject Cell;
+      Cell.set("p", C.NumProcs);
+      Cell.set("m", C.MessageBytes);
+      Cell.set("before", bcastAlgorithmName(C.Before));
+      Cell.set("after", bcastAlgorithmName(C.After));
+      Changed.push_back(std::move(Cell));
+    }
+    D.set("changed", Changed);
+    JsonOut->set("diff", std::move(D));
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JournalPath;
+  std::string JsonPath;
+  std::string DiffOld;
+  std::string DiffNew;
+  bool Verbose = false;
+
+  CommandLine Cmd("driftwatch: offline inspection of drift-sentinel journals "
+                  "and decision-table repairs");
+  Cmd.addFlag("journal", "run journal (JSONL) to summarise", JournalPath);
+  Cmd.addFlag("json", "write machine-readable summary to this file", JsonPath);
+  Cmd.addFlag("diff-old", "decision-table file before repair", DiffOld);
+  Cmd.addFlag("diff-new", "decision-table file after repair", DiffNew);
+  Cmd.addFlag("verbose", "list every trip, not just the summary", Verbose);
+  if (!Cmd.parse(Argc, Argv))
+    return Cmd.helpRequested() ? 0 : 2;
+  if (DiffOld.empty() != DiffNew.empty()) {
+    std::fprintf(stderr,
+                 "error: --diff-old and --diff-new must be given together\n");
+    return 2;
+  }
+  if (JournalPath.empty() && DiffOld.empty()) {
+    std::fprintf(stderr, "error: nothing to do; pass --journal and/or "
+                         "--diff-old/--diff-new\n%s",
+                 Cmd.usage().c_str());
+    return 2;
+  }
+
+  int Exit = 0;
+  JsonObject Record;
+  JsonObject *JsonOut = JsonPath.empty() ? nullptr : &Record;
+
+  if (!JournalPath.empty()) {
+    JournalSummary S;
+    if (!scanJournal(JournalPath, S)) {
+      std::fprintf(stderr, "error: cannot read journal '%s'\n",
+                   JournalPath.c_str());
+      return 2;
+    }
+    printSummary(JournalPath, S, Verbose);
+    if (S.Giveups != 0)
+      Exit = 1;
+    if (JsonOut)
+      Record = summaryToJson(JournalPath, S);
+  }
+
+  if (!DiffOld.empty()) {
+    const int DiffExit = diffTables(DiffOld, DiffNew, JsonOut);
+    if (DiffExit == 2)
+      return 2;
+    if (DiffExit != 0)
+      Exit = DiffExit;
+  }
+
+  if (JsonOut) {
+    if (Record.empty()) {
+      Record.set("tool", "driftwatch");
+      Record.set("schema_version", static_cast<std::uint64_t>(1));
+    }
+    const std::string Text = Record.render();
+    std::FILE *File = std::fopen(JsonPath.c_str(), "wb");
+    if (!File) {
+      std::fprintf(stderr, "error: cannot write JSON report to '%s'\n",
+                   JsonPath.c_str());
+      return 2;
+    }
+    std::fwrite(Text.data(), 1, Text.size(), File);
+    std::fclose(File);
+  }
+  return Exit;
+}
