@@ -19,13 +19,22 @@
 // counts) land in the gated `metrics` section of the --json record;
 // host-dependent throughput (ns/op, speedup) goes to `timings`.
 //
+// With --scale the binary instead runs the large-P streaming suite
+// (bench name micro_engine_scale): a P=100k streamed broadcast replay
+// whose retained footprint and peak RSS are pinned by committed
+// budgets, a P=4096 differential replay against the materialized
+// oracle, and (full mode only) a P=1M replay reported for trend.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
 #include "coll/Bcast.h"
+#include "coll/BcastStream.h"
 #include "mpi/CompiledSchedule.h"
+#include "obs/Rss.h"
 #include "sim/Engine.h"
+#include "sim/StreamEngine.h"
 #include "support/CommandLine.h"
 #include "support/Format.h"
 #include "support/Table.h"
@@ -123,10 +132,220 @@ bool identicalTimings(const ExecutionResult &A, const ExecutionResult &B) {
   return A.BytesReceived == B.BytesReceived && A.BytesSent == B.BytesSent;
 }
 
+//===----------------------------------------------------------------------===//
+// --scale: streamed replay at large P.
+//===----------------------------------------------------------------------===//
+
+/// Large-P streaming suite. Order matters: VmHWM is process-monotone
+/// (the kernel never lowers it), so the streamed P=100k case runs
+/// FIRST -- materializing any schedule beforehand would charge the
+/// materialized footprint to the streaming budget.
+///
+/// Gated metrics: op/event counts, completion, determinism, the
+/// warm-replay allocation count, and the differential identity flag.
+/// The retained footprint and the post-stream peak RSS are max-bounded
+/// by the `budgets` object of the committed baseline
+/// (scripts/bench_compare.py) rather than tolerance-matched: they must
+/// only never grow past the cap. The P=1M case contributes timings
+/// only, so quick (CI) records carry the same metric set as full runs.
+int runScaleSuite(bool Quick, std::int64_t Reps, const std::string &JsonPath) {
+  const unsigned WarmReps =
+      Reps > 0 ? static_cast<unsigned>(Reps) : (Quick ? 1u : 3u);
+
+  banner("Streaming engine at scale");
+  std::printf("streamed broadcast replay, %u timed warm replay(s) per case\n\n",
+              WarmReps);
+
+  BenchReporter Report("micro_engine_scale");
+  Report.info("mode", Quick ? "quick" : "full");
+
+  Table Results({"case", "ranks", "ops", "events", "peak events", "foot MiB",
+                 "Mev/s", "ok"});
+  Results.setTitle("streamed replay at scale");
+
+  bool AllOk = true;
+  double Sink = 0.0;
+  StreamEngine SE;
+
+  // stream_P100k: the budgeted case. One cold run sizes every arena
+  // to its high-water mark; the peak-RSS budget sample is taken
+  // before anything else touches the heap; the warm replays are timed
+  // and must not allocate.
+  {
+    const unsigned P = 100000;
+    BcastConfig C;
+    C.Algorithm = BcastAlgorithm::Binomial;
+    C.MessageBytes = 32 << 10;
+    C.SegmentBytes = 8 << 10;
+    const Platform Plat = makeScalePlatform(P);
+    const BcastStreamPlan Plan = makeBcastStreamPlan(C, P);
+    const std::uint64_t TotalOps = Plan.totalOps();
+
+    const ExecutionResult &Cold = SE.run(Plan, Plat, 1);
+    const bool Completed = Cold.Completed;
+    const double ColdMakespan = Cold.Makespan;
+    const std::uint64_t NumEvents = SE.eventsProcessed();
+    const std::size_t PeakEvents = SE.peakEvents();
+    const std::size_t Footprint = SE.footprintBytes();
+
+    // The budget sample: the process high-water mark with only the
+    // streamed path behind it.
+    const std::uint64_t PeakRssKiB = obs::peakRssKiB();
+    obs::samplePeakRss();
+
+    double Seconds = 0.0;
+    std::uint64_t Allocs = 0;
+    bool Deterministic = true;
+    {
+      obs::PhaseSpan ReplaySpan(obs::Phase::Replay, "stream_P100k");
+      const std::uint64_t Before = allocationCount();
+      const auto Start = std::chrono::steady_clock::now();
+      for (unsigned Rep = 0; Rep != WarmReps; ++Rep) {
+        const ExecutionResult &Warm = SE.run(Plan, Plat, 1);
+        Deterministic = Deterministic && Warm.Makespan == ColdMakespan;
+        Sink += Warm.Makespan;
+      }
+      Seconds = secondsSince(Start);
+      Allocs = allocationCount() - Before;
+    }
+    const double EventsPerSec =
+        Seconds > 0.0
+            ? static_cast<double>(NumEvents) * WarmReps / Seconds
+            : 0.0;
+    const bool Ok = Completed && Deterministic && Allocs == 0;
+    AllOk = AllOk && Ok;
+
+    Results.addRow({"stream_P100k", strFormat("%u", P),
+                    strFormat("%llu", static_cast<unsigned long long>(TotalOps)),
+                    strFormat("%llu",
+                              static_cast<unsigned long long>(NumEvents)),
+                    strFormat("%zu", PeakEvents),
+                    strFormat("%.2f", static_cast<double>(Footprint) /
+                                          (1024.0 * 1024.0)),
+                    strFormat("%.2f", EventsPerSec / 1e6), Ok ? "yes" : "NO"});
+
+    Report.metric("stream_P100k_total_ops", static_cast<double>(TotalOps));
+    Report.metric("stream_P100k_events", static_cast<double>(NumEvents));
+    Report.metric("stream_P100k_peak_events",
+                  static_cast<double>(PeakEvents));
+    Report.metric("stream_P100k_completed", Completed ? 1.0 : 0.0);
+    Report.metric("stream_P100k_deterministic", Deterministic ? 1.0 : 0.0);
+    Report.metric("stream_P100k_replay_allocs", static_cast<double>(Allocs));
+    // Max-bounded by the baseline's budgets, not tolerance-matched.
+    Report.metric("stream_P100k_footprint_bytes",
+                  static_cast<double>(Footprint));
+    Report.metric("stream_P100k_peak_rss_kib",
+                  static_cast<double>(PeakRssKiB));
+    Report.timing("stream_P100k_events_per_sec", EventsPerSec);
+    Report.timing("stream_P100k_cold_rss_kib",
+                  static_cast<double>(obs::currentRssKiB()));
+
+    std::printf("stream_P100k: %llu ops, %llu events, footprint %.2f MiB, "
+                "peak RSS %llu KiB\n",
+                static_cast<unsigned long long>(TotalOps),
+                static_cast<unsigned long long>(NumEvents),
+                static_cast<double>(Footprint) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(PeakRssKiB));
+  }
+
+  // differential_P4096: the streamed replay against the materialized
+  // oracle -- appendBcast, compiled, replayed by sim/Engine -- at a P
+  // the oracle can still hold. Every OpTiming and byte counter must
+  // match bitwise.
+  {
+    const unsigned P = 4096;
+    BcastConfig C;
+    C.Algorithm = BcastAlgorithm::Binomial;
+    C.MessageBytes = 64 << 10;
+    C.SegmentBytes = 8 << 10;
+    const Platform Plat = makeScalePlatform(P);
+    const BcastStreamPlan Plan = makeBcastStreamPlan(C, P);
+
+    StreamOptions Opts;
+    Opts.RecordTimings = true;
+    const ExecutionResult Streamed = SE.run(Plan, Plat, 42, nullptr, Opts);
+    const std::uint64_t NumEvents = SE.eventsProcessed();
+
+    ScheduleBuilder B(P);
+    appendBcast(B, C);
+    CompiledSchedule CS = compileSchedule(B.take());
+    Engine E;
+    const ExecutionResult &Oracle = E.run(CS, Plat, 42);
+    const bool Identical = identicalTimings(Oracle, Streamed);
+    AllOk = AllOk && Identical;
+
+    Results.addRow({"differential_P4096", strFormat("%u", P),
+                    strFormat("%zu", static_cast<std::size_t>(CS.numOps())),
+                    strFormat("%llu",
+                              static_cast<unsigned long long>(NumEvents)),
+                    strFormat("%zu", SE.peakEvents()), "-", "-",
+                    Identical ? "yes" : "NO"});
+
+    Report.metric("differential_P4096_ops",
+                  static_cast<double>(CS.numOps()));
+    Report.metric("differential_P4096_identical", Identical ? 1.0 : 0.0);
+  }
+
+  // stream_P1M: full mode only; trend numbers, nothing gated (quick CI
+  // records must carry the same gated metric set as the baseline).
+  if (!Quick) {
+    const unsigned P = 1000000;
+    BcastConfig C;
+    C.Algorithm = BcastAlgorithm::Binomial;
+    C.MessageBytes = 8 << 10;
+    C.SegmentBytes = 0;
+    const Platform Plat = makeScalePlatform(P);
+    const BcastStreamPlan Plan = makeBcastStreamPlan(C, P);
+
+    const auto Start = std::chrono::steady_clock::now();
+    const ExecutionResult &R = SE.run(Plan, Plat, 1);
+    const double Seconds = secondsSince(Start);
+    const bool Completed = R.Completed;
+    Sink += R.Makespan;
+    AllOk = AllOk && Completed;
+
+    const std::uint64_t NumEvents = SE.eventsProcessed();
+    const double EventsPerSec =
+        Seconds > 0.0 ? static_cast<double>(NumEvents) / Seconds : 0.0;
+    Results.addRow({"stream_P1M", strFormat("%u", P),
+                    strFormat("%llu",
+                              static_cast<unsigned long long>(Plan.totalOps())),
+                    strFormat("%llu",
+                              static_cast<unsigned long long>(NumEvents)),
+                    strFormat("%zu", SE.peakEvents()),
+                    strFormat("%.2f", static_cast<double>(SE.footprintBytes()) /
+                                          (1024.0 * 1024.0)),
+                    strFormat("%.2f", EventsPerSec / 1e6),
+                    Completed ? "yes" : "NO"});
+    Report.timing("stream_P1M_events_per_sec", EventsPerSec);
+    Report.timing("stream_P1M_peak_events",
+                  static_cast<double>(SE.peakEvents()));
+    Report.timing("stream_P1M_footprint_bytes",
+                  static_cast<double>(SE.footprintBytes()));
+  }
+
+  Results.print();
+  std::printf("\nThe streamed case must complete deterministically and "
+              "allocation-free after its\ncold run; footprint and peak RSS "
+              "are capped by the committed budgets\n(bench/baselines/"
+              "BENCH_micro_engine_scale.json), throughput is not gated.\n");
+
+  if (Sink < 0.0)
+    std::printf("unreachable %f\n", Sink);
+  if (!AllOk) {
+    std::fprintf(stderr, "error: scale suite failed (incomplete, "
+                         "non-deterministic, allocating, or divergent "
+                         "replay)\n");
+    return 1;
+  }
+  return Report.writeIfRequested(JsonPath) ? 0 : 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   bool Quick = false;
+  bool Scale = false;
   std::int64_t Reps = 0;
   std::string JsonPath;
 
@@ -134,6 +353,8 @@ int main(int Argc, char **Argv) {
                   "legacy interpreter, with bit-identity and allocation-free "
                   "replay checked on every case.");
   Cli.addFlag("quick", "fewer repetitions per case", Quick);
+  Cli.addFlag("scale", "run the large-P streaming suite instead "
+                       "(bench micro_engine_scale)", Scale);
   Cli.addFlag("reps", "repetitions per engine and case (0: default)", Reps);
   Cli.addFlag("json", "write a machine-readable record to this file",
               JsonPath);
@@ -145,6 +366,9 @@ int main(int Argc, char **Argv) {
 
   // Measure the engines, not the static verifier.
   setPreflightVerification(false);
+
+  if (Scale)
+    return runScaleSuite(Quick, Reps, JsonPath);
 
   const unsigned NumReps =
       Reps > 0 ? static_cast<unsigned>(Reps) : (Quick ? 30u : 200u);

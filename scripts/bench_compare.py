@@ -26,6 +26,17 @@ among the supplied records (a bench dropped from the sweep must not
 pass either); pass --subset when deliberately comparing a subset.
 Metric values must be numbers on both sides.
 
+A baseline may additionally carry a "budgets" object mapping metric
+names to hard caps.  A budgeted metric is max-bounded, not
+tolerance-matched: the current record must report it (missing means
+"not measured", which fails -- it is not a pass) and its value must
+not exceed the cap.  Budgets suit resource ceilings (peak RSS,
+retained footprint) that legitimately shrink but must never grow; any
+improvement passes without touching the baseline.  Budgeted names are
+exempt from the metrics comparison on both sides, and --update
+preserves the baseline's budgets while stripping budgeted names from
+the refreshed metrics.
+
 Usage:
     scripts/bench_compare.py out/BENCH_table3_selection.json ...
     scripts/bench_compare.py --update out/BENCH_*.json   # refresh baselines
@@ -72,6 +83,14 @@ def load_record(path):
                 f"error: metric '{name}' in '{path}' is not numeric: "
                 f"{value!r}"
             )
+    budgets = record.get("budgets", {})
+    if not isinstance(budgets, dict):
+        raise SystemExit(f"error: '{path}' budgets is not an object")
+    for name, cap in budgets.items():
+        if isinstance(cap, bool) or not isinstance(cap, (int, float)):
+            raise SystemExit(
+                f"error: budget '{name}' in '{path}' is not numeric: {cap!r}"
+            )
     return record
 
 
@@ -84,32 +103,50 @@ def within_tolerance(current, baseline, rel_tol, abs_tol):
 
 
 def compare_record(record, base, rel_tol, abs_tol):
-    """Returns a list of (metric, baseline, current, ok) rows; non-ok
-    rows carry None for a missing side."""
+    """Returns a list of (metric, baseline, current, ok, kind) rows
+    with kind "metric" or "budget"; non-ok rows carry None for a
+    missing side."""
     rows = []
     metrics = record["metrics"]
     base_metrics = base["metrics"]
+    budgets = base.get("budgets", {})
     for name, base_value in base_metrics.items():
+        if name in budgets:
+            continue  # the budget row below decides this name
         if name not in metrics:
-            rows.append((name, base_value, None, False))
+            rows.append((name, base_value, None, False, "metric"))
             continue
         current = metrics[name]
         ok = within_tolerance(current, base_value, rel_tol, abs_tol)
-        rows.append((name, base_value, current, ok))
+        rows.append((name, base_value, current, ok, "metric"))
     for name, current in metrics.items():
-        if name not in base_metrics:
-            rows.append((name, None, current, False))
+        if name not in base_metrics and name not in budgets:
+            rows.append((name, None, current, False, "metric"))
+    for name, cap in budgets.items():
+        if name not in metrics:
+            # "Not measured" must not read as "within budget".
+            rows.append((name, cap, None, False, "budget"))
+            continue
+        current = metrics[name]
+        rows.append((name, cap, current, current <= cap, "budget"))
     return rows
 
 
 def print_rows(bench, rows, timings):
     width = max((len(r[0]) for r in rows), default=0)
-    for name, base_value, current, ok in rows:
+    for name, base_value, current, ok, kind in rows:
         status = "ok" if ok else "FAIL"
         if base_value is None:
             detail = f"current {current:.6g}, missing from baseline"
         elif current is None:
-            detail = f"baseline {base_value:.6g}, missing from current"
+            side = "budgeted metric missing" if kind == "budget" else "missing"
+            detail = f"baseline {base_value:.6g}, {side} from current"
+        elif kind == "budget":
+            used = current / base_value if base_value else float("inf")
+            detail = (
+                f"budget   {base_value:<12.6g} current {current:<12.6g} "
+                f"({used:.1%} of cap)"
+            )
         else:
             delta = current - base_value
             rel = abs(delta) / abs(base_value) if base_value else float("inf")
@@ -172,7 +209,25 @@ def main():
         target = baseline_path(args.baselines, bench)
         if args.update:
             os.makedirs(args.baselines, exist_ok=True)
-            shutil.copyfile(path, target)
+            budgets = {}
+            if os.path.exists(target):
+                budgets = load_record(target).get("budgets", {})
+            if budgets:
+                # Budgets are hand-set ceilings, not measurements: keep
+                # them across refreshes and keep the budgeted names out
+                # of the tolerance-matched metrics.
+                record = dict(record)
+                record["metrics"] = {
+                    k: v
+                    for k, v in record["metrics"].items()
+                    if k not in budgets
+                }
+                record["budgets"] = budgets
+                with open(target, "w", encoding="utf-8") as handle:
+                    json.dump(record, handle, indent=2)
+                    handle.write("\n")
+            else:
+                shutil.copyfile(path, target)
             print(f"updated baseline: {target}")
             continue
         if not os.path.exists(target):

@@ -20,6 +20,7 @@
 #
 # Usage: scripts/check.sh [--threads N] [--no-bench] [--no-asan]
 #                         [--no-tidy | --tidy] [--tsan] [--drift]
+#                         [--scale]
 #
 #   --threads N   fan the calibration sweeps and the schedlint grid
 #                 over N worker threads (results are bit-identical to
@@ -36,6 +37,11 @@
 #                 scenario, let the sentinel quarantine and repair it
 #                 (MPICSEL_DRIFT=repair semantics), then modellint the
 #                 repaired models/table and driftwatch the run journal
+#   --scale       also run the scale smoke (CI's scale-smoke job): the
+#                 streamed P=100k broadcast replay, gated on
+#                 determinism, allocation-free warm replay, oracle
+#                 bit-identity at P=4096, and the committed
+#                 footprint/peak-RSS budgets
 #
 #===----------------------------------------------------------------------===#
 
@@ -48,6 +54,7 @@ RUN_TSAN=0
 RUN_TIDY=1
 RUN_BENCH=1
 RUN_DRIFT=0
+RUN_SCALE=0
 THREADS=1
 while [ "$#" -gt 0 ]; do
   case "$1" in
@@ -57,6 +64,7 @@ while [ "$#" -gt 0 ]; do
   --tidy) RUN_TIDY=2 ;;
   --no-bench) RUN_BENCH=0 ;;
   --drift) RUN_DRIFT=1 ;;
+  --scale) RUN_SCALE=1 ;;
   --threads)
     if [ "$#" -lt 2 ]; then
       echo "error: --threads needs a value" >&2
@@ -68,7 +76,7 @@ while [ "$#" -gt 0 ]; do
   --threads=*) THREADS="${1#--threads=}" ;;
   *)
     echo "usage: scripts/check.sh [--threads N] [--no-bench] [--no-asan]" \
-      "[--no-tidy | --tidy] [--tsan] [--drift]" >&2
+      "[--no-tidy | --tidy] [--tsan] [--drift] [--scale]" >&2
     exit 2
     ;;
   esac
@@ -151,7 +159,28 @@ if [ "$RUN_BENCH" -eq 1 ]; then
   # to the legacy interpreter and allocation-free after warm-up.
   ./build/bench/micro_engine --quick \
     --json "$OUT/BENCH_micro_engine.json" >/dev/null
-  python3 scripts/bench_compare.py "$OUT"/BENCH_*.json
+  # --subset: the micro_engine_scale record comes from the scale smoke
+  # (--scale here, the scale-smoke job in CI), not this sweep.
+  python3 scripts/bench_compare.py --subset "$OUT"/BENCH_*.json
+fi
+
+if [ "$RUN_SCALE" -eq 1 ]; then
+  step "scale smoke (streamed P=100k replay vs committed budgets)"
+  SCALE_OUT=build/scale-out
+  mkdir -p "$SCALE_OUT"
+  # Exits non-zero unless the streamed replay completes
+  # deterministically and allocation-free after its cold run and the
+  # P=4096 streamed timeline is bit-identical to the materialized
+  # oracle. The journal must carry the streaming counters and the
+  # peak-RSS gauge the budgets are about.
+  ./build/bench/micro_engine --scale --quick \
+    --metrics "$SCALE_OUT/BENCH_micro_engine_scale.jsonl" \
+    --json "$SCALE_OUT/BENCH_micro_engine_scale.json" >/dev/null
+  grep -q '"stream.replays"' "$SCALE_OUT/BENCH_micro_engine_scale.jsonl"
+  grep -q '"stream.events"' "$SCALE_OUT/BENCH_micro_engine_scale.jsonl"
+  grep -q '"proc.peak_rss_kib"' "$SCALE_OUT/BENCH_micro_engine_scale.jsonl"
+  python3 scripts/bench_compare.py --subset \
+    "$SCALE_OUT/BENCH_micro_engine_scale.json"
 fi
 
 if [ "$RUN_DRIFT" -eq 1 ]; then

@@ -21,14 +21,17 @@ SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                       "bench_compare.py")
 
 
-def record(bench, metrics, schema_version=1):
-    return {
+def record(bench, metrics, schema_version=1, budgets=None):
+    rec = {
         "bench": bench,
         "schema_version": schema_version,
         "info": {},
         "metrics": metrics,
         "timings": {},
     }
+    if budgets is not None:
+        rec["budgets"] = budgets
+    return rec
 
 
 class BenchCompareTest(unittest.TestCase):
@@ -46,10 +49,10 @@ class BenchCompareTest(unittest.TestCase):
             json.dump(payload, handle)
         return path
 
-    def write_baseline(self, bench, metrics):
+    def write_baseline(self, bench, metrics, budgets=None):
         path = os.path.join(self.baselines, f"BENCH_{bench}.json")
         with open(path, "w", encoding="utf-8") as handle:
-            json.dump(record(bench, metrics), handle)
+            json.dump(record(bench, metrics, budgets=budgets), handle)
         return path
 
     def run_compare(self, *args):
@@ -153,6 +156,73 @@ class BenchCompareTest(unittest.TestCase):
         target = os.path.join(self.baselines, "BENCH_alpha.json")
         with open(target, "r", encoding="utf-8") as handle:
             self.assertEqual(json.load(handle)["metrics"]["penalty"], 5.0)
+        code, out = self.run_compare(rec)
+        self.assertEqual(code, 0, out)
+
+    def test_budget_within_cap_passes(self):
+        self.write_baseline("alpha", {"penalty": 1.0}, budgets={"rss": 100.0})
+        rec = self.write(
+            "BENCH_alpha.json", record("alpha", {"penalty": 1.0, "rss": 60.0})
+        )
+        code, out = self.run_compare(rec)
+        self.assertEqual(code, 0, out)
+        self.assertIn("of cap", out)
+
+    def test_budget_exceeded_fails(self):
+        self.write_baseline("alpha", {"penalty": 1.0}, budgets={"rss": 100.0})
+        rec = self.write(
+            "BENCH_alpha.json", record("alpha", {"penalty": 1.0, "rss": 150.0})
+        )
+        code, out = self.run_compare(rec)
+        self.assertEqual(code, 1, out)
+        self.assertIn("FAIL", out)
+
+    def test_budget_well_under_cap_is_not_drift(self):
+        # A big improvement trips a tolerance check but never a budget:
+        # resource ceilings only gate growth.
+        self.write_baseline("alpha", {}, budgets={"rss": 100.0})
+        rec = self.write("BENCH_alpha.json", record("alpha", {"rss": 1.0}))
+        code, out = self.run_compare(rec)
+        self.assertEqual(code, 0, out)
+
+    def test_budgeted_metric_missing_from_current_fails(self):
+        # "Not measured" must not read as "within budget".
+        self.write_baseline("alpha", {"penalty": 1.0}, budgets={"rss": 100.0})
+        rec = self.write("BENCH_alpha.json", record("alpha", {"penalty": 1.0}))
+        code, out = self.run_compare(rec)
+        self.assertEqual(code, 1, out)
+        self.assertIn("budgeted metric missing", out)
+
+    def test_budgeted_metric_exempt_from_baseline_presence(self):
+        # The budgeted name lives only in the current metrics; it must
+        # not trigger the missing-from-baseline hard failure.
+        self.write_baseline("alpha", {"penalty": 1.0}, budgets={"rss": 100.0})
+        rec = self.write(
+            "BENCH_alpha.json", record("alpha", {"penalty": 1.0, "rss": 60.0})
+        )
+        code, out = self.run_compare(rec)
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("missing from baseline", out)
+
+    def test_non_numeric_budget_is_rejected(self):
+        self.write_baseline("alpha", {}, budgets={"rss": "large"})
+        rec = self.write("BENCH_alpha.json", record("alpha", {"rss": 1.0}))
+        code, out = self.run_compare(rec)
+        self.assertNotEqual(code, 0, out)
+        self.assertIn("not numeric", out)
+
+    def test_update_preserves_budgets(self):
+        self.write_baseline("alpha", {"penalty": 1.0}, budgets={"rss": 100.0})
+        rec = self.write(
+            "BENCH_alpha.json", record("alpha", {"penalty": 2.0, "rss": 70.0})
+        )
+        code, out = self.run_compare("--update", rec)
+        self.assertEqual(code, 0, out)
+        target = os.path.join(self.baselines, "BENCH_alpha.json")
+        with open(target, "r", encoding="utf-8") as handle:
+            refreshed = json.load(handle)
+        self.assertEqual(refreshed["budgets"], {"rss": 100.0})
+        self.assertEqual(refreshed["metrics"], {"penalty": 2.0})
         code, out = self.run_compare(rec)
         self.assertEqual(code, 0, out)
 

@@ -65,6 +65,13 @@ Platform mpicsel::makeGros() {
   return P;
 }
 
+Platform mpicsel::makeScalePlatform(unsigned RankCount) {
+  Platform P = makeGrisou();
+  P.Name = "scale";
+  P.NodeCount = (RankCount + 1) / 2; // two ranks per node, block-mapped
+  return P;
+}
+
 Platform mpicsel::makeTestPlatform(unsigned NodeCount, unsigned ProcsPerNode) {
   Platform P;
   P.Name = "test";

@@ -148,6 +148,14 @@ Platform makeGrisou();
 /// rank, 2 x 25 Gb Ethernet). Supports the paper's 124-process runs.
 Platform makeGros();
 
+/// A Grisou-parameter cluster scaled out to host \p RankCount ranks
+/// (two per node, block-mapped): the platform behind the streaming
+/// engine's 100k-1M-rank scale runs. Purely synthetic -- no physical
+/// Ethernet fabric stays flat at half a million NICs -- but it keeps
+/// the per-node contention pattern of the calibrated regime while the
+/// event core is stressed.
+Platform makeScalePlatform(unsigned RankCount);
+
 /// A deliberately tiny, perfectly noiseless platform for unit tests:
 /// every parameter is a round number so expected event times can be
 /// computed by hand.

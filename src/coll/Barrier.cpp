@@ -52,6 +52,31 @@ std::vector<OpId> mpicsel::appendBarrier(ScheduleBuilder &B, int Tag,
   return Current;
 }
 
+unsigned mpicsel::barrierNumRounds(unsigned RankCount) {
+  unsigned Rounds = 0;
+  for (unsigned Distance = 1; Distance < RankCount; Distance <<= 1)
+    ++Rounds;
+  return Rounds;
+}
+
+BarrierRoundOps mpicsel::barrierRoundOps(unsigned RankCount, unsigned Rank,
+                                         unsigned Round) {
+  assert(RankCount >= 2 && Rank < RankCount);
+  assert(Round < barrierNumRounds(RankCount) && "round out of range");
+  const unsigned Distance = 1u << Round;
+  BarrierRoundOps Ops;
+  Ops.SendPeer = (Rank + Distance) % RankCount;
+  Ops.RecvPeer = (Rank + RankCount - Distance) % RankCount;
+  const OpId Base =
+      static_cast<OpId>(Round) * 3 * RankCount + 3 * Rank;
+  Ops.Send = Base;
+  Ops.Recv = Base + 1;
+  Ops.Join = Base + 2;
+  if (Round > 0)
+    Ops.PrevJoin = Base - 3 * RankCount + 2;
+  return Ops;
+}
+
 ScheduleContract mpicsel::barrierContract(unsigned RankCount) {
   ScheduleContract C = ScheduleContract::unchecked(
       strFormat("barrier(dissemination, P=%u)", RankCount), RankCount);

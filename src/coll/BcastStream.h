@@ -1,0 +1,140 @@
+//===- coll/BcastStream.h - Closed-form broadcast schedules -----*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming (closed-form) rendering of the broadcast schedules in
+/// coll/Bcast.cpp. appendBcast materializes O(P * segments) ops up
+/// front, which caps simulation at a few thousand ranks; this header
+/// answers the same schedule *per rank, on demand*:
+///
+///   * what role does rank r play (root / interior / leaf), who is its
+///     parent, how many children does it have, who is child k --
+///     answered in O(1)-O(log P) via topo/Tree.h's treeNodeInfo;
+///   * what ops does rank r's contiguous op-id block contain, in the
+///     exact order appendBcast would have emitted them.
+///
+/// The materialized path stays the bit-identity oracle: the
+/// differential tests rebuild every schedule from forEachStreamedOp
+/// and compare op-for-op against appendBcast, and sim/StreamEngine.h
+/// replays the plan directly and must reproduce the compiled engine's
+/// timeline bit for bit.
+///
+/// Covered: the five broadcast algorithms whose per-rank op blocks are
+/// contiguous (linear, chain, k-chain, binary, binomial) on an
+/// entry-free (standalone) schedule -- exactly what calibration
+/// replays. Split-binary's phase-2 pairwise exchange interleaves op
+/// blocks across ranks and stays on the materialized path; use
+/// bcastSupportsStreaming to dispatch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_COLL_BCAST_STREAM_H
+#define MPICSEL_COLL_BCAST_STREAM_H
+
+#include "coll/Bcast.h"
+#include "topo/Tree.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace mpicsel {
+
+/// The request pattern a rank executes in a streamed broadcast.
+enum class StreamRole : std::uint8_t {
+  /// P == 1: the collective is a lone zero-duration join.
+  Trivial,
+  /// Tree root: per segment, one isend per child + waitall.
+  Root,
+  /// Tree interior: per segment, double-buffered irecv + forwarding
+  /// isends + waitall.
+  Interior,
+  /// Tree leaf: double-buffered irecvs + one final waitall.
+  Leaf,
+  /// Linear root: P-1 whole-message isends + one waitall.
+  LinearRoot,
+  /// Linear non-root: a single whole-message recv.
+  LinearLeaf,
+};
+
+/// Closed-form description of one rank's block of a streamed
+/// broadcast schedule.
+struct BcastRankPlan {
+  StreamRole Role = StreamRole::Trivial;
+  /// Parent rank (valid for Interior/Leaf/LinearLeaf).
+  unsigned Parent = 0;
+  /// Child count (valid for Root/Interior; LinearRoot has P-1).
+  unsigned NumChildren = 0;
+  /// Ops in this rank's contiguous op-id block.
+  std::uint64_t NumOps = 0;
+};
+
+/// A broadcast schedule in closed form: O(1) state, every per-rank
+/// query answered on demand. Construct via makeBcastStreamPlan.
+struct BcastStreamPlan {
+  BcastConfig Config;
+  unsigned RankCount = 0;
+  /// Tree shape behind the algorithm (Linear uses TreeKind::Linear but
+  /// its own emission order, see blockRank).
+  TreeKind Kind = TreeKind::Linear;
+  /// Chain fanout (1 for Chain, KChainFanout for KChain; unused
+  /// otherwise).
+  unsigned Fanout = 1;
+  std::uint64_t NumSegments = 1;
+
+  /// Role, parent, child count, and op count of \p Rank.
+  BcastRankPlan rankPlan(unsigned Rank) const;
+
+  /// The \p Child-th child of \p Rank in serving order.
+  unsigned childOf(unsigned Rank, unsigned Child) const;
+
+  /// Payload of segment \p Seg (the last segment carries the
+  /// remainder).
+  std::uint64_t segmentBytes(std::uint64_t Seg) const;
+
+  /// Total op count, i.e. what appendBcast would materialize. O(P).
+  std::uint64_t totalOps() const;
+
+  /// Rank whose ops form the \p Block-th contiguous op-id block of the
+  /// materialized schedule. Tree algorithms emit rank blocks in rank
+  /// order; the linear algorithm emits the root's block first, then
+  /// the non-root ranks in ascending rank order.
+  unsigned blockRank(unsigned Block) const;
+
+  /// Fills Bases[r] with the first global op id of rank r's block
+  /// (resized to RankCount). O(P); only needed for fault hashing and
+  /// timing export, never for plain replay.
+  void rankOpBases(std::vector<std::uint64_t> &Bases) const;
+};
+
+/// True when \p Config on \p RankCount ranks has a streaming form:
+/// every algorithm except split-binary.
+bool bcastSupportsStreaming(const BcastConfig &Config, unsigned RankCount);
+
+BcastStreamPlan makeBcastStreamPlan(const BcastConfig &Config,
+                                    unsigned RankCount);
+
+/// One op yielded by the streaming enumerator, mirroring mpi/Schedule.h
+/// Op with rank-local dependencies.
+struct StreamedOp {
+  OpKind Kind = OpKind::Compute;
+  unsigned Peer = 0;
+  std::uint64_t Bytes = 0;
+  int Tag = 0;
+  /// Dependencies as indices into the same rank's block.
+  std::vector<std::uint64_t> Deps;
+};
+
+/// Enumerates \p Rank's ops in emission order. This is the reference
+/// rendering of the closed form -- the differential tests rebuild full
+/// schedules from it; the stream engine inlines the same arithmetic.
+void forEachStreamedOp(const BcastStreamPlan &Plan, unsigned Rank,
+                       const std::function<void(const StreamedOp &)> &Fn);
+
+} // namespace mpicsel
+
+#endif // MPICSEL_COLL_BCAST_STREAM_H

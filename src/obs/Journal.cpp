@@ -2,6 +2,7 @@
 
 #include "obs/Journal.h"
 
+#include "obs/Rss.h"
 #include "support/Error.h"
 #include "support/Format.h"
 
@@ -87,6 +88,9 @@ void Journal::emitSummaryLocked() {
   if (!Sink || SummaryDone)
     return;
   SummaryDone = true;
+  // Fold the process high-water RSS in so the summary's gauges carry
+  // it even for runs that never open a PhaseSpan.
+  samplePeakRss();
   const MetricsSnapshot Snap = snapshotMetrics();
   JsonObject Event;
   Event.set("ev", "counters");
@@ -138,6 +142,10 @@ PhaseSpan::PhaseSpan(Phase P, std::string SpanDetail)
     : Which(P), Detail(std::move(SpanDetail)), Timer(P) {}
 
 PhaseSpan::~PhaseSpan() {
+  // Span boundaries are where footprints change (a replay arena grew,
+  // a sweep finished): sample the RSS high-water mark here so the
+  // peak-RSS gauge attributes growth at phase granularity.
+  samplePeakRss();
   // The ScopedTimer member credits the phase accumulators; this
   // destructor only journals the span (timer still running here,
   // member destructors run after the body).

@@ -17,6 +17,10 @@ const char *obs::counterName(Counter C) {
     return "engine.arena_reuses";
   case Counter::EngineLegacyRuns:
     return "engine.legacy_runs";
+  case Counter::StreamReplays:
+    return "stream.replays";
+  case Counter::StreamEvents:
+    return "stream.events";
   case Counter::RunnerExperiments:
     return "runner.experiments";
   case Counter::CalibExperiments:
@@ -73,6 +77,8 @@ const char *obs::gaugeName(Gauge G) {
     return "pool.threads";
   case Gauge::SweepThreads:
     return "sweep.threads";
+  case Gauge::PeakRssKiB:
+    return "proc.peak_rss_kib";
   case Gauge::NumGauges:
     break;
   }

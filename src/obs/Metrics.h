@@ -45,6 +45,8 @@ enum class Counter : unsigned {
   EngineArenaWarmups, ///< replays that had to grow the run-state arena
   EngineArenaReuses,  ///< replays served entirely from a warm arena
   EngineLegacyRuns,   ///< runs through the legacy interpreter oracle
+  StreamReplays,      ///< streaming (closed-form) replays completed
+  StreamEvents,       ///< events popped by the streaming replay loop
   RunnerExperiments,  ///< simulated collective experiments (all callers)
   CalibExperiments,   ///< adaptive calibration measurements taken
   CalibRetries,       ///< calibration measurements reseeded and retried
@@ -79,6 +81,7 @@ constexpr std::size_t NumCounters =
 enum class Gauge : unsigned {
   PoolThreads,  ///< widest thread pool constructed
   SweepThreads, ///< widest parallel sweep fan-out requested
+  PeakRssKiB,   ///< highest resident-set size observed (KiB, see obs/Rss.h)
   NumGauges     ///< sentinel: number of gauges
 };
 

@@ -1,0 +1,102 @@
+//===- obs/Rss.cpp - Process resident-set sampling -------------------------===//
+
+#include "obs/Rss.h"
+
+#include "obs/Metrics.h"
+
+#ifdef __linux__
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+using namespace mpicsel;
+
+#ifdef __linux__
+
+namespace {
+
+/// Reads up to \p Cap-1 bytes of \p Path into \p Buf (NUL-terminated)
+/// with raw syscalls: no stdio stream, no allocation, so callers may
+/// sit inside allocation-gated scopes.
+long readProcFile(const char *Path, char *Buf, long Cap) {
+  const int Fd = ::open(Path, O_RDONLY | O_CLOEXEC);
+  if (Fd < 0)
+    return -1;
+  long Total = 0;
+  while (Total < Cap - 1) {
+    const long N = ::read(Fd, Buf + Total, static_cast<size_t>(Cap - 1 - Total));
+    if (N <= 0)
+      break;
+    Total += N;
+  }
+  ::close(Fd);
+  Buf[Total] = '\0';
+  return Total;
+}
+
+std::uint64_t parseUnsigned(const char *&Cursor) {
+  while (*Cursor == ' ' || *Cursor == '\t')
+    ++Cursor;
+  std::uint64_t Value = 0;
+  while (*Cursor >= '0' && *Cursor <= '9')
+    Value = Value * 10 + static_cast<std::uint64_t>(*Cursor++ - '0');
+  return Value;
+}
+
+} // namespace
+
+std::uint64_t obs::currentRssKiB() {
+  // /proc/self/statm: "size resident shared ..." in pages.
+  char Buf[128];
+  if (readProcFile("/proc/self/statm", Buf, sizeof(Buf)) <= 0)
+    return 0;
+  const char *Cursor = Buf;
+  (void)parseUnsigned(Cursor); // total program size
+  const std::uint64_t ResidentPages = parseUnsigned(Cursor);
+  const long PageSize = ::sysconf(_SC_PAGESIZE);
+  if (PageSize <= 0)
+    return 0;
+  return ResidentPages * static_cast<std::uint64_t>(PageSize) / 1024;
+}
+
+std::uint64_t obs::peakRssKiB() {
+  // VmHWM in /proc/self/status is the kernel's high-water RSS mark.
+  char Buf[4096];
+  if (readProcFile("/proc/self/status", Buf, sizeof(Buf)) > 0) {
+    for (const char *Line = Buf; Line && *Line;) {
+      if (Line[0] == 'V' && Line[1] == 'm' && Line[2] == 'H' &&
+          Line[3] == 'W' && Line[4] == 'M' && Line[5] == ':') {
+        const char *Cursor = Line + 6;
+        const std::uint64_t KiB = parseUnsigned(Cursor);
+        if (KiB != 0)
+          return KiB;
+        break;
+      }
+      const char *Next = Line;
+      while (*Next && *Next != '\n')
+        ++Next;
+      Line = *Next ? Next + 1 : nullptr;
+    }
+  }
+  // ru_maxrss is KiB on Linux.
+  struct rusage Usage;
+  if (::getrusage(RUSAGE_SELF, &Usage) == 0 && Usage.ru_maxrss > 0)
+    return static_cast<std::uint64_t>(Usage.ru_maxrss);
+  return 0;
+}
+
+#else // !__linux__
+
+std::uint64_t obs::currentRssKiB() { return 0; }
+std::uint64_t obs::peakRssKiB() { return 0; }
+
+#endif
+
+void obs::samplePeakRss() {
+  if (!obs::metricsEnabled())
+    return;
+  const std::uint64_t KiB = peakRssKiB();
+  if (KiB != 0)
+    obs::gaugeMax(Gauge::PeakRssKiB, KiB);
+}

@@ -1,0 +1,50 @@
+//===- obs/Rss.h - Process resident-set sampling ----------------*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Peak-RSS observability for the scale benches: the simulator's
+/// O(active) memory claim is only checkable if runs report what the
+/// process actually pinned. currentRssKiB/peakRssKiB read the kernel's
+/// accounting (Linux procfs, with a getrusage fallback); samplePeakRss
+/// folds the peak into the `proc.peak_rss_kib` gauge so it lands in
+/// the journal's counters summary. Sampling happens at span
+/// boundaries (obs/Journal.cpp) and costs one procfs read -- nothing
+/// on the simulator's hot path, and no heap allocation (the scale
+/// bench samples inside its allocation-gated replay scope).
+///
+/// On non-Linux platforms every query returns 0 and the gauge is
+/// simply never set; budget checks treat a missing value as "not
+/// measured", not as a pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_OBS_RSS_H
+#define MPICSEL_OBS_RSS_H
+
+#include <cstdint>
+
+namespace mpicsel {
+namespace obs {
+
+/// Current resident set size in KiB (/proc/self/statm), or 0 when
+/// unavailable.
+std::uint64_t currentRssKiB();
+
+/// High-water resident set size in KiB (VmHWM from /proc/self/status,
+/// falling back to getrusage ru_maxrss), or 0 when unavailable.
+/// Process-monotone: the kernel never lowers it, so order scale runs
+/// smallest-footprint-first when attributing the peak.
+std::uint64_t peakRssKiB();
+
+/// Folds peakRssKiB into the Gauge::PeakRssKiB maximum when metrics
+/// are enabled. Allocation-free.
+void samplePeakRss();
+
+} // namespace obs
+} // namespace mpicsel
+
+#endif // MPICSEL_OBS_RSS_H

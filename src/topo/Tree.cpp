@@ -239,3 +239,238 @@ Tree mpicsel::buildBinomialTree(unsigned Size, unsigned Root) {
   }
   return T;
 }
+
+//===----------------------------------------------------------------------===//
+// Closed-form tree structure
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Chain partition of the Size-1 non-root vranks into NumChains
+/// near-equal chains (the first Longer chains are one longer).
+struct ChainShape {
+  unsigned NumChains;
+  unsigned BaseLen;
+  unsigned Longer;
+
+  /// First vrank of chain \p C (1-based vrank space).
+  unsigned headVrank(unsigned C) const {
+    return C * BaseLen + std::min(C, Longer) + 1;
+  }
+
+  unsigned chainLen(unsigned C) const {
+    return BaseLen + (C < Longer ? 1 : 0);
+  }
+};
+
+ChainShape chainShapeOf(unsigned Size, unsigned Fanout) {
+  assert(Size >= 2 && Fanout >= 1);
+  unsigned NonRoot = Size - 1;
+  unsigned NumChains = std::min(Fanout, NonRoot);
+  return {NumChains, NonRoot / NumChains, NonRoot % NumChains};
+}
+
+/// Locates non-root vrank \p V inside the chain partition: which chain
+/// and how deep. Inverts ChainShape::headVrank in O(1).
+void locateInChain(const ChainShape &Shape, unsigned V, unsigned &Chain,
+                   unsigned &Depth) {
+  assert(V >= 1);
+  unsigned J = V - 1; // position among non-root vranks
+  unsigned LongSpan = Shape.Longer * (Shape.BaseLen + 1);
+  if (J < LongSpan) {
+    Chain = J / (Shape.BaseLen + 1);
+    Depth = J % (Shape.BaseLen + 1);
+  } else {
+    assert(Shape.BaseLen >= 1 && "short chains exist only when BaseLen >= 1");
+    Chain = Shape.Longer + (J - LongSpan) / Shape.BaseLen;
+    Depth = (J - LongSpan) % Shape.BaseLen;
+  }
+}
+
+/// Block descent for the in-order binary tree: finds the contiguous
+/// vrank block [Lo, Hi] headed by \p V and V's parent vrank. O(log P)
+/// for the balanced shape buildInOrderRange produces.
+struct InOrderBlock {
+  unsigned ParentV;
+  unsigned Lo;
+  unsigned Hi;
+};
+
+InOrderBlock inOrderLocate(unsigned Size, unsigned V) {
+  assert(V >= 1 && V < Size);
+  unsigned NonRoot = Size - 1;
+  unsigned RootLeft = (NonRoot + 1) / 2;
+  unsigned ParentV = 0;
+  unsigned Lo, Hi;
+  if (V <= RootLeft) {
+    Lo = 1;
+    Hi = RootLeft;
+  } else {
+    Lo = RootLeft + 1;
+    Hi = NonRoot;
+  }
+  while (V != Lo) {
+    unsigned Rest = Hi - Lo;
+    unsigned LeftCount = (Rest + 1) / 2;
+    ParentV = Lo;
+    if (V <= Lo + LeftCount) {
+      Hi = Lo + LeftCount;
+      Lo = Lo + 1;
+    } else {
+      Lo = Lo + LeftCount + 1;
+    }
+  }
+  return {ParentV, Lo, Hi};
+}
+
+} // namespace
+
+TreeNodeInfo mpicsel::treeNodeInfo(TreeKind Kind, unsigned Size, unsigned Root,
+                                   unsigned Fanout, unsigned Rank) {
+  assert(Size >= 1 && Root < Size && Rank < Size);
+  TreeNodeInfo Info;
+  if (Size == 1)
+    return Info;
+  const unsigned V = (Rank + Size - Root) % Size;
+  const auto parentRank = [&](unsigned ParentV) {
+    Info.Parent = static_cast<int>((ParentV + Root) % Size);
+  };
+
+  switch (Kind) {
+  case TreeKind::Linear:
+    if (V == 0) {
+      Info.NumChildren = Size - 1;
+    } else {
+      parentRank(0);
+    }
+    return Info;
+
+  case TreeKind::Chain: {
+    ChainShape Shape = chainShapeOf(Size, Fanout);
+    if (V == 0) {
+      Info.NumChildren = Shape.NumChains;
+      return Info;
+    }
+    unsigned Chain, Depth;
+    locateInChain(Shape, V, Chain, Depth);
+    parentRank(Depth == 0 ? 0 : V - 1);
+    Info.NumChildren = Depth + 1 < Shape.chainLen(Chain) ? 1 : 0;
+    return Info;
+  }
+
+  case TreeKind::Binary: {
+    if (V != 0)
+      parentRank((V - 1) / 2);
+    Info.NumChildren = (2ull * V + 1 < Size ? 1u : 0u) +
+                       (2ull * V + 2 < Size ? 1u : 0u);
+    return Info;
+  }
+
+  case TreeKind::InOrderBinary: {
+    unsigned Lo, Hi;
+    if (V == 0) {
+      // The root heads the whole non-root block; reuse the block-child
+      // arithmetic below with a pseudo block [0, Size-1].
+      Lo = 0;
+      Hi = Size - 1;
+    } else {
+      InOrderBlock Block = inOrderLocate(Size, V);
+      parentRank(Block.ParentV);
+      Lo = Block.Lo;
+      Hi = Block.Hi;
+    }
+    unsigned Rest = Hi - Lo;
+    unsigned LeftCount = (Rest + 1) / 2;
+    Info.NumChildren =
+        (Rest >= 1 ? 1u : 0u) + (Lo + LeftCount < Hi ? 1u : 0u);
+    return Info;
+  }
+
+  case TreeKind::Binomial: {
+    if (V != 0)
+      parentRank(V & (V - 1));
+    // Valid child masks form a prefix of 1, 2, 4, ...: both the
+    // below-lowest-set-bit bound and the size bound are monotone.
+    unsigned Count = 0;
+    for (unsigned long long Mask = 1; (V | Mask) < Size; Mask <<= 1) {
+      if (V & Mask)
+        break;
+      ++Count;
+    }
+    Info.NumChildren = Count;
+    return Info;
+  }
+  }
+  assert(false && "unknown tree kind");
+  return Info;
+}
+
+unsigned mpicsel::treeChild(TreeKind Kind, unsigned Size, unsigned Root,
+                            unsigned Fanout, unsigned Rank, unsigned Child) {
+  assert(Size >= 2 && Root < Size && Rank < Size);
+  const unsigned V = (Rank + Size - Root) % Size;
+  const auto toRank = [&](unsigned ChildV) { return (ChildV + Root) % Size; };
+
+  switch (Kind) {
+  case TreeKind::Linear:
+    assert(V == 0 && Child < Size - 1);
+    return toRank(Child + 1);
+
+  case TreeKind::Chain: {
+    ChainShape Shape = chainShapeOf(Size, Fanout);
+    if (V == 0) {
+      assert(Child < Shape.NumChains);
+      return toRank(Shape.headVrank(Child));
+    }
+    assert(Child == 0);
+    return toRank(V + 1);
+  }
+
+  case TreeKind::Binary:
+    assert(2ull * V + 1 + Child < Size);
+    return toRank(static_cast<unsigned>(2ull * V + 1 + Child));
+
+  case TreeKind::InOrderBinary: {
+    unsigned Lo, Hi;
+    if (V == 0) {
+      Lo = 0;
+      Hi = Size - 1;
+    } else {
+      InOrderBlock Block = inOrderLocate(Size, V);
+      Lo = Block.Lo;
+      Hi = Block.Hi;
+    }
+    unsigned Rest = Hi - Lo;
+    unsigned LeftCount = (Rest + 1) / 2;
+    assert(Rest >= 1 && "leaf has no children");
+    if (Child == 0)
+      return toRank(Lo + 1);
+    assert(Child == 1 && Lo + LeftCount < Hi);
+    return toRank(Lo + LeftCount + 1);
+  }
+
+  case TreeKind::Binomial:
+    assert((V | (1u << Child)) < Size && !(V & (1u << Child)));
+    return toRank(V | (1u << Child));
+  }
+  assert(false && "unknown tree kind");
+  return 0;
+}
+
+Tree mpicsel::buildTreeOfKind(TreeKind Kind, unsigned Size, unsigned Root,
+                              unsigned Fanout) {
+  switch (Kind) {
+  case TreeKind::Linear:
+    return buildLinearTree(Size, Root);
+  case TreeKind::Chain:
+    return buildChainTree(Size, Root, Fanout);
+  case TreeKind::Binary:
+    return buildBinaryTree(Size, Root);
+  case TreeKind::InOrderBinary:
+    return buildInOrderBinaryTree(Size, Root);
+  case TreeKind::Binomial:
+    return buildBinomialTree(Size, Root);
+  }
+  assert(false && "unknown tree kind");
+  return {};
+}

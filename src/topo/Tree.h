@@ -29,6 +29,7 @@
 #define MPICSEL_TOPO_TREE_H
 
 #include <cassert>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -98,6 +99,52 @@ Tree buildInOrderBinaryTree(unsigned Size, unsigned Root);
 /// children are emitted in increasing-mask order (1, 2, 4, ...), which
 /// is the order the Open MPI broadcast serves them.
 Tree buildBinomialTree(unsigned Size, unsigned Root);
+
+//===----------------------------------------------------------------------===//
+// Closed-form (streaming) tree structure
+//===----------------------------------------------------------------------===//
+//
+// Every builder above materializes O(P) state. For the streaming
+// schedule path (coll/BcastStream.h) the same structure is answered
+// per rank in O(1) memory -- O(1) time for most shapes, O(log P) for
+// the in-order binary descent -- the `get_node_info_*` trick of the
+// shcoll SHMEM collectives. The differential tests pin these closed
+// forms bit-identical to the built trees, child order included.
+
+/// The tree shapes with a closed-form per-rank structure. `Chain`
+/// covers both the pipeline (Fanout == 1) and the K-chain tree
+/// (Fanout == K); the other kinds ignore Fanout.
+enum class TreeKind : std::uint8_t {
+  Linear,
+  Chain,
+  Binary,
+  InOrderBinary,
+  Binomial,
+};
+
+/// Closed-form view of one rank's position in a tree.
+struct TreeNodeInfo {
+  /// Parent rank, or -1 for the root.
+  int Parent = -1;
+  /// Number of children. The k-th child is `treeChild(..., k)`, in the
+  /// same serving order as the built Tree's Children list.
+  unsigned NumChildren = 0;
+};
+
+/// Parent and child count of \p Rank in the \p Kind tree over
+/// \p Size ranks rooted at \p Root, without building the tree.
+TreeNodeInfo treeNodeInfo(TreeKind Kind, unsigned Size, unsigned Root,
+                          unsigned Fanout, unsigned Rank);
+
+/// The \p Child-th child (0-based, serving order) of \p Rank. \p Child
+/// must be < treeNodeInfo(...).NumChildren.
+unsigned treeChild(TreeKind Kind, unsigned Size, unsigned Root,
+                   unsigned Fanout, unsigned Rank, unsigned Child);
+
+/// Materializes the \p Kind tree via the corresponding builder -- the
+/// oracle the closed forms are tested against.
+Tree buildTreeOfKind(TreeKind Kind, unsigned Size, unsigned Root,
+                     unsigned Fanout);
 
 } // namespace mpicsel
 

@@ -1,0 +1,592 @@
+//===- tests/TestStreamingSchedule.cpp - Streaming vs materialized --------===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+// The streaming path (topo/Tree closed forms, coll/BcastStream,
+// sim/StreamEngine, sim/EventQueue) claims bit-identity with the
+// materialized path at every layer:
+//
+//  * treeNodeInfo/treeChild answer exactly what the built trees hold,
+//    child order included;
+//  * forEachStreamedOp re-derives appendBcast's schedules op for op --
+//    kinds, peers, byte counts, tags and dependency lists;
+//  * the gather and barrier closed-form layouts land on the exact op
+//    ids the materialized generators emit;
+//  * StreamEngine's replay reproduces the compiled engine's timeline
+//    bit for bit -- per-op timings, makespan, byte counters, fault
+//    windows -- across seeds, platforms and fault scenarios;
+//  * the calendar queue pops in exactly the order a binary heap would;
+//  * and the whole point of the exercise: the streaming engine's
+//    memory footprint at P = 100k stays far below what materializing
+//    the schedule would cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "coll/Barrier.h"
+#include "coll/Bcast.h"
+#include "coll/BcastStream.h"
+#include "coll/Gather.h"
+#include "fault/Fault.h"
+#include "mpi/CompiledSchedule.h"
+#include "sim/Engine.h"
+#include "sim/EventQueue.h"
+#include "sim/StreamEngine.h"
+#include "topo/Tree.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <random>
+#include <string>
+#include <vector>
+
+using namespace mpicsel;
+
+namespace {
+
+constexpr std::uint64_t Seeds[] = {1, 42, 9001};
+
+/// 16 ranks over 8 dual-process nodes with mild noise: both link
+/// models and the shared RNG stream participate (sigma 0 would bypass
+/// every draw and hide draw-order bugs).
+Platform noisyTestPlatform() {
+  Platform P = makeTestPlatform(8, 2);
+  P.NoiseSigma = 0.02;
+  return P;
+}
+
+/// The same fault scenarios TestCompiledSchedule pins the compiled
+/// engine with: a slow rank, a congested node with a noise-regime
+/// shift, and seeded per-message stalls (where both engines must
+/// agree on every per-message hash decision, i.e. on global op ids).
+std::vector<FaultSchedule> faultScenarios() {
+  std::vector<FaultSchedule> Scenarios;
+  {
+    FaultSchedule F("straggler-rank1", 77);
+    FaultEvent E;
+    E.Kind = FaultKind::StragglerRank;
+    E.Rank = 1;
+    E.CpuMultiplier = 3.0;
+    F.add(E);
+    Scenarios.push_back(std::move(F));
+  }
+  {
+    FaultSchedule F("congested-node0", 78);
+    FaultEvent Link;
+    Link.Kind = FaultKind::DegradedLink;
+    Link.Node = 0;
+    Link.GapMultiplier = 2.0;
+    Link.LatencyMultiplier = 4.0;
+    F.add(Link);
+    FaultEvent Regime;
+    Regime.Kind = FaultKind::NoiseRegimeShift;
+    Regime.Start = 0.0;
+    Regime.End = 1e-3;
+    Regime.SigmaMultiplier = 3.0;
+    F.add(Regime);
+    Scenarios.push_back(std::move(F));
+  }
+  {
+    FaultSchedule F("message-stalls", 79);
+    FaultEvent E;
+    E.Kind = FaultKind::MessageStall;
+    E.SpikeProbability = 0.5;
+    E.StallSeconds = 1e-4;
+    F.add(E);
+    Scenarios.push_back(std::move(F));
+  }
+  return Scenarios;
+}
+
+const BcastAlgorithm StreamingAlgorithms[] = {
+    BcastAlgorithm::Linear, BcastAlgorithm::Chain, BcastAlgorithm::KChain,
+    BcastAlgorithm::Binary, BcastAlgorithm::Binomial};
+
+std::string caseName(const BcastConfig &C, unsigned P, std::uint64_t Seed) {
+  return std::string(bcastAlgorithmName(C.Algorithm)) + " P=" +
+         std::to_string(P) + " root=" + std::to_string(C.Root) + " m=" +
+         std::to_string(C.MessageBytes) + " seed=" + std::to_string(Seed);
+}
+
+Schedule materialize(const BcastConfig &C, unsigned P) {
+  ScheduleBuilder B(P);
+  appendBcast(B, C);
+  return B.take();
+}
+
+void expectBitIdentical(const ExecutionResult &Oracle,
+                        const ExecutionResult &Streamed,
+                        const std::string &Context) {
+  EXPECT_EQ(Oracle.Completed, Streamed.Completed) << Context;
+  EXPECT_EQ(Oracle.Makespan, Streamed.Makespan) << Context;
+  ASSERT_EQ(Oracle.Timings.size(), Streamed.Timings.size()) << Context;
+  for (std::size_t Id = 0; Id != Oracle.Timings.size(); ++Id) {
+    const OpTiming &O = Oracle.Timings[Id], &S = Streamed.Timings[Id];
+    ASSERT_TRUE(O.Done == S.Done && O.ReadyTime == S.ReadyTime &&
+                O.StartTime == S.StartTime && O.DoneTime == S.DoneTime)
+        << Context << " diverges at op " << Id << ": compiled ("
+        << O.ReadyTime << ", " << O.StartTime << ", " << O.DoneTime << ", "
+        << O.Done << ") vs streamed (" << S.ReadyTime << ", " << S.StartTime
+        << ", " << S.DoneTime << ", " << S.Done << ")";
+  }
+  EXPECT_EQ(Oracle.BytesReceived, Streamed.BytesReceived) << Context;
+  EXPECT_EQ(Oracle.BytesSent, Streamed.BytesSent) << Context;
+  ASSERT_EQ(Oracle.FaultWindows.size(), Streamed.FaultWindows.size())
+      << Context;
+  for (std::size_t I = 0; I != Oracle.FaultWindows.size(); ++I) {
+    EXPECT_EQ(Oracle.FaultWindows[I].Kind, Streamed.FaultWindows[I].Kind);
+    EXPECT_EQ(Oracle.FaultWindows[I].Start, Streamed.FaultWindows[I].Start);
+    EXPECT_EQ(Oracle.FaultWindows[I].End, Streamed.FaultWindows[I].End);
+    EXPECT_EQ(Oracle.FaultWindows[I].Target,
+              Streamed.FaultWindows[I].Target);
+  }
+  EXPECT_EQ(Oracle.FaultScenario, Streamed.FaultScenario) << Context;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Closed-form tree structure vs built trees.
+//===----------------------------------------------------------------------===//
+
+TEST(StreamingTree, NodeInfoMatchesBuiltTrees) {
+  const TreeKind Kinds[] = {TreeKind::Linear, TreeKind::Chain,
+                            TreeKind::Binary, TreeKind::InOrderBinary,
+                            TreeKind::Binomial};
+  std::vector<unsigned> Sizes;
+  for (unsigned P = 1; P <= 33; ++P)
+    Sizes.push_back(P);
+  for (unsigned P : {40u, 64u, 65u, 100u, 127u, 128u, 257u})
+    Sizes.push_back(P);
+
+  for (TreeKind Kind : Kinds) {
+    for (unsigned Size : Sizes) {
+      for (unsigned Root : {0u, 1u, Size / 2, Size - 1}) {
+        if (Root >= Size)
+          continue;
+        for (unsigned Fanout : {1u, 2u, 3u, 4u, 7u}) {
+          Tree T = buildTreeOfKind(Kind, Size, Root, Fanout);
+          std::string Why;
+          ASSERT_TRUE(validateTree(T, &Why)) << Why;
+          for (unsigned Rank = 0; Rank != Size; ++Rank) {
+            TreeNodeInfo Info = treeNodeInfo(Kind, Size, Root, Fanout, Rank);
+            ASSERT_EQ(Info.Parent, T.Parent[Rank])
+                << "kind " << static_cast<int>(Kind) << " P=" << Size
+                << " root=" << Root << " fanout=" << Fanout << " rank "
+                << Rank;
+            ASSERT_EQ(Info.NumChildren, T.Children[Rank].size());
+            for (unsigned K = 0; K != Info.NumChildren; ++K)
+              ASSERT_EQ(treeChild(Kind, Size, Root, Fanout, Rank, K),
+                        T.Children[Rank][K])
+                  << "kind " << static_cast<int>(Kind) << " P=" << Size
+                  << " root=" << Root << " fanout=" << Fanout << " rank "
+                  << Rank << " child " << K;
+          }
+          if (Kind != TreeKind::Chain)
+            break; // Fanout only matters for chains.
+        }
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Streamed op enumeration vs appendBcast.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Checks that forEachStreamedOp over all ranks re-derives \p S
+/// exactly: same ops at the same global ids, same dependency lists.
+void expectEnumerationMatches(const BcastStreamPlan &Plan,
+                              const Schedule &S, const std::string &Name) {
+  std::vector<std::uint64_t> Bases;
+  Plan.rankOpBases(Bases);
+  std::uint64_t Total = 0;
+  for (unsigned Rank = 0; Rank != Plan.RankCount; ++Rank) {
+    const std::uint64_t Base = Bases[Rank];
+    std::uint64_t Local = 0;
+    forEachStreamedOp(Plan, Rank, [&](const StreamedOp &SO) {
+      const std::uint64_t Gid = Base + Local;
+      ASSERT_LT(Gid, S.Ops.size()) << Name;
+      const Op &M = S.Ops[Gid];
+      ASSERT_EQ(M.Kind, SO.Kind) << Name << " op " << Gid;
+      ASSERT_EQ(M.Rank, Rank) << Name << " op " << Gid;
+      if (SO.Kind != OpKind::Compute) {
+        ASSERT_EQ(M.Peer, SO.Peer) << Name << " op " << Gid;
+        ASSERT_EQ(M.Bytes, SO.Bytes) << Name << " op " << Gid;
+        ASSERT_EQ(M.Tag, SO.Tag) << Name << " op " << Gid;
+      }
+      ASSERT_EQ(M.Duration, 0.0) << Name << " op " << Gid;
+      std::vector<OpId> Deps;
+      Deps.reserve(SO.Deps.size());
+      for (std::uint64_t D : SO.Deps)
+        Deps.push_back(static_cast<OpId>(Base + D));
+      ASSERT_EQ(M.Deps, Deps) << Name << " op " << Gid;
+      ++Local;
+    });
+    ASSERT_EQ(Local, Plan.rankPlan(Rank).NumOps) << Name << " rank " << Rank;
+    Total += Local;
+  }
+  ASSERT_EQ(Total, S.Ops.size()) << Name;
+  ASSERT_EQ(Total, Plan.totalOps()) << Name;
+}
+
+} // namespace
+
+TEST(StreamingSchedule, EnumerationBitIdenticalToAppendBcast) {
+  struct MsgShape {
+    std::uint64_t MessageBytes;
+    std::uint64_t SegmentBytes;
+  };
+  // Unsegmented, two even segments, and a ragged remainder tail.
+  const MsgShape Shapes[] = {
+      {4096, 8192}, {16384, 8192}, {96 * 1024 + 13, 8 * 1024}};
+
+  for (BcastAlgorithm Alg : StreamingAlgorithms) {
+    for (unsigned P : {2u, 3u, 5u, 8u, 16u, 17u, 31u, 64u}) {
+      for (unsigned Root : {0u, 3u}) {
+        if (Root >= P)
+          continue;
+        for (const MsgShape &Shape : Shapes) {
+          BcastConfig C;
+          C.Algorithm = Alg;
+          C.MessageBytes = Shape.MessageBytes;
+          C.SegmentBytes = Shape.SegmentBytes;
+          C.Root = Root;
+          ASSERT_TRUE(bcastSupportsStreaming(C, P));
+          BcastStreamPlan Plan = makeBcastStreamPlan(C, P);
+          expectEnumerationMatches(Plan, materialize(C, P),
+                                   caseName(C, P, 0));
+        }
+      }
+    }
+  }
+  // The trivial single-rank collective.
+  BcastConfig C;
+  C.MessageBytes = 4096;
+  BcastStreamPlan Plan = makeBcastStreamPlan(C, 1);
+  expectEnumerationMatches(Plan, materialize(C, 1), "trivial P=1");
+}
+
+TEST(StreamingSchedule, SplitBinaryHasNoStreamingForm) {
+  BcastConfig C;
+  C.Algorithm = BcastAlgorithm::SplitBinary;
+  C.MessageBytes = 4096;
+  EXPECT_FALSE(bcastSupportsStreaming(C, 16));
+}
+
+//===----------------------------------------------------------------------===//
+// Gather and barrier closed-form layouts.
+//===----------------------------------------------------------------------===//
+
+TEST(StreamingSchedule, GatherClosedFormLayout) {
+  for (bool Synchronised : {false, true}) {
+    for (unsigned P : {2u, 5u, 16u}) {
+      for (unsigned Root : {0u, 2u}) {
+        if (Root >= P)
+          continue;
+        GatherConfig C;
+        C.BlockBytes = 4096;
+        C.Root = Root;
+        C.Synchronised = Synchronised;
+        ScheduleBuilder B(P);
+        appendLinearGather(B, C);
+        Schedule S = B.take();
+
+        for (unsigned J = 0; J != P - 1; ++J) {
+          GatherContributorOps Ops = gatherContributorOps(C, P, J);
+          ASSERT_LT(Ops.RootRecv, S.Ops.size());
+          if (Synchronised) {
+            const Op &Ready = S.Ops[Ops.ReadySend];
+            EXPECT_EQ(Ready.Kind, OpKind::Send);
+            EXPECT_EQ(Ready.Rank, Root);
+            EXPECT_EQ(Ready.Peer, Ops.ContributorRank);
+            EXPECT_EQ(Ready.Bytes, 0u);
+            const Op &Got = S.Ops[Ops.GotReady];
+            EXPECT_EQ(Got.Kind, OpKind::Recv);
+            EXPECT_EQ(Got.Rank, Ops.ContributorRank);
+            EXPECT_EQ(Got.Peer, Root);
+          }
+          const Op &Send = S.Ops[Ops.BlockSend];
+          EXPECT_EQ(Send.Kind, OpKind::Send);
+          EXPECT_EQ(Send.Rank, Ops.ContributorRank);
+          EXPECT_EQ(Send.Peer, Root);
+          EXPECT_EQ(Send.Bytes, C.BlockBytes);
+          const Op &Recv = S.Ops[Ops.RootRecv];
+          EXPECT_EQ(Recv.Kind, OpKind::Recv);
+          EXPECT_EQ(Recv.Rank, Root);
+          EXPECT_EQ(Recv.Peer, Ops.ContributorRank);
+          EXPECT_EQ(Recv.Bytes, C.BlockBytes);
+        }
+        const OpId Join = gatherRootJoin(C, P);
+        ASSERT_EQ(Join + 1, S.Ops.size());
+        EXPECT_EQ(S.Ops[Join].Kind, OpKind::Compute);
+        EXPECT_EQ(S.Ops[Join].Rank, Root);
+        EXPECT_EQ(S.Ops[Join].Deps.size(), P - 1);
+      }
+    }
+  }
+}
+
+TEST(StreamingSchedule, BarrierClosedFormLayout) {
+  for (unsigned P : {2u, 3u, 8u, 13u}) {
+    ScheduleBuilder B(P);
+    appendBarrier(B, 0);
+    Schedule S = B.take();
+    const unsigned Rounds = barrierNumRounds(P);
+    ASSERT_EQ(S.Ops.size(), static_cast<std::size_t>(Rounds) * P * 3);
+    for (unsigned Round = 0; Round != Rounds; ++Round) {
+      for (unsigned Rank = 0; Rank != P; ++Rank) {
+        BarrierRoundOps Ops = barrierRoundOps(P, Rank, Round);
+        const Op &Send = S.Ops[Ops.Send];
+        EXPECT_EQ(Send.Kind, OpKind::Send);
+        EXPECT_EQ(Send.Rank, Rank);
+        EXPECT_EQ(Send.Peer, Ops.SendPeer);
+        const Op &Recv = S.Ops[Ops.Recv];
+        EXPECT_EQ(Recv.Kind, OpKind::Recv);
+        EXPECT_EQ(Recv.Rank, Rank);
+        EXPECT_EQ(Recv.Peer, Ops.RecvPeer);
+        const Op &Join = S.Ops[Ops.Join];
+        EXPECT_EQ(Join.Kind, OpKind::Compute);
+        ASSERT_EQ(Join.Deps.size(), 2u);
+        EXPECT_EQ(Join.Deps[0], Ops.Send);
+        EXPECT_EQ(Join.Deps[1], Ops.Recv);
+        if (Round == 0) {
+          EXPECT_TRUE(Send.Deps.empty());
+          EXPECT_EQ(Ops.PrevJoin, InvalidOpId);
+        } else {
+          ASSERT_EQ(Send.Deps.size(), 1u);
+          EXPECT_EQ(Send.Deps[0], Ops.PrevJoin);
+          ASSERT_EQ(Recv.Deps.size(), 1u);
+          EXPECT_EQ(Recv.Deps[0], Ops.PrevJoin);
+        }
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Streaming replay vs compiled engine.
+//===----------------------------------------------------------------------===//
+
+TEST(StreamEngineTest, BitIdenticalToCompiledEngine) {
+  Platform P = noisyTestPlatform();
+  Engine Oracle;
+  StreamEngine Streamed;
+  StreamOptions Opts;
+  Opts.RecordTimings = true;
+
+  for (BcastAlgorithm Alg : StreamingAlgorithms) {
+    for (unsigned RankCount : {1u, 2u, 3u, 5u, 8u, 16u}) {
+      for (unsigned Root : {0u, 3u}) {
+        if (Root >= RankCount)
+          continue;
+        BcastConfig C;
+        C.Algorithm = Alg;
+        C.MessageBytes = 24 * 1024 + 13; // Ragged tail: S = 4.
+        C.SegmentBytes = 8 * 1024;
+        C.Root = Root;
+        CompiledSchedule CS = compileSchedule(materialize(C, RankCount));
+        BcastStreamPlan Plan = makeBcastStreamPlan(C, RankCount);
+        for (std::uint64_t Seed : Seeds) {
+          ExecutionResult FromCompiled = Oracle.run(CS, P, Seed);
+          const ExecutionResult &FromStream =
+              Streamed.run(Plan, P, Seed, nullptr, Opts);
+          ASSERT_TRUE(FromCompiled.Completed)
+              << caseName(C, RankCount, Seed);
+          expectBitIdentical(FromCompiled, FromStream,
+                             caseName(C, RankCount, Seed));
+        }
+      }
+    }
+  }
+}
+
+TEST(StreamEngineTest, BitIdenticalOnGrisouUnsegmented) {
+  Platform P = makeGrisou();
+  Engine Oracle;
+  StreamEngine Streamed;
+  StreamOptions Opts;
+  Opts.RecordTimings = true;
+  for (BcastAlgorithm Alg : StreamingAlgorithms) {
+    BcastConfig C;
+    C.Algorithm = Alg;
+    C.MessageBytes = 2048; // Below the segment size: S = 1.
+    CompiledSchedule CS = compileSchedule(materialize(C, 90));
+    BcastStreamPlan Plan = makeBcastStreamPlan(C, 90);
+    ExecutionResult FromCompiled = Oracle.run(CS, P, 7);
+    const ExecutionResult &FromStream = Streamed.run(Plan, P, 7, nullptr, Opts);
+    expectBitIdentical(FromCompiled, FromStream, caseName(C, 90, 7));
+  }
+}
+
+TEST(StreamEngineTest, FaultScenariosBitIdenticalToCompiledEngine) {
+  Platform P = noisyTestPlatform();
+  Engine Oracle;
+  StreamEngine Streamed;
+  StreamOptions Opts;
+  Opts.RecordTimings = true;
+
+  for (const FaultSchedule &Faults : faultScenarios()) {
+    for (BcastAlgorithm Alg :
+         {BcastAlgorithm::Linear, BcastAlgorithm::Chain,
+          BcastAlgorithm::Binomial}) {
+      BcastConfig C;
+      C.Algorithm = Alg;
+      C.MessageBytes = 64 * 1024;
+      C.SegmentBytes = 8 * 1024;
+      CompiledSchedule CS = compileSchedule(materialize(C, 16));
+      BcastStreamPlan Plan = makeBcastStreamPlan(C, 16);
+      for (std::uint64_t Seed : Seeds) {
+        ExecutionResult FromCompiled = Oracle.run(CS, P, Seed, &Faults);
+        const ExecutionResult &FromStream =
+            Streamed.run(Plan, P, Seed, &Faults, Opts);
+        expectBitIdentical(FromCompiled, FromStream,
+                           Faults.name() + " " + caseName(C, 16, Seed));
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Calendar queue vs reference heap.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct EventLater {
+  bool operator()(const StreamEvent &A, const StreamEvent &B) const {
+    if (A.Time != B.Time)
+      return A.Time > B.Time;
+    return A.Key > B.Key;
+  }
+};
+
+using ReferenceHeap =
+    std::priority_queue<StreamEvent, std::vector<StreamEvent>, EventLater>;
+
+StreamEvent makeEvent(double Time, std::uint64_t Seq) {
+  StreamEvent E;
+  E.Time = Time;
+  E.Key = Seq << 2;
+  E.Rank = static_cast<std::uint32_t>(Seq);
+  return E;
+}
+
+void expectSamePops(CalendarQueue &Q, ReferenceHeap &Ref,
+                    const std::string &Context) {
+  ASSERT_EQ(Q.size(), Ref.size()) << Context;
+  while (!Ref.empty()) {
+    StreamEvent Expected = Ref.top();
+    Ref.pop();
+    StreamEvent Got = Q.pop();
+    ASSERT_EQ(Expected.Time, Got.Time) << Context;
+    ASSERT_EQ(Expected.Key, Got.Key) << Context;
+  }
+  EXPECT_TRUE(Q.empty()) << Context;
+}
+
+} // namespace
+
+TEST(CalendarQueueTest, RandomTimesMatchReferenceHeap) {
+  std::mt19937_64 Rng(12345);
+  std::uniform_real_distribution<double> Times(0.0, 1e-2);
+  CalendarQueue Q;
+  ReferenceHeap Ref;
+  for (std::uint64_t Seq = 0; Seq != 5000; ++Seq) {
+    StreamEvent E = makeEvent(Times(Rng), Seq);
+    Q.push(E);
+    Ref.push(E);
+  }
+  expectSamePops(Q, Ref, "random");
+}
+
+TEST(CalendarQueueTest, EqualTimesPopInSequenceOrder) {
+  CalendarQueue Q;
+  ReferenceHeap Ref;
+  for (std::uint64_t Seq = 0; Seq != 1000; ++Seq) {
+    // Three bands of identical timestamps: ties resolve on Key.
+    StreamEvent E = makeEvent(1e-6 * static_cast<double>(Seq % 3), Seq);
+    Q.push(E);
+    Ref.push(E);
+  }
+  expectSamePops(Q, Ref, "equal-times");
+}
+
+TEST(CalendarQueueTest, SimulationPatternMatchesReferenceHeap) {
+  // Event-sim-shaped load: pop the minimum, push a few events a short
+  // (noisy) horizon past it, drain at the end. Exercises day advance,
+  // rebuilds in both directions and the empty-lap direct search.
+  std::mt19937_64 Rng(999);
+  std::uniform_real_distribution<double> Delta(1e-7, 9e-6);
+  std::uniform_int_distribution<int> Births(0, 2);
+  CalendarQueue Q;
+  ReferenceHeap Ref;
+  std::uint64_t Seq = 0;
+  for (; Seq != 64; ++Seq) {
+    StreamEvent E = makeEvent(Delta(Rng), Seq);
+    Q.push(E);
+    Ref.push(E);
+  }
+  for (int Step = 0; Step != 20000 && !Ref.empty(); ++Step) {
+    StreamEvent Expected = Ref.top();
+    Ref.pop();
+    StreamEvent Got = Q.pop();
+    ASSERT_EQ(Expected.Time, Got.Time) << "step " << Step;
+    ASSERT_EQ(Expected.Key, Got.Key) << "step " << Step;
+    const int N = Births(Rng);
+    for (int I = 0; I != N; ++I, ++Seq) {
+      StreamEvent E = makeEvent(Got.Time + Delta(Rng), Seq);
+      Q.push(E);
+      Ref.push(E);
+    }
+  }
+  expectSamePops(Q, Ref, "drain");
+}
+
+TEST(CalendarQueueTest, SparseFarFutureEventsFound) {
+  // Events many "years" apart force the empty-lap fallback.
+  CalendarQueue Q;
+  ReferenceHeap Ref;
+  for (std::uint64_t Seq = 0; Seq != 64; ++Seq) {
+    StreamEvent E =
+        makeEvent(static_cast<double>(Seq * Seq) * 1e3 + 0.5, Seq);
+    Q.push(E);
+    Ref.push(E);
+  }
+  expectSamePops(Q, Ref, "sparse");
+}
+
+//===----------------------------------------------------------------------===//
+// O(active) memory at scale.
+//===----------------------------------------------------------------------===//
+
+TEST(StreamEngineTest, FootprintStaysSmallAtScale) {
+  constexpr unsigned RankCount = 100000;
+  BcastConfig C;
+  C.Algorithm = BcastAlgorithm::Binomial;
+  C.MessageBytes = 16 * 1024; // S = 2.
+  C.SegmentBytes = 8 * 1024;
+  BcastStreamPlan Plan = makeBcastStreamPlan(C, RankCount);
+  Platform P = makeScalePlatform(RankCount);
+
+  StreamEngine E;
+  const ExecutionResult &R = E.run(Plan, P, 3);
+  ASSERT_TRUE(R.Completed) << R.Diagnostic;
+  EXPECT_EQ(R.BytesReceived[1], C.MessageBytes);
+  EXPECT_GT(R.Makespan, 0.0);
+
+  // What the materialized path would pin per op just to exist: the
+  // Schedule's op row, the compiled op row, a timing row, a heap slot
+  // and the last-byte clock (dependency vectors and CSR rows come on
+  // top). The streaming engine must stay far under it (and under an
+  // absolute cap that a million-rank run can extrapolate from).
+  const std::uint64_t TotalOps = Plan.totalOps();
+  const std::size_t MaterializedFloor =
+      TotalOps * (sizeof(Op) + sizeof(CompiledOp) + sizeof(OpTiming) + 16 + 8);
+  EXPECT_LT(E.footprintBytes(), MaterializedFloor / 4);
+  EXPECT_LT(E.footprintBytes(), std::size_t{48} * 1024 * 1024);
+  EXPECT_GT(E.eventsProcessed(), TotalOps);
+}
