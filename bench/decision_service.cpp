@@ -1,0 +1,515 @@
+//===- bench/decision_service.cpp - Serving-layer lookup throughput -------===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+// The serving claim of the selection-as-a-service layer, measured and
+// enforced: a DecisionService lookup over a published binary table
+// image must answer (P, m) -> algorithm queries at a rate worthy of
+// the critical path of every collective call (paper Sect. 5.3), and
+// it must do so with zero heap allocations and zero mutex
+// acquisitions in steady state -- the global operator new/delete of
+// this binary are replaced to count through bench::countAllocation()
+// (the micro_engine discipline), and serve's publisher mutex is a
+// counted lock, so both claims are enforced, not assumed.
+//
+// Four measurements on a table3-sized grid (7 procs x 10 sizes):
+//
+//  * single : one thread, DecisionService::lookup per query
+//  * batch  : one thread, lookupBatch in 512-query chunks
+//  * scan   : the in-memory DecisionTable linear scan (the pre-serve
+//             hot path of Selection/RobustSelector clients)
+//  * text   : re-reading + re-parsing the cache's text table per
+//             query burst -- what "serving" from the text cache file
+//             actually costs a fresh process
+//
+// plus a multi-reader section: N reader threads hammering lookups
+// while a publisher swaps freshly compiled images underneath them.
+//
+// Hard gates (exit 1): every lookup agrees with the scan oracle over
+// the grid and off-grid probes; the steady-state window performs 0
+// allocations and 0 serve-mutex acquisitions; the single-thread rate
+// beats the text baseline by >= 10x; the multi-reader section
+// observes at least one swap and only valid algorithms. The
+// deterministic facts land in the gated `metrics` of the --json
+// record; p99 latencies are pinned by the committed budgets of
+// BENCH_decision_service.json; raw throughput goes to `timings`.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "model/DecisionCache.h"
+#include "obs/Journal.h"
+#include "serve/DecisionService.h"
+#include "support/CommandLine.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace mpicsel;
+using namespace mpicsel::bench;
+
+//===----------------------------------------------------------------------===//
+// Counting allocation functions (this binary only).
+//===----------------------------------------------------------------------===//
+
+void *operator new(std::size_t Size) {
+  countAllocation();
+  if (void *P = std::malloc(Size ? Size : 1))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new[](std::size_t Size) { return ::operator new(Size); }
+
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+
+namespace {
+
+constexpr std::size_t BlockLookups = 4096;
+
+/// A fixed calibration (paper Table 1/2 magnitudes), the same setup
+/// micro_selection_overhead measures the closed-form path with.
+CalibratedModels fixedModels() {
+  CalibratedModels M;
+  M.Gamma = GammaFunction({1.0, 1.114, 1.219, 1.283, 1.451, 1.540});
+  double Alphas[] = {2.2e-6, 2.2e-5, 6.0e-6, 4.9e-6, 6.7e-6, 4.7e-6};
+  double Betas[] = {5.3e-9, 1.0e-10, 1.8e-9, 2.2e-9, 1.5e-9, 2.3e-9};
+  for (unsigned I = 0; I != NumBcastAlgorithms; ++I) {
+    M.Algorithms[I].Algorithm = static_cast<BcastAlgorithm>(I);
+    M.Algorithms[I].Alpha = Alphas[I];
+    M.Algorithms[I].Beta = Betas[I];
+  }
+  return M;
+}
+
+/// The pre-serve client hot path: linear scan for the largest grid
+/// point <= the query in each dimension (clamping up from below the
+/// grid). The oracle every served answer is differenced against.
+BcastAlgorithm scanLookup(const DecisionTable &T, unsigned NumProcs,
+                          std::uint64_t MessageBytes) {
+  std::size_t Row = 0;
+  for (std::size_t I = 1; I < T.Procs.size(); ++I)
+    if (T.Procs[I] <= NumProcs)
+      Row = I;
+  std::size_t Col = 0;
+  for (std::size_t J = 1; J < T.MessageSizes.size(); ++J)
+    if (T.MessageSizes[J] <= MessageBytes)
+      Col = J;
+  return T.at(Row, Col);
+}
+
+struct Query {
+  unsigned NumProcs;
+  std::uint64_t MessageBytes;
+  BcastAlgorithm Expected;
+};
+
+/// Deterministic mixed query stream: 3/4 exact grid points, 1/4
+/// off-grid (between rows/columns and past both ends), so the clamp
+/// path is measured and differenced alongside the exact path.
+std::vector<Query> makeQueries(const DecisionTable &T, std::size_t Count) {
+  std::vector<Query> Queries;
+  Queries.reserve(Count);
+  std::uint64_t Lcg = 0x9E3779B97F4A7C15ull;
+  for (std::size_t I = 0; I != Count; ++I) {
+    Lcg = Lcg * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t R = Lcg >> 11;
+    const std::size_t Row = R % T.Procs.size();
+    const std::size_t Col = (R / 7) % T.MessageSizes.size();
+    unsigned P = T.Procs[Row];
+    std::uint64_t M = T.MessageSizes[Col];
+    if ((R & 3) == 0) {
+      P += static_cast<unsigned>((R >> 3) % 5);       // between rows / past end
+      M += (M / 3) * ((R >> 5) % 2) + ((R >> 6) % 7); // within / next octave
+      if ((R >> 8) % 16 == 0) {
+        P = 1;  // below the proc grid
+        M = 17; // below the size grid
+      }
+    }
+    Queries.push_back({P, M, scanLookup(T, P, M)});
+  }
+  return Queries;
+}
+
+std::uint64_t nowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct LatencyStats {
+  double MeanNs = 0;
+  double P50Ns = 0;
+  double P99Ns = 0;
+};
+
+/// Per-lookup latency from per-block wall clocks (a single lookup is
+/// far below clock resolution; blocks of 4096 are not).
+LatencyStats summarize(std::vector<double> &PerLookupNs) {
+  LatencyStats Stats;
+  if (PerLookupNs.empty())
+    return Stats;
+  double Sum = 0;
+  for (double Ns : PerLookupNs)
+    Sum += Ns;
+  Stats.MeanNs = Sum / static_cast<double>(PerLookupNs.size());
+  std::sort(PerLookupNs.begin(), PerLookupNs.end());
+  Stats.P50Ns = PerLookupNs[PerLookupNs.size() / 2];
+  Stats.P99Ns = PerLookupNs[std::min(PerLookupNs.size() - 1,
+                                     PerLookupNs.size() * 99 / 100)];
+  return Stats;
+}
+
+bool Failed = false;
+
+void gate(bool Ok, const char *What) {
+  if (Ok)
+    return;
+  std::fprintf(stderr, "GATE FAILED: %s\n", What);
+  Failed = true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Quick = false;
+  std::int64_t Readers = 0;
+  std::string JsonPath;
+  std::string MetricsPath;
+
+  CommandLine Cli("Lookup throughput and tail latency of the lock-free "
+                  "decision service vs the text-table baseline; gates "
+                  "correctness, zero allocations and zero locks on the "
+                  "steady-state path, and a >= 10x speedup over text.");
+  Cli.addFlag("quick", "fewer blocks per measurement", Quick);
+  Cli.addFlag("readers",
+              "reader threads of the multi-reader section (0: default "
+              "2 quick / 8 full)",
+              Readers);
+  Cli.addFlag("json", "write a machine-readable record to this file",
+              JsonPath);
+  addMetricsFlag(Cli, MetricsPath);
+  if (!Cli.parse(Argc, Argv))
+    return Cli.helpRequested() ? 0 : 2;
+  obs::initObservability(MetricsPath);
+
+  const std::size_t SingleBlocks = Quick ? 128 : 512;
+  const std::size_t ReaderBlocks = Quick ? 32 : 128;
+  const std::size_t TextReps = Quick ? 300 : 3000;
+  const unsigned ReaderCount =
+      Readers > 0 ? static_cast<unsigned>(Readers) : (Quick ? 2u : 8u);
+
+  // The table3-sized deployment grid: every power of two up to the
+  // Grisou cluster width x the paper's 10 message sizes.
+  const CalibratedModels Models = fixedModels();
+  const DecisionTable Table = buildDecisionTable(
+      Models, {2, 4, 8, 16, 32, 64, 128}, paperMessageSizes());
+
+  banner("Decision service: setup");
+  serve::DecisionService Service;
+  if (!Service.publishTable(Table, "bench")) {
+    std::fprintf(stderr, "error: publishTable failed\n");
+    return 1;
+  }
+  const std::vector<unsigned char> Image =
+      serve::compileDecisionTableImage(Table);
+  std::printf("grid %zux%zu, image %zu bytes, content hash %016llx\n",
+              Table.Procs.size(), Table.MessageSizes.size(), Image.size(),
+              static_cast<unsigned long long>(
+                  serve::decisionTableContentHash(Table)));
+
+  // The text-table artifact the pre-serve flow reads per process.
+  const std::string TextPath =
+      strFormat("%s/mpicsel-bench-table-%ld.txt",
+                std::getenv("TMPDIR") ? std::getenv("TMPDIR") : "/tmp",
+                static_cast<long>(::getpid()));
+  if (!writeDecisionTableFile(TextPath, Table)) {
+    std::fprintf(stderr, "error: cannot write %s\n", TextPath.c_str());
+    return 1;
+  }
+
+  const std::vector<Query> Queries = makeQueries(Table, 1 << 15);
+
+  //===--------------------------------------------------------------------===//
+  // Differential: every served answer equals the scan oracle.
+  //===--------------------------------------------------------------------===//
+
+  banner("Differential vs the scan oracle");
+  std::size_t Mismatches = 0;
+  for (const Query &Q : Queries)
+    if (Service.lookup(Q.NumProcs, Q.MessageBytes).Algorithm != Q.Expected)
+      ++Mismatches;
+  // Exact grid coverage: all (P, m) cells, which must also be exact
+  // hits.
+  std::size_t InexactOnGrid = 0;
+  for (std::size_t I = 0; I != Table.Procs.size(); ++I)
+    for (std::size_t J = 0; J != Table.MessageSizes.size(); ++J) {
+      const serve::TableLookup L =
+          Service.lookup(Table.Procs[I], Table.MessageSizes[J]);
+      if (L.Algorithm != Table.at(I, J))
+        ++Mismatches;
+      if (!L.Exact)
+        ++InexactOnGrid;
+    }
+  std::vector<serve::TableQuery> BatchQ;
+  for (const Query &Q : Queries)
+    BatchQ.push_back({Q.NumProcs, Q.MessageBytes});
+  std::vector<BcastAlgorithm> BatchOut(BatchQ.size());
+  Service.lookupBatch(BatchQ.data(), BatchQ.size(), BatchOut.data());
+  std::size_t BatchMismatches = 0;
+  for (std::size_t I = 0; I != Queries.size(); ++I)
+    if (BatchOut[I] != Queries[I].Expected)
+      ++BatchMismatches;
+  std::printf("lookup mismatches: %zu, batch mismatches: %zu, inexact "
+              "on-grid: %zu\n",
+              Mismatches, BatchMismatches, InexactOnGrid);
+  gate(Mismatches == 0, "every lookup equals the scan oracle");
+  gate(BatchMismatches == 0, "every batch answer equals the scan oracle");
+  gate(InexactOnGrid == 0, "every on-grid lookup is an exact hit");
+
+  //===--------------------------------------------------------------------===//
+  // Single-thread steady state: latency + the allocation/lock gates.
+  //===--------------------------------------------------------------------===//
+
+  banner("Single-thread lookup");
+  std::vector<double> SingleNs;
+  SingleNs.reserve(SingleBlocks);
+  // Warm-up settles this thread's epoch slot and counter shard, so
+  // the window below is the steady state the gates are about.
+  for (std::size_t I = 0; I != BlockLookups; ++I) {
+    const Query &Q = Queries[I % Queries.size()];
+    (void)Service.lookup(Q.NumProcs, Q.MessageBytes);
+  }
+  const std::uint64_t AllocsBefore = allocationCount();
+  const std::uint64_t LocksBefore = serve::detail::lockAcquisitions();
+  std::size_t Cursor = 0;
+  for (std::size_t Block = 0; Block != SingleBlocks; ++Block) {
+    const std::uint64_t Start = nowNs();
+    for (std::size_t I = 0; I != BlockLookups; ++I) {
+      const Query &Q = Queries[Cursor];
+      const serve::TableLookup L = Service.lookup(Q.NumProcs, Q.MessageBytes);
+      // The result feeds a live accumulator so the lookup cannot be
+      // hoisted or elided.
+      Cursor += static_cast<std::size_t>(L.Algorithm) != 7u ? 1 : 2;
+      if (Cursor >= Queries.size())
+        Cursor = 0;
+    }
+    SingleNs.push_back(static_cast<double>(nowNs() - Start) /
+                       static_cast<double>(BlockLookups));
+  }
+  const std::uint64_t SteadyAllocs = allocationCount() - AllocsBefore;
+  const std::uint64_t SteadyLocks =
+      serve::detail::lockAcquisitions() - LocksBefore;
+  const LatencyStats Single = summarize(SingleNs);
+  std::printf("mean %.1f ns, p50 %.1f ns, p99 %.1f ns, %.2fM lookups/s\n",
+              Single.MeanNs, Single.P50Ns, Single.P99Ns,
+              1e3 / Single.MeanNs);
+  std::printf("steady-state allocations: %llu, serve mutex acquisitions: "
+              "%llu\n",
+              static_cast<unsigned long long>(SteadyAllocs),
+              static_cast<unsigned long long>(SteadyLocks));
+  gate(SteadyAllocs == 0, "zero allocations on the steady-state path");
+  gate(SteadyLocks == 0, "zero mutex acquisitions on the steady-state path");
+
+  //===--------------------------------------------------------------------===//
+  // Batch API.
+  //===--------------------------------------------------------------------===//
+
+  banner("Batch lookup (512-query chunks)");
+  std::vector<double> BatchNs;
+  BatchNs.reserve(SingleBlocks);
+  for (std::size_t Block = 0; Block != SingleBlocks; ++Block) {
+    const std::size_t Offset = (Block * 512) % (BatchQ.size() - 512);
+    const std::uint64_t Start = nowNs();
+    for (std::size_t Chunk = 0; Chunk != BlockLookups / 512; ++Chunk)
+      (void)Service.lookupBatch(BatchQ.data() + Offset, 512,
+                                BatchOut.data() + Offset);
+    BatchNs.push_back(static_cast<double>(nowNs() - Start) /
+                      static_cast<double>(BlockLookups));
+  }
+  const LatencyStats Batch = summarize(BatchNs);
+  std::printf("mean %.1f ns/query, %.2fM queries/s\n", Batch.MeanNs,
+              1e3 / Batch.MeanNs);
+
+  //===--------------------------------------------------------------------===//
+  // Baselines: in-memory scan, and text re-parse per query.
+  //===--------------------------------------------------------------------===//
+
+  banner("Baseline: in-memory table scan");
+  std::vector<double> ScanNs;
+  ScanNs.reserve(SingleBlocks);
+  // A volatile sink defeats the elision an inlined scan over a const
+  // table otherwise invites (the served path calls across TUs and
+  // needs no such crutch).
+  static volatile unsigned ScanSink = 0;
+  Cursor = 0;
+  for (std::size_t Block = 0; Block != SingleBlocks; ++Block) {
+    const std::uint64_t Start = nowNs();
+    for (std::size_t I = 0; I != BlockLookups; ++I) {
+      const Query &Q = Queries[Cursor];
+      const BcastAlgorithm A =
+          scanLookup(Table, Q.NumProcs, Q.MessageBytes);
+      ScanSink = ScanSink + static_cast<unsigned>(A);
+      if (++Cursor >= Queries.size())
+        Cursor = 0;
+    }
+    ScanNs.push_back(static_cast<double>(nowNs() - Start) /
+                     static_cast<double>(BlockLookups));
+  }
+  const LatencyStats Scan = summarize(ScanNs);
+  std::printf("mean %.1f ns (%.2fx the served single lookup; the epoch "
+              "pin buys swap-safety the bare scan lacks)\n",
+              Scan.MeanNs, Scan.MeanNs / Single.MeanNs);
+
+  banner("Baseline: text table re-parsed per query");
+  DecisionTable Reparsed;
+  std::uint64_t TextTotalNs = 0;
+  for (std::size_t I = 0; I != TextReps; ++I) {
+    const Query &Q = Queries[I % Queries.size()];
+    const std::uint64_t Start = nowNs();
+    if (!readDecisionTableFile(TextPath, Reparsed)) {
+      std::fprintf(stderr, "error: cannot re-read %s\n", TextPath.c_str());
+      return 1;
+    }
+    const BcastAlgorithm A =
+        scanLookup(Reparsed, Q.NumProcs, Q.MessageBytes);
+    TextTotalNs += nowNs() - Start;
+    gate(A == Q.Expected, "text re-parse answers match the oracle");
+  }
+  const double TextMeanNs =
+      static_cast<double>(TextTotalNs) / static_cast<double>(TextReps);
+  const double TextSpeedup = TextMeanNs / Single.MeanNs;
+  std::printf("mean %.0f ns/query; service speedup %.0fx\n", TextMeanNs,
+              TextSpeedup);
+  gate(TextSpeedup >= 10.0,
+       ">= 10x lookups/sec over the text-table baseline");
+
+  //===--------------------------------------------------------------------===//
+  // Multi-reader with concurrent atomic swaps.
+  //===--------------------------------------------------------------------===//
+
+  banner("Multi-reader with a concurrent publisher");
+  const std::uint64_t SwapsBefore = Service.swapCount();
+  std::atomic<unsigned> ReadersDone{0};
+  std::atomic<std::size_t> InvalidAnswers{0};
+  std::vector<std::vector<double>> ReaderNs(ReaderCount);
+  std::vector<std::thread> Threads;
+  const std::uint64_t MultiStart = nowNs();
+  for (unsigned R = 0; R != ReaderCount; ++R)
+    Threads.emplace_back([&, R] {
+      std::vector<double> &Samples = ReaderNs[R];
+      Samples.reserve(ReaderBlocks);
+      std::size_t Pos = (R * 131) % Queries.size();
+      // Per-thread warm-up: register the epoch slot outside the
+      // timed blocks.
+      (void)Service.lookup(Queries[Pos].NumProcs, Queries[Pos].MessageBytes);
+      std::size_t Bad = 0;
+      for (std::size_t Block = 0; Block != ReaderBlocks; ++Block) {
+        const std::uint64_t Start = nowNs();
+        for (std::size_t I = 0; I != BlockLookups; ++I) {
+          const Query &Q = Queries[Pos];
+          const serve::TableLookup L =
+              Service.lookup(Q.NumProcs, Q.MessageBytes);
+          // Concurrent swaps republish the same logical table, so
+          // the answer must still match the oracle -- a torn or
+          // half-published image would diverge.
+          Bad += L.Algorithm != Q.Expected ? 1 : 0;
+          if (++Pos >= Queries.size())
+            Pos = 0;
+        }
+        Samples.push_back(static_cast<double>(nowNs() - Start) /
+                          static_cast<double>(BlockLookups));
+      }
+      InvalidAnswers.fetch_add(Bad, std::memory_order_relaxed);
+      ReadersDone.fetch_add(1, std::memory_order_release);
+    });
+  std::thread Swapper([&] {
+    while (ReadersDone.load(std::memory_order_acquire) != ReaderCount) {
+      Service.publishTable(Table, "bench_swap");
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+  for (std::thread &T : Threads)
+    T.join();
+  Swapper.join();
+  const double MultiSeconds =
+      static_cast<double>(nowNs() - MultiStart) / 1e9;
+  const std::uint64_t SwapsDuring = Service.swapCount() - SwapsBefore;
+  std::vector<double> AllReaderNs;
+  for (const std::vector<double> &Samples : ReaderNs)
+    AllReaderNs.insert(AllReaderNs.end(), Samples.begin(), Samples.end());
+  const LatencyStats Multi = summarize(AllReaderNs);
+  const double MultiLookups = static_cast<double>(ReaderCount) *
+                              static_cast<double>(ReaderBlocks) *
+                              static_cast<double>(BlockLookups);
+  std::printf("%u readers, %llu swaps, %.2fM lookups/s aggregate, p50 "
+              "%.1f ns, p99 %.1f ns, invalid answers: %zu\n",
+              ReaderCount, static_cast<unsigned long long>(SwapsDuring),
+              MultiLookups / MultiSeconds / 1e6, Multi.P50Ns, Multi.P99Ns,
+              InvalidAnswers.load());
+  gate(SwapsDuring >= 1, "at least one concurrent swap was observed");
+  gate(InvalidAnswers.load() == 0,
+       "readers observed only fully-published images");
+
+  std::remove(TextPath.c_str());
+
+  //===--------------------------------------------------------------------===//
+  // Record.
+  //===--------------------------------------------------------------------===//
+
+  BenchReporter Reporter("decision_service");
+  Reporter.info("mode", Quick ? "quick" : "full");
+  Reporter.info("readers", strFormat("%u", ReaderCount));
+  Reporter.metric("grid_procs", static_cast<double>(Table.Procs.size()));
+  Reporter.metric("grid_sizes",
+                  static_cast<double>(Table.MessageSizes.size()));
+  Reporter.metric("image_bytes", static_cast<double>(Image.size()));
+  Reporter.metric("lookup_match", Mismatches == 0 ? 1 : 0);
+  Reporter.metric("batch_match", BatchMismatches == 0 ? 1 : 0);
+  Reporter.metric("steady_allocs", static_cast<double>(SteadyAllocs));
+  Reporter.metric("steady_locks", static_cast<double>(SteadyLocks));
+  Reporter.metric("text_speedup_ok", TextSpeedup >= 10.0 ? 1 : 0);
+  Reporter.metric("multi_invalid_answers",
+                  static_cast<double>(InvalidAnswers.load()));
+  Reporter.metric("multi_swaps_observed", SwapsDuring >= 1 ? 1 : 0);
+  // Budget-capped by the committed baseline (hard max, like the
+  // scale suite's RSS budgets).
+  Reporter.metric("single_p99_ns", Single.P99Ns);
+  Reporter.metric("multi_p99_ns", Multi.P99Ns);
+  Reporter.timing("single_mean_ns", Single.MeanNs);
+  Reporter.timing("single_p50_ns", Single.P50Ns);
+  Reporter.timing("single_mlookups_per_sec", 1e3 / Single.MeanNs);
+  Reporter.timing("batch_mean_ns", Batch.MeanNs);
+  Reporter.timing("batch_mlookups_per_sec", 1e3 / Batch.MeanNs);
+  Reporter.timing("scan_mean_ns", Scan.MeanNs);
+  Reporter.timing("scan_ratio", Scan.MeanNs / Single.MeanNs);
+  Reporter.timing("text_mean_ns", TextMeanNs);
+  Reporter.timing("text_speedup", TextSpeedup);
+  Reporter.timing("multi_p50_ns", Multi.P50Ns);
+  Reporter.timing("multi_mlookups_per_sec",
+                  MultiLookups / MultiSeconds / 1e6);
+  if (!Reporter.writeIfRequested(JsonPath))
+    return 1;
+
+  obs::journalCounterSummary();
+  if (Failed) {
+    std::fprintf(stderr, "\ndecision_service: GATES FAILED\n");
+    return 1;
+  }
+  std::printf("\nall decision-service gates passed\n");
+  return 0;
+}

@@ -28,6 +28,7 @@
 #include "model/DecisionCache.h"
 #include "model/RobustSelector.h"
 #include "model/Runner.h"
+#include "serve/DecisionService.h"
 #include "support/CommandLine.h"
 #include "support/Format.h"
 #include "support/Table.h"
@@ -110,6 +111,9 @@ int main(int Argc, char **Argv) {
   if (!Cli.parse(Argc, Argv))
     return Cli.helpRequested() ? 0 : 1;
   obs::initObservability(MetricsPath);
+  // MPICSEL_SERVE=<path>: serve any image already at <path>, then
+  // republish (and rewrite the image) on every repair below.
+  serve::installServeFromEnv();
 
   // The flag wins; otherwise MPICSEL_DRIFT picks the mode, except
   // that off/unset falls back to repair -- this bench exists to

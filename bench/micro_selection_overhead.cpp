@@ -16,7 +16,9 @@
 #include "coll/OmpiDecision.h"
 #include "model/Calibration.h"
 #include "model/CostModels.h"
+#include "model/DecisionCache.h"
 #include "obs/Journal.h"
+#include "serve/DecisionService.h"
 #include "sim/Engine.h"
 
 #include <benchmark/benchmark.h>
@@ -61,6 +63,55 @@ void BM_OmpiFixedDecision(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_OmpiFixedDecision);
+
+/// The Sect. 5.3 comparison, served path: the same decision answered
+/// from a published binary table image through the lock-free
+/// DecisionService (epoch pin + direct-index lookup), the form a
+/// long-lived client actually pays per collective call.
+serve::DecisionService &servedFixedTable() {
+  static serve::DecisionService *Service = [] {
+    auto *S = new serve::DecisionService();
+    std::vector<std::uint64_t> Sizes;
+    for (std::uint64_t M = 8192; M <= (4u << 20); M *= 2)
+      Sizes.push_back(M);
+    S->publishTable(buildDecisionTable(fixedModels(),
+                                       {2, 4, 8, 16, 32, 64, 128},
+                                       std::move(Sizes)),
+                    "bench");
+    return S;
+  }();
+  return *Service;
+}
+
+void BM_DecisionServiceLookup(benchmark::State &State) {
+  serve::DecisionService &S = servedFixedTable();
+  std::uint64_t MessageBytes = 8192;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(S.lookup(90, MessageBytes));
+    MessageBytes = MessageBytes >= (4u << 20) ? 8192 : MessageBytes * 2;
+  }
+}
+BENCHMARK(BM_DecisionServiceLookup);
+
+/// The sweep-client form: 64 queries answered under one epoch pin.
+void BM_DecisionServiceBatch(benchmark::State &State) {
+  serve::DecisionService &S = servedFixedTable();
+  std::vector<serve::TableQuery> Queries;
+  std::uint64_t MessageBytes = 8192;
+  for (unsigned I = 0; I != 64; ++I) {
+    Queries.push_back({90, MessageBytes});
+    MessageBytes = MessageBytes >= (4u << 20) ? 8192 : MessageBytes * 2;
+  }
+  std::vector<BcastAlgorithm> Choices(Queries.size());
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(
+        S.lookupBatch(Queries.data(), Queries.size(), Choices.data()));
+    benchmark::ClobberMemory();
+  }
+  State.SetItemsProcessed(static_cast<std::int64_t>(State.iterations()) *
+                          static_cast<std::int64_t>(Queries.size()));
+}
+BENCHMARK(BM_DecisionServiceBatch);
 
 void BM_SingleModelEvaluation(benchmark::State &State) {
   GammaFunction G({1.0, 1.114, 1.219, 1.283, 1.451, 1.540});

@@ -20,7 +20,7 @@
 #
 # Usage: scripts/check.sh [--threads N] [--no-bench] [--no-asan]
 #                         [--no-tidy | --tidy] [--tsan] [--drift]
-#                         [--scale]
+#                         [--scale] [--serve]
 #
 #   --threads N   fan the calibration sweeps and the schedlint grid
 #                 over N worker threads (results are bit-identical to
@@ -42,6 +42,12 @@
 #                 determinism, allocation-free warm replay, oracle
 #                 bit-identity at P=4096, and the committed
 #                 footprint/peak-RSS budgets
+#   --serve       also run the decision-service smoke (mirrors CI's
+#                 bench-smoke serve steps): the lock-free lookup bench
+#                 against its committed p99 budgets, plus the modellint
+#                 text/binary equivalence certificate (--dump-table and
+#                 --emit-image from one calibration must diff to zero
+#                 changed cells)
 #
 #===----------------------------------------------------------------------===#
 
@@ -55,6 +61,7 @@ RUN_TIDY=1
 RUN_BENCH=1
 RUN_DRIFT=0
 RUN_SCALE=0
+RUN_SERVE=0
 THREADS=1
 while [ "$#" -gt 0 ]; do
   case "$1" in
@@ -65,6 +72,7 @@ while [ "$#" -gt 0 ]; do
   --no-bench) RUN_BENCH=0 ;;
   --drift) RUN_DRIFT=1 ;;
   --scale) RUN_SCALE=1 ;;
+  --serve) RUN_SERVE=1 ;;
   --threads)
     if [ "$#" -lt 2 ]; then
       echo "error: --threads needs a value" >&2
@@ -76,7 +84,7 @@ while [ "$#" -gt 0 ]; do
   --threads=*) THREADS="${1#--threads=}" ;;
   *)
     echo "usage: scripts/check.sh [--threads N] [--no-bench] [--no-asan]" \
-      "[--no-tidy | --tidy] [--tsan] [--drift] [--scale]" >&2
+      "[--no-tidy | --tidy] [--tsan] [--drift] [--scale] [--serve]" >&2
     exit 2
     ;;
   esac
@@ -159,6 +167,12 @@ if [ "$RUN_BENCH" -eq 1 ]; then
   # to the legacy interpreter and allocation-free after warm-up.
   ./build/bench/micro_engine --quick \
     --json "$OUT/BENCH_micro_engine.json" >/dev/null
+  # decision_service exits non-zero unless served lookups match the
+  # table scan everywhere, the steady-state path is allocation- and
+  # lock-free, readers never see a torn image under swapping, and the
+  # speedup over re-parsing the text table clears 10x.
+  ./build/bench/decision_service --quick \
+    --json "$OUT/BENCH_decision_service.json" >/dev/null
   # --subset: the micro_engine_scale record comes from the scale smoke
   # (--scale here, the scale-smoke job in CI), not this sweep.
   python3 scripts/bench_compare.py --subset "$OUT"/BENCH_*.json
@@ -208,6 +222,28 @@ if [ "$RUN_DRIFT" -eq 1 ]; then
     "$DRIFT_OUT/BENCH_drift_recovery.json"
 fi
 
+if [ "$RUN_SERVE" -eq 1 ]; then
+  step "decision-service lookup gates vs committed p99 budgets"
+  SERVE_OUT=build/serve-out
+  mkdir -p "$SERVE_OUT"
+  ./build/bench/decision_service --quick \
+    --json "$SERVE_OUT/BENCH_decision_service.json"
+  python3 scripts/bench_compare.py --subset \
+    "$SERVE_OUT/BENCH_decision_service.json"
+
+  step "text/binary table equivalence certificate (modellint)"
+  # One calibration, both containers: the text table and the binary
+  # image must decode to the same logical table, cell for cell.
+  MPICSEL_CACHE_DIR=build/modellint-cache ./build/tools/modellint \
+    --quick --cache --platform grisou --jobs "$THREADS" \
+    --dump-table "$SERVE_OUT/table.txt" \
+    --emit-image "$SERVE_OUT/table.img" \
+    --json "$SERVE_OUT/modellint-serve.json"
+  ./build/tools/modellint --diff-old "$SERVE_OUT/table.txt" \
+    --diff-new "$SERVE_OUT/table.img" |
+    grep -q '^table diff: 0 of'
+fi
+
 if [ "$RUN_ASAN" -eq 1 ]; then
   step "build with AddressSanitizer + UBSan"
   cmake -B build-asan -S . -DMPICSEL_SANITIZE=address >/dev/null
@@ -239,7 +275,7 @@ if [ "$RUN_TSAN" -eq 1 ]; then
   # journal/metrics shards, the audit sweep, and the threaded tools.
   step "threaded tests under TSan"
   ctest --test-dir build-tsan --output-on-failure \
-    -R "Parallel|Obs|Audit|Drift" --timeout "$CTEST_TIMEOUT"
+    -R "Parallel|Obs|Audit|Drift|Serve" --timeout "$CTEST_TIMEOUT"
 
   step "threaded tools under TSan"
   ./build-tsan/tools/schedlint --jobs 4

@@ -481,5 +481,10 @@ DriftRepairReport mpicsel::repairDriftedCells(
                                               Table.MessageSizes);
     Cache->storeTable(Report.TableKey, Table);
   }
+  // Hand the repaired table to the serving layer (when one is
+  // installed): readers of the decision service observe the swap
+  // atomically, closing the detect -> repair -> serve loop without a
+  // local recalibration on their side.
+  notifyTablePublish(Table, "drift_repair");
   return Report;
 }

@@ -8,6 +8,7 @@
 #include "obs/Metrics.h"
 #include "support/Format.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -381,27 +382,62 @@ bool readFile(const std::string &Path, std::string &Out) {
   return Ok;
 }
 
-bool writeFileAtomically(const std::string &Path,
-                         const std::string &Contents) {
-  // The rename is the atomic step; the per-process temp name only has
-  // to dodge concurrent writers of the same entry.
+bool writeFileAtomically(const std::string &Path, const std::string &Contents,
+                         const char **FailStage = nullptr) {
+  const char *Stage = nullptr;
+  // The rename is the atomic step. The temp name carries the pid plus
+  // a per-process sequence number so two threads storing the same
+  // entry concurrently never scribble over each other's temp file.
+  static std::atomic<unsigned> TempSeq{0};
   const std::string TempPath =
-      strFormat("%s.tmp%ld", Path.c_str(), static_cast<long>(getpid()));
+      strFormat("%s.tmp%ld.%u", Path.c_str(), static_cast<long>(getpid()),
+                TempSeq.fetch_add(1, std::memory_order_relaxed));
   std::FILE *File = std::fopen(TempPath.c_str(), "wb");
-  if (!File)
-    return false;
-  bool Ok = std::fwrite(Contents.data(), 1, Contents.size(), File) ==
-            Contents.size();
-  Ok = std::fclose(File) == 0 && Ok;
-  if (!Ok) {
-    std::remove(TempPath.c_str());
+  if (!File) {
+    if (FailStage)
+      *FailStage = "open";
     return false;
   }
-  std::error_code Error;
-  std::filesystem::rename(TempPath, Path, Error);
-  if (Error)
+  bool Ok = std::fwrite(Contents.data(), 1, Contents.size(), File) ==
+            Contents.size();
+  if (!Ok)
+    Stage = "write";
+  if (std::fclose(File) != 0 && Ok) {
+    Ok = false;
+    Stage = "close";
+  }
+  if (Ok) {
+    std::error_code Error;
+    std::filesystem::rename(TempPath, Path, Error);
+    if (Error) {
+      Ok = false;
+      Stage = "rename";
+    }
+  }
+  // Every failure path unlinks the temp file: a failed store must not
+  // leave droppings behind for clear() or du to trip over.
+  if (!Ok) {
     std::remove(TempPath.c_str());
-  return !Error;
+    if (FailStage)
+      *FailStage = Stage;
+  }
+  return Ok;
+}
+
+/// Journals a failed store as a `cache_store_fail` event (when the
+/// run journal is open) so a write-protected or full cache directory
+/// is visible instead of silently degrading every run to a miss.
+void noteCacheStoreFail(const char *Kind, const std::string &Key,
+                        const std::string &Path, const char *Stage) {
+  obs::Journal &J = obs::Journal::global();
+  if (!J.enabled())
+    return;
+  JsonObject Event = J.line("cache_store_fail");
+  Event.set("kind", Kind);
+  Event.set("key", Key);
+  Event.set("path", Path);
+  Event.set("stage", Stage ? Stage : "unknown");
+  J.write(Event);
 }
 
 /// Journals one cache lookup/store outcome when the run journal is
@@ -493,10 +529,16 @@ bool DecisionCache::storeModels(const std::string &Key,
                                 const CalibratedModels &Models) {
   std::error_code Error;
   std::filesystem::create_directories(Dir, Error);
-  if (Error)
+  if (Error) {
+    noteCacheStoreFail("calib", Key, Dir, "mkdir");
     return false;
-  if (!writeFileAtomically(entryPath("calib", Key), renderModels(Models)))
+  }
+  const std::string Path = entryPath("calib", Key);
+  const char *Stage = nullptr;
+  if (!writeFileAtomically(Path, renderModels(Models), &Stage)) {
+    noteCacheStoreFail("calib", Key, Path, Stage);
     return false;
+  }
   ++Stats.Stores;
   noteCacheOutcome("store", obs::Counter::CacheStores, "calib", Key);
   return true;
@@ -506,10 +548,16 @@ bool DecisionCache::storeTable(const std::string &Key,
                                const DecisionTable &T) {
   std::error_code Error;
   std::filesystem::create_directories(Dir, Error);
-  if (Error)
+  if (Error) {
+    noteCacheStoreFail("table", Key, Dir, "mkdir");
     return false;
-  if (!writeFileAtomically(entryPath("table", Key), renderTable(T)))
+  }
+  const std::string Path = entryPath("table", Key);
+  const char *Stage = nullptr;
+  if (!writeFileAtomically(Path, renderTable(T), &Stage)) {
+    noteCacheStoreFail("table", Key, Path, Stage);
     return false;
+  }
   ++Stats.Stores;
   noteCacheOutcome("store", obs::Counter::CacheStores, "table", Key);
   return true;
@@ -525,10 +573,15 @@ unsigned DecisionCache::clear() {
     if (Error)
       break;
     const std::string Name = It->path().filename().string();
-    bool CacheEntry = (Name.rfind("calib-", 0) == 0 ||
-                       Name.rfind("table-", 0) == 0) &&
-                      Name.size() > 4 &&
-                      Name.compare(Name.size() - 4, 4, ".txt") == 0;
+    const bool OurPrefix =
+        Name.rfind("calib-", 0) == 0 || Name.rfind("table-", 0) == 0;
+    // Entries proper, plus any ".txt.tmp<pid>.<seq>" stragglers a
+    // crashed writer left behind mid-store.
+    bool CacheEntry =
+        OurPrefix &&
+        ((Name.size() > 4 &&
+          Name.compare(Name.size() - 4, 4, ".txt") == 0) ||
+         Name.find(".txt.tmp") != std::string::npos);
     if (CacheEntry && std::filesystem::remove(It->path(), Error) && !Error)
       ++Removed;
   }
@@ -553,6 +606,30 @@ mpicsel::buildDecisionTable(const CalibratedModels &Models,
   return T;
 }
 
+namespace {
+
+/// Evaluates the freshly calibrated models over the platform's
+/// deployable grid (powers of two up to the machine width, the
+/// paper's 8 KiB..4 MiB sizes) and hands the table to the installed
+/// publish hook. Skipped entirely -- not even the table build -- when
+/// no hook is installed.
+void publishCalibratedTable(const CalibratedModels &Models,
+                            const Platform &P) {
+  if (!tablePublishHook())
+    return;
+  std::vector<unsigned> Procs;
+  for (unsigned Q = 2; Q <= P.maxProcs(); Q *= 2)
+    Procs.push_back(Q);
+  std::vector<std::uint64_t> Sizes;
+  for (std::uint64_t M = 8 * 1024; M <= 4 * 1024 * 1024; M *= 2)
+    Sizes.push_back(M);
+  notifyTablePublish(buildDecisionTable(Models, std::move(Procs),
+                                        std::move(Sizes)),
+                     "calibrate");
+}
+
+} // namespace
+
 CalibratedModels mpicsel::calibrateCached(const Platform &P,
                                           const CalibrationOptions &Options,
                                           DecisionCache &Cache,
@@ -565,11 +642,13 @@ CalibratedModels mpicsel::calibrateCached(const Platform &P,
     // A cache hit skips the measurement campaign but not the audit: a
     // corrupt-but-parseable entry must be flagged, not served.
     postCalibrationAudit(Models, P.Name, P.maxProcs());
+    publishCalibratedTable(Models, P);
     return Models;
   }
   Models = calibrate(P, Options, Report);
   Cache.storeModels(Key, Models);
   postCalibrationAudit(Models, P.Name, P.maxProcs());
+  publishCalibratedTable(Models, P);
   return Models;
 }
 
@@ -587,10 +666,45 @@ bool mpicsel::readDecisionTableFile(const std::string &Path,
 
 bool mpicsel::writeDecisionTableFile(const std::string &Path,
                                      const DecisionTable &T) {
-  return writeFileAtomically(Path, renderTable(T));
+  const char *Stage = nullptr;
+  if (writeFileAtomically(Path, renderTable(T), &Stage))
+    return true;
+  noteCacheStoreFail("table_file", Path, Path, Stage);
+  return false;
 }
 
 bool mpicsel::writeCalibratedModelsFile(const std::string &Path,
                                         const CalibratedModels &Models) {
-  return writeFileAtomically(Path, renderModels(Models));
+  const char *Stage = nullptr;
+  if (writeFileAtomically(Path, renderModels(Models), &Stage))
+    return true;
+  noteCacheStoreFail("models_file", Path, Path, Stage);
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Table publication hook
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::atomic<TablePublishHook> &publishHookSlot() {
+  static std::atomic<TablePublishHook> Slot{nullptr};
+  return Slot;
+}
+
+} // namespace
+
+TablePublishHook mpicsel::setTablePublishHook(TablePublishHook Hook) {
+  return publishHookSlot().exchange(Hook, std::memory_order_acq_rel);
+}
+
+TablePublishHook mpicsel::tablePublishHook() {
+  return publishHookSlot().load(std::memory_order_acquire);
+}
+
+void mpicsel::notifyTablePublish(const DecisionTable &Table,
+                                 const char *Origin) {
+  if (TablePublishHook Hook = tablePublishHook())
+    Hook(Table, Origin);
 }

@@ -156,6 +156,32 @@ bool writeDecisionTableFile(const std::string &Path, const DecisionTable &T);
 bool writeCalibratedModelsFile(const std::string &Path,
                                const CalibratedModels &Models);
 
+//===----------------------------------------------------------------------===//
+// Table publication hook
+//===----------------------------------------------------------------------===//
+
+/// Callback invoked whenever a fresh decision table becomes
+/// authoritative: after a calibration (cached or fresh) and after a
+/// drift repair rebuilds the table. \p Origin names the producing
+/// path ("calibrate", "drift_repair", ...). The serving layer
+/// (serve/DecisionService.h) installs itself here so repaired tables
+/// reach readers without the model library depending on serve --
+/// the hook is a plain function pointer precisely so this header
+/// stays free of any serve type.
+using TablePublishHook = void (*)(const DecisionTable &Table,
+                                  const char *Origin);
+
+/// Installs \p Hook (nullptr uninstalls); returns the previous hook.
+TablePublishHook setTablePublishHook(TablePublishHook Hook);
+
+/// The currently installed hook, or nullptr.
+TablePublishHook tablePublishHook();
+
+/// Invokes the installed hook with (\p Table, \p Origin); a no-op
+/// when none is installed. Publication is a cold path: the hook may
+/// write files and take locks.
+void notifyTablePublish(const DecisionTable &Table, const char *Origin);
+
 } // namespace mpicsel
 
 #endif // MPICSEL_MODEL_DECISIONCACHE_H

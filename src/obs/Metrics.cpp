@@ -65,6 +65,12 @@ const char *obs::counterName(Counter C) {
     return "drift.repairs";
   case Counter::DriftGiveups:
     return "drift.giveups";
+  case Counter::ServeLookups:
+    return "serve.lookups";
+  case Counter::ServeHits:
+    return "serve.hits";
+  case Counter::ServeSwaps:
+    return "serve.swaps";
   case Counter::NumCounters:
     break;
   }
@@ -79,6 +85,8 @@ const char *obs::gaugeName(Gauge G) {
     return "sweep.threads";
   case Gauge::PeakRssKiB:
     return "proc.peak_rss_kib";
+  case Gauge::ServeStalenessMs:
+    return "serve.staleness_ms";
   case Gauge::NumGauges:
     break;
   }

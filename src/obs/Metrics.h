@@ -69,6 +69,9 @@ enum class Counter : unsigned {
   DriftQuarantines,   ///< selections degraded by a quarantined cell
   DriftRepairs,       ///< algorithms repaired by targeted recalibration
   DriftGiveups,       ///< algorithms abandoned after repair backoff
+  ServeLookups,       ///< decision-service lookups answered
+  ServeHits,          ///< served lookups that hit a grid point exactly
+  ServeSwaps,         ///< decision-table images atomically swapped in
   NumCounters         ///< sentinel: number of counters
 };
 
@@ -82,6 +85,8 @@ enum class Gauge : unsigned {
   PoolThreads,  ///< widest thread pool constructed
   SweepThreads, ///< widest parallel sweep fan-out requested
   PeakRssKiB,   ///< highest resident-set size observed (KiB, see obs/Rss.h)
+  ServeStalenessMs, ///< longest-lived decision image at the moment it was
+                    ///< swapped out (ms); 0 while the first image serves
   NumGauges     ///< sentinel: number of gauges
 };
 

@@ -1,0 +1,231 @@
+//===- serve/DecisionService.cpp - Lock-free table serving -----------------===//
+
+#include "serve/DecisionService.h"
+
+#include "obs/Journal.h"
+#include "obs/Metrics.h"
+#include "support/Format.h"
+
+#include <cstdlib>
+
+using namespace mpicsel;
+using namespace mpicsel::serve;
+
+//===----------------------------------------------------------------------===//
+// Counted publisher mutex
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::atomic<std::uint64_t> &lockCounter() {
+  static std::atomic<std::uint64_t> Count{0};
+  return Count;
+}
+
+/// lock_guard that tallies every acquisition; the bench's
+/// zero-locks-on-the-hot-path gate reads the tally.
+class CountedLockGuard {
+public:
+  explicit CountedLockGuard(std::mutex &M) : Guard(M) {
+    lockCounter().fetch_add(1, std::memory_order_relaxed);
+  }
+
+private:
+  std::lock_guard<std::mutex> Guard;
+};
+
+} // namespace
+
+std::uint64_t detail::lockAcquisitions() {
+  return lockCounter().load(std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// DecisionService
+//===----------------------------------------------------------------------===//
+
+DecisionService &DecisionService::global() {
+  // Leaked like the journal and the counter blocks: lookups from
+  // detached threads during process teardown must not race a
+  // destructor.
+  static DecisionService *Service = new DecisionService();
+  return *Service;
+}
+
+DecisionService::~DecisionService() {
+  // By contract no lookup is in flight; everything can go at once.
+  delete Current.load(std::memory_order_acquire);
+  for (const auto &Entry : Retired)
+    delete Entry.first;
+}
+
+void DecisionService::reclaimLocked() {
+  if (Retired.empty())
+    return;
+  // An entry retired at epoch E is unreachable once every slot is
+  // quiescent or pinned at >= E: such a pin re-read the epoch after
+  // the swap that retired E, so it loaded the successor image.
+  const std::uint64_t MinPinned = detail::minPinnedEpoch();
+  std::size_t Kept = 0;
+  for (auto &Entry : Retired) {
+    if (Entry.second <= MinPinned)
+      delete Entry.first;
+    else
+      Retired[Kept++] = Entry;
+  }
+  Retired.resize(Kept);
+}
+
+bool DecisionService::publishImage(DecisionTableImage Image,
+                                   const char *Origin) {
+  if (!Image.valid())
+    return false;
+  auto *Fresh = new Published{std::move(Image),
+                              std::chrono::steady_clock::now()};
+  CountedLockGuard Lock(PublisherMutex);
+  const Published *Old = Current.exchange(Fresh, std::memory_order_seq_cst);
+  // Bump the epoch *after* the swap: a reader pinned at the new epoch
+  // provably loads the new pointer (see reclaimLocked).
+  const std::uint64_t RetireEpoch =
+      detail::globalEpoch().fetch_add(1, std::memory_order_seq_cst) + 1;
+  std::uint64_t StalenessMs = 0;
+  if (Old) {
+    StalenessMs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            Fresh->Since - Old->Since)
+            .count());
+    Retired.emplace_back(Old, RetireEpoch);
+  }
+  reclaimLocked();
+  Swaps.fetch_add(1, std::memory_order_relaxed);
+  obs::bump(obs::Counter::ServeSwaps);
+  if (Old)
+    obs::gaugeMax(obs::Gauge::ServeStalenessMs, StalenessMs);
+  obs::Journal &J = obs::Journal::global();
+  if (J.enabled()) {
+    JsonObject Event = J.line("serve_publish");
+    Event.set("origin", Origin ? Origin : "unknown");
+    Event.set("procs", Fresh->Image.procCount());
+    Event.set("sizes", Fresh->Image.sizeCount());
+    Event.set("bytes", Fresh->Image.imageBytes());
+    Event.set("content_hash",
+              strFormat("%016llx", static_cast<unsigned long long>(
+                                       Fresh->Image.contentHash())));
+    Event.set("swap", Swaps.load(std::memory_order_relaxed));
+    Event.set("staleness_ms", StalenessMs);
+    J.write(Event);
+  }
+  return true;
+}
+
+bool DecisionService::publishTable(const DecisionTable &T,
+                                   const char *Origin) {
+  const std::vector<unsigned char> Bytes = compileDecisionTableImage(T);
+  if (Bytes.empty())
+    return false;
+  DecisionTableImage Image;
+  if (!Image.loadFromBytes(Bytes.data(), Bytes.size()))
+    return false;
+  return publishImage(std::move(Image), Origin);
+}
+
+bool DecisionService::publishFile(const std::string &Path,
+                                  const char *Origin) {
+  if (DecisionTableImage::isImageFile(Path)) {
+    DecisionTableImage Image;
+    return Image.loadFromFile(Path) && publishImage(std::move(Image), Origin);
+  }
+  DecisionTable T;
+  return readDecisionTableFile(Path, T) && publishTable(T, Origin);
+}
+
+TableLookup DecisionService::lookup(unsigned NumProcs,
+                                    std::uint64_t MessageBytes) const {
+  obs::bump(obs::Counter::ServeLookups);
+  detail::EpochPin Pin;
+  const Published *Image = Current.load(std::memory_order_acquire);
+  if (!Image)
+    return TableLookup{};
+  TableLookup L = Image->Image.lookup(NumProcs, MessageBytes);
+  if (L.Exact)
+    obs::bump(obs::Counter::ServeHits);
+  return L;
+}
+
+std::size_t DecisionService::lookupBatch(const TableQuery *Queries,
+                                         std::size_t Count,
+                                         BcastAlgorithm *Choices) const {
+  detail::EpochPin Pin;
+  const Published *Image = Current.load(std::memory_order_acquire);
+  if (!Image)
+    return 0;
+  std::size_t ExactHits = 0;
+  for (std::size_t I = 0; I != Count; ++I) {
+    const TableLookup L =
+        Image->Image.lookup(Queries[I].NumProcs, Queries[I].MessageBytes);
+    Choices[I] = L.Algorithm;
+    ExactHits += L.Exact ? 1 : 0;
+  }
+  obs::bump(obs::Counter::ServeLookups, Count);
+  obs::bump(obs::Counter::ServeHits, ExactHits);
+  return ExactHits;
+}
+
+std::size_t DecisionService::retiredCount() const {
+  CountedLockGuard Lock(PublisherMutex);
+  return Retired.size();
+}
+
+std::uint64_t DecisionService::servedContentHash() const {
+  detail::EpochPin Pin;
+  const Published *Image = Current.load(std::memory_order_acquire);
+  return Image ? Image->Image.contentHash() : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Publish-hook installation (MPICSEL_SERVE)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string &imagePathSlot() {
+  static std::string Path;
+  return Path;
+}
+
+/// The TablePublishHook the model layer invokes on every calibration
+/// and drift repair: persist the image (when a path is configured),
+/// then swap it into the global service.
+void servePublishHook(const DecisionTable &T, const char *Origin) {
+  const std::string &Path = imagePathSlot();
+  if (!Path.empty())
+    writeDecisionTableImageFile(Path, T);
+  DecisionService::global().publishTable(T, Origin);
+}
+
+} // namespace
+
+bool serve::installServePublisher(const std::string &ImagePath) {
+  imagePathSlot() = ImagePath;
+  setTablePublishHook(&servePublishHook);
+  if (!ImagePath.empty()) {
+    DecisionTableImage Existing;
+    if (Existing.loadFromFile(ImagePath))
+      DecisionService::global().publishImage(std::move(Existing), "startup");
+  }
+  return true;
+}
+
+bool serve::installServeFromEnv() {
+  const char *Env = std::getenv("MPICSEL_SERVE");
+  if (!Env || !*Env)
+    return false;
+  return installServePublisher(Env);
+}
+
+void serve::uninstallServePublisher() {
+  setTablePublishHook(nullptr);
+  imagePathSlot().clear();
+}
+
+const std::string &serve::servedImagePath() { return imagePathSlot(); }

@@ -1,0 +1,255 @@
+//===- serve/DecisionService.h - Lock-free table serving --------*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Selection as a service: the always-on lookup side of the paper's
+/// method. A DecisionService holds the current DecisionTableImage
+/// behind one atomic pointer and answers (P, m) -> algorithm queries
+/// from any number of threads with **zero locks and zero allocations
+/// on the steady-state path** (bench/decision_service gates both),
+/// while a publisher atomically swaps in recalibrated or
+/// drift-repaired tables underneath them.
+///
+/// Readers are protected by epoch-based reclamation rather than a
+/// seqlock retry loop, so a lookup never restarts and never observes
+/// a torn image:
+///
+///   * Each reader thread owns a ReaderSlot (registered once on a
+///     lock-free intrusive list, leaked by design -- the same
+///     lifetime discipline as obs::CounterBlock).
+///   * Pinning stores the global epoch E into the slot (seq_cst) and
+///     re-reads the epoch until it is unchanged; then the current
+///     image pointer is loaded and used. Unpinning stores 0.
+///   * Publishing exchanges the image pointer, bumps the global epoch
+///     to E+1, and retires the old image tagged with E+1. A retired
+///     image is freed only when every slot is either quiescent (0) or
+///     pinned at >= its retirement epoch: any such reader re-read the
+///     epoch *after* the pointer swap (seq_cst total order) and so
+///     loaded the new pointer, never the retired one.
+///
+/// The swap path takes a mutex -- publication is rare and cold -- but
+/// it is a *counted* mutex (lockAcquisitions()), which is how the
+/// bench proves the lookup window acquired none.
+///
+/// Publication is wired into the model layer through the
+/// TablePublishHook seam (model/DecisionCache.h): installServeFromEnv
+/// honours MPICSEL_SERVE=<image-path>, serving a pre-existing image
+/// immediately and re-publishing (file + swap) whenever calibration
+/// or drift repair produces a fresh table. obs counters:
+/// serve.lookups, serve.hits (exact grid hits), serve.swaps, and the
+/// serve.staleness_ms gauge (longest image lifetime at swap-out).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_SERVE_DECISIONSERVICE_H
+#define MPICSEL_SERVE_DECISIONSERVICE_H
+
+#include "serve/TableImage.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mpicsel {
+namespace serve {
+
+namespace detail {
+
+/// One reader thread's epoch slot. 0 = quiescent; otherwise the
+/// global epoch the thread pinned. Slots live on a lock-free
+/// intrusive list and are never freed (a snapshot of the list must
+/// stay walkable after the owning thread exits).
+struct ReaderSlot {
+  std::atomic<std::uint64_t> Pinned{0};
+  ReaderSlot *Next = nullptr;
+};
+
+inline std::atomic<std::uint64_t> &globalEpoch() {
+  static std::atomic<std::uint64_t> Epoch{1};
+  return Epoch;
+}
+
+inline std::atomic<ReaderSlot *> &slotListHead() {
+  static std::atomic<ReaderSlot *> Head{nullptr};
+  return Head;
+}
+
+/// Registers (and leaks, by design) this thread's slot.
+inline ReaderSlot *registerSlot() {
+  auto *Slot = new ReaderSlot();
+  std::atomic<ReaderSlot *> &Head = slotListHead();
+  Slot->Next = Head.load(std::memory_order_relaxed);
+  while (!Head.compare_exchange_weak(Slot->Next, Slot,
+                                     std::memory_order_release,
+                                     std::memory_order_relaxed)) {
+  }
+  return Slot;
+}
+
+inline ReaderSlot &threadSlot() {
+  thread_local ReaderSlot *Slot = registerSlot();
+  return *Slot;
+}
+
+/// The oldest epoch any thread is pinned at (UINT64_MAX when all are
+/// quiescent): a retire tagged <= this value has no possible reader.
+inline std::uint64_t minPinnedEpoch() {
+  std::uint64_t Min = ~std::uint64_t{0};
+  for (const ReaderSlot *Slot =
+           slotListHead().load(std::memory_order_acquire);
+       Slot; Slot = Slot->Next) {
+    const std::uint64_t Pinned = Slot->Pinned.load(std::memory_order_seq_cst);
+    if (Pinned != 0 && Pinned < Min)
+      Min = Pinned;
+  }
+  return Min;
+}
+
+/// RAII epoch pin. The store/re-check loop guarantees that once the
+/// constructor returns, any publisher that bumped the epoch before
+/// our final store will also see our pin in minPinnedEpoch() -- and
+/// any publisher we missed swapped the pointer before we load it.
+class EpochPin {
+public:
+  EpochPin() : Slot(threadSlot()) {
+    std::uint64_t Epoch = globalEpoch().load(std::memory_order_seq_cst);
+    for (;;) {
+      Slot.Pinned.store(Epoch, std::memory_order_seq_cst);
+      const std::uint64_t Check =
+          globalEpoch().load(std::memory_order_seq_cst);
+      if (Check == Epoch)
+        break;
+      Epoch = Check;
+    }
+  }
+  ~EpochPin() { Slot.Pinned.store(0, std::memory_order_release); }
+  EpochPin(const EpochPin &) = delete;
+  EpochPin &operator=(const EpochPin &) = delete;
+
+private:
+  ReaderSlot &Slot;
+};
+
+/// How many times serve's publisher mutex has been acquired,
+/// process-wide. The decision_service bench snapshots this around its
+/// lookup window: an unchanged count is the "zero mutex acquisitions
+/// on the hot path" proof.
+std::uint64_t lockAcquisitions();
+
+} // namespace detail
+
+/// One query of the batch API.
+struct TableQuery {
+  unsigned NumProcs = 0;
+  std::uint64_t MessageBytes = 0;
+};
+
+/// Lock-free decision serving over atomically swappable table images.
+/// Reader methods (lookup, lookupBatch, ready, swapCount) are safe
+/// from any thread concurrently with publication; publisher methods
+/// serialise on the counted mutex.
+class DecisionService {
+public:
+  DecisionService() = default;
+  /// Destruction requires quiescence (no in-flight lookups on this
+  /// instance), the usual contract for tearing down a service.
+  ~DecisionService();
+  DecisionService(const DecisionService &) = delete;
+  DecisionService &operator=(const DecisionService &) = delete;
+
+  /// The process-wide service instance the MPICSEL_SERVE wiring and
+  /// the publish hook feed.
+  static DecisionService &global();
+
+  /// Publishes a validated image: readers switch to it atomically,
+  /// the previous image is retired into epoch reclamation. Returns
+  /// false (and publishes nothing) for an invalid image. \p Origin
+  /// tags the journal event ("calibrate", "drift_repair", ...).
+  bool publishImage(DecisionTableImage Image, const char *Origin);
+
+  /// Compiles \p T and publishes the result.
+  bool publishTable(const DecisionTable &T, const char *Origin);
+
+  /// Loads \p Path (binary image or text table, auto-detected) and
+  /// publishes it.
+  bool publishFile(const std::string &Path, const char *Origin);
+
+  /// Whether an image is currently being served.
+  bool ready() const {
+    return Current.load(std::memory_order_acquire) != nullptr;
+  }
+
+  /// Answers one query from the current image. Steady-state cost:
+  /// epoch pin + two array indexations; no locks, no allocation.
+  /// Returns Served=false (with the Binomial default) when nothing
+  /// has been published.
+  TableLookup lookup(unsigned NumProcs, std::uint64_t MessageBytes) const;
+
+  /// Answers \p Count queries under a single epoch pin -- the sweep
+  /// clients' API, and the cheapest per-query path. All answers come
+  /// from one consistent image. Writes one algorithm per query to
+  /// \p Choices and returns the number answered exactly on-grid
+  /// (0 with \p Choices untouched when nothing is published).
+  std::size_t lookupBatch(const TableQuery *Queries, std::size_t Count,
+                          BcastAlgorithm *Choices) const;
+
+  /// Images published over this service's lifetime.
+  std::uint64_t swapCount() const {
+    return Swaps.load(std::memory_order_relaxed);
+  }
+
+  /// Retired images not yet reclaimed (publisher-side bookkeeping;
+  /// exposed for the reclamation tests).
+  std::size_t retiredCount() const;
+
+  /// Content hash of the image currently served (0 when none).
+  std::uint64_t servedContentHash() const;
+
+private:
+  struct Published {
+    DecisionTableImage Image;
+    std::chrono::steady_clock::time_point Since;
+  };
+
+  void reclaimLocked();
+
+  std::atomic<const Published *> Current{nullptr};
+  std::atomic<std::uint64_t> Swaps{0};
+  /// Swap-path state, guarded by the counted publisher mutex.
+  mutable std::mutex PublisherMutex;
+  std::vector<std::pair<const Published *, std::uint64_t>> Retired;
+};
+
+/// Installs the serving layer per the environment: when
+/// MPICSEL_SERVE=<path> is set, any image already at <path> is
+/// published immediately (a fleet member picks up the last repaired
+/// table without recalibrating), and the model layer's
+/// TablePublishHook is pointed at the global service so every
+/// calibration and drift repair writes a fresh image to <path> and
+/// swaps it in. Returns true when serving was installed.
+bool installServeFromEnv();
+
+/// The explicit-path form of installServeFromEnv (tests, tools). An
+/// empty \p ImagePath installs swap-only publication with no image
+/// file.
+bool installServePublisher(const std::string &ImagePath);
+
+/// Uninstalls the hook installed by installServe*; the global service
+/// keeps serving its last image.
+void uninstallServePublisher();
+
+/// The image path the installed publisher writes ("" when none).
+const std::string &servedImagePath();
+
+} // namespace serve
+} // namespace mpicsel
+
+#endif // MPICSEL_SERVE_DECISIONSERVICE_H

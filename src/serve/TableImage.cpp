@@ -1,0 +1,508 @@
+//===- serve/TableImage.cpp - Binary mmap'd decision tables ----------------===//
+
+#include "serve/TableImage.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <numeric>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace mpicsel;
+using namespace mpicsel::serve;
+
+namespace {
+
+constexpr std::uint32_t HeaderBytes = 64;
+constexpr std::size_t ChecksumOffset = 56;
+/// Mirrors the text parser's 1e6-per-dimension cap; with it, R*C can
+/// never overflow and a hostile header cannot request a huge map.
+constexpr std::uint64_t MaxDimension = 1000000;
+constexpr std::uint64_t MaxCells = 100000000;
+/// Dense proc -> row maps beyond this range fall back to binary
+/// search rather than ballooning the load-time index.
+constexpr unsigned MaxDenseProcRange = 1u << 16;
+
+//===----------------------------------------------------------------------===//
+// Hashing
+//===----------------------------------------------------------------------===//
+
+/// FNV-1a, the same primitive DecisionCache keys use.
+class Fnv {
+public:
+  void bytes(const void *Data, std::size_t Size) {
+    const unsigned char *P = static_cast<const unsigned char *>(Data);
+    for (std::size_t I = 0; I != Size; ++I) {
+      State ^= P[I];
+      State *= 0x100000001B3ull;
+    }
+  }
+  void zeros(std::size_t Size) {
+    for (std::size_t I = 0; I != Size; ++I) {
+      State ^= 0;
+      State *= 0x100000001B3ull;
+    }
+  }
+  void u64(std::uint64_t V) { bytes(&V, sizeof(V)); }
+  std::uint64_t digest() const { return State; }
+
+private:
+  std::uint64_t State = 0xCBF29CE484222325ull;
+};
+
+/// The canonical (ascending-grid) form every image stores, whatever
+/// order the source table's rows and columns came in.
+struct CanonicalTable {
+  std::vector<std::uint32_t> Procs;
+  std::vector<std::uint64_t> Sizes;
+  std::vector<std::uint8_t> Choices; ///< row-major over (Procs x Sizes)
+};
+
+bool canonicalize(const DecisionTable &T, CanonicalTable &Out) {
+  const std::size_t R = T.Procs.size();
+  const std::size_t C = T.MessageSizes.size();
+  if (R == 0 || C == 0 || R > MaxDimension || C > MaxDimension ||
+      T.Choice.size() != R * C)
+    return false;
+  std::vector<std::size_t> RowOrder(R), ColOrder(C);
+  std::iota(RowOrder.begin(), RowOrder.end(), 0);
+  std::iota(ColOrder.begin(), ColOrder.end(), 0);
+  std::sort(RowOrder.begin(), RowOrder.end(), [&](std::size_t A, std::size_t B) {
+    return T.Procs[A] < T.Procs[B];
+  });
+  std::sort(ColOrder.begin(), ColOrder.end(), [&](std::size_t A, std::size_t B) {
+    return T.MessageSizes[A] < T.MessageSizes[B];
+  });
+  Out.Procs.resize(R);
+  Out.Sizes.resize(C);
+  Out.Choices.resize(R * C);
+  for (std::size_t I = 0; I != R; ++I)
+    Out.Procs[I] = T.Procs[RowOrder[I]];
+  for (std::size_t J = 0; J != C; ++J)
+    Out.Sizes[J] = T.MessageSizes[ColOrder[J]];
+  // Duplicate keys would make lookup ambiguous; reject them here so
+  // neither compile nor load ever serves such a grid.
+  if (std::adjacent_find(Out.Procs.begin(), Out.Procs.end(),
+                         std::greater_equal<std::uint32_t>()) !=
+          Out.Procs.end() ||
+      std::adjacent_find(Out.Sizes.begin(), Out.Sizes.end(),
+                         std::greater_equal<std::uint64_t>()) !=
+          Out.Sizes.end())
+    return false;
+  for (std::size_t I = 0; I != R; ++I)
+    for (std::size_t J = 0; J != C; ++J) {
+      const BcastAlgorithm A = T.at(RowOrder[I], ColOrder[J]);
+      if (static_cast<unsigned>(A) >= NumBcastAlgorithms)
+        return false;
+      Out.Choices[I * C + J] = static_cast<std::uint8_t>(A);
+    }
+  return true;
+}
+
+std::uint64_t canonicalHash(const CanonicalTable &T) {
+  Fnv H;
+  H.u64(T.Procs.size());
+  H.u64(T.Sizes.size());
+  for (std::uint32_t P : T.Procs)
+    H.u64(P);
+  for (std::uint64_t M : T.Sizes)
+    H.u64(M);
+  H.bytes(T.Choices.data(), T.Choices.size());
+  return H.digest();
+}
+
+//===----------------------------------------------------------------------===//
+// Header access
+//===----------------------------------------------------------------------===//
+
+/// Header fields, memcpy'd out of the image to sidestep alignment and
+/// aliasing concerns on the one cold read per load.
+struct ImageHeader {
+  char Magic[8];
+  std::uint32_t Version;
+  std::uint32_t HeaderSize;
+  std::uint32_t ProcCount;
+  std::uint32_t SizeCount;
+  std::uint32_t SizesOffset;
+  std::uint32_t ProcsOffset;
+  std::uint32_t ChoicesOffset;
+  std::uint32_t Reserved;
+  std::uint64_t TotalBytes;
+  std::uint64_t ContentHash;
+  std::uint64_t Checksum;
+};
+static_assert(sizeof(ImageHeader) == HeaderBytes,
+              "image header layout drifted");
+
+std::uint64_t imageChecksum(const unsigned char *Base, std::uint64_t Bytes) {
+  Fnv H;
+  H.bytes(Base, ChecksumOffset);
+  H.zeros(sizeof(std::uint64_t));
+  H.bytes(Base + HeaderBytes, Bytes - HeaderBytes);
+  return H.digest();
+}
+
+void storeU64(std::vector<unsigned char> &Out, std::size_t Offset,
+              std::uint64_t V) {
+  std::memcpy(Out.data() + Offset, &V, sizeof(V));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Compilation
+//===----------------------------------------------------------------------===//
+
+std::vector<unsigned char>
+serve::compileDecisionTableImage(const DecisionTable &T) {
+  CanonicalTable Canon;
+  if (!canonicalize(T, Canon))
+    return {};
+  const std::uint64_t R = Canon.Procs.size();
+  const std::uint64_t C = Canon.Sizes.size();
+  const std::uint64_t SizesOff = HeaderBytes;
+  const std::uint64_t ProcsOff = SizesOff + C * sizeof(std::uint64_t);
+  const std::uint64_t ChoicesOff = ProcsOff + R * sizeof(std::uint32_t);
+  // Pad the tail to 8 bytes so concatenated or embedded images stay
+  // aligned; the padding is covered by the checksum.
+  const std::uint64_t Total = (ChoicesOff + R * C + 7) & ~std::uint64_t{7};
+
+  ImageHeader H = {};
+  std::memcpy(H.Magic, DecisionTableImageMagic, sizeof(H.Magic));
+  H.Version = DecisionTableImageVersion;
+  H.HeaderSize = HeaderBytes;
+  H.ProcCount = static_cast<std::uint32_t>(R);
+  H.SizeCount = static_cast<std::uint32_t>(C);
+  H.SizesOffset = static_cast<std::uint32_t>(SizesOff);
+  H.ProcsOffset = static_cast<std::uint32_t>(ProcsOff);
+  H.ChoicesOffset = static_cast<std::uint32_t>(ChoicesOff);
+  H.TotalBytes = Total;
+  H.ContentHash = canonicalHash(Canon);
+
+  std::vector<unsigned char> Out(Total, 0);
+  std::memcpy(Out.data(), &H, sizeof(H));
+  std::memcpy(Out.data() + SizesOff, Canon.Sizes.data(),
+              C * sizeof(std::uint64_t));
+  std::memcpy(Out.data() + ProcsOff, Canon.Procs.data(),
+              R * sizeof(std::uint32_t));
+  std::memcpy(Out.data() + ChoicesOff, Canon.Choices.data(), R * C);
+  storeU64(Out, ChecksumOffset, imageChecksum(Out.data(), Total));
+  return Out;
+}
+
+std::uint64_t serve::decisionTableContentHash(const DecisionTable &T) {
+  CanonicalTable Canon;
+  if (!canonicalize(T, Canon))
+    return 0;
+  return canonicalHash(Canon);
+}
+
+bool serve::writeDecisionTableImageFile(const std::string &Path,
+                                        const DecisionTable &T) {
+  const std::vector<unsigned char> Image = compileDecisionTableImage(T);
+  if (Image.empty())
+    return false;
+  // Same discipline as the cache's text stores: unique temp name,
+  // atomic rename, no droppings on any failure path.
+  static std::atomic<unsigned> TempSeq{0};
+  const std::string TempPath =
+      strFormat("%s.tmp%ld.%u", Path.c_str(), static_cast<long>(getpid()),
+                TempSeq.fetch_add(1, std::memory_order_relaxed));
+  std::FILE *File = std::fopen(TempPath.c_str(), "wb");
+  if (!File)
+    return false;
+  bool Ok = std::fwrite(Image.data(), 1, Image.size(), File) == Image.size();
+  Ok = std::fclose(File) == 0 && Ok;
+  if (Ok) {
+    std::error_code Error;
+    std::filesystem::rename(TempPath, Path, Error);
+    Ok = !Error;
+  }
+  if (!Ok)
+    std::remove(TempPath.c_str());
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// DecisionTableImage
+//===----------------------------------------------------------------------===//
+
+DecisionTableImage::~DecisionTableImage() { reset(); }
+
+DecisionTableImage::DecisionTableImage(DecisionTableImage &&Other) noexcept {
+  *this = std::move(Other);
+}
+
+DecisionTableImage &
+DecisionTableImage::operator=(DecisionTableImage &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  reset();
+  Base = Other.Base;
+  Bytes = Other.Bytes;
+  Mapped = Other.Mapped;
+  SizesPtr = Other.SizesPtr;
+  ProcsPtr = Other.ProcsPtr;
+  ChoicesPtr = Other.ChoicesPtr;
+  Rows = Other.Rows;
+  Cols = Other.Cols;
+  Hash = Other.Hash;
+  RowOf = std::move(Other.RowOf);
+  MinProc = Other.MinProc;
+  ColOfBucket = std::move(Other.ColOfBucket);
+  Other.Base = nullptr;
+  Other.reset();
+  return *this;
+}
+
+void DecisionTableImage::reset() {
+  if (Base) {
+    if (Mapped)
+      ::munmap(const_cast<unsigned char *>(Base), Bytes);
+    else
+      delete[] Base;
+  }
+  Base = nullptr;
+  Bytes = 0;
+  Mapped = false;
+  SizesPtr = nullptr;
+  ProcsPtr = nullptr;
+  ChoicesPtr = nullptr;
+  Rows = Cols = 0;
+  Hash = 0;
+  RowOf.clear();
+  MinProc = 0;
+  ColOfBucket.clear();
+}
+
+bool DecisionTableImage::isImageFile(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+  char Magic[8] = {};
+  const bool Ok = std::fread(Magic, 1, sizeof(Magic), File) == sizeof(Magic);
+  std::fclose(File);
+  return Ok &&
+         std::memcmp(Magic, DecisionTableImageMagic, sizeof(Magic)) == 0;
+}
+
+bool DecisionTableImage::loadFromFile(const std::string &Path) {
+  reset();
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+  struct stat St = {};
+  if (::fstat(::fileno(File), &St) != 0 || St.st_size < 0 ||
+      static_cast<std::uint64_t>(St.st_size) < HeaderBytes) {
+    std::fclose(File);
+    return false;
+  }
+  const std::uint64_t FileBytes = static_cast<std::uint64_t>(St.st_size);
+  void *Map = ::mmap(nullptr, FileBytes, PROT_READ, MAP_PRIVATE,
+                     ::fileno(File), 0);
+  if (Map != MAP_FAILED) {
+    Base = static_cast<const unsigned char *>(Map);
+    Mapped = true;
+  } else {
+    // Filesystems without mmap (or exotic sandboxes): fall back to a
+    // heap copy; everything downstream is pointer-based either way.
+    auto *Heap = new unsigned char[FileBytes];
+    if (std::fread(Heap, 1, FileBytes, File) != FileBytes) {
+      delete[] Heap;
+      std::fclose(File);
+      return false;
+    }
+    Base = Heap;
+    Mapped = false;
+  }
+  Bytes = FileBytes;
+  std::fclose(File);
+  if (!validateAndIndex()) {
+    reset();
+    return false;
+  }
+  return true;
+}
+
+bool DecisionTableImage::loadFromBytes(const void *Data, std::size_t Size) {
+  reset();
+  if (!Data || Size < HeaderBytes)
+    return false;
+  auto *Heap = new unsigned char[Size];
+  std::memcpy(Heap, Data, Size);
+  Base = Heap;
+  Bytes = Size;
+  Mapped = false;
+  if (!validateAndIndex()) {
+    reset();
+    return false;
+  }
+  return true;
+}
+
+bool DecisionTableImage::validateAndIndex() {
+  ImageHeader H = {};
+  std::memcpy(&H, Base, sizeof(H));
+  if (std::memcmp(H.Magic, DecisionTableImageMagic, sizeof(H.Magic)) != 0 ||
+      H.Version != DecisionTableImageVersion || H.HeaderSize != HeaderBytes ||
+      H.Reserved != 0)
+    return false;
+  // A truncated or padded file disagrees with its own header; both
+  // are rejected before any payload pointer is formed.
+  if (H.TotalBytes != Bytes)
+    return false;
+  const std::uint64_t R = H.ProcCount;
+  const std::uint64_t C = H.SizeCount;
+  if (R == 0 || C == 0 || R > MaxDimension || C > MaxDimension ||
+      R * C > MaxCells)
+    return false;
+  const std::uint64_t SizesEnd = H.SizesOffset + C * sizeof(std::uint64_t);
+  const std::uint64_t ProcsEnd = H.ProcsOffset + R * sizeof(std::uint32_t);
+  const std::uint64_t ChoicesEnd = H.ChoicesOffset + R * C;
+  if (H.SizesOffset != HeaderBytes || H.SizesOffset % 8 != 0 ||
+      H.ProcsOffset % 4 != 0 || SizesEnd > H.ProcsOffset ||
+      ProcsEnd > H.ChoicesOffset || ChoicesEnd > Bytes)
+    return false;
+  if (imageChecksum(Base, Bytes) != H.Checksum)
+    return false;
+
+  SizesPtr = reinterpret_cast<const std::uint64_t *>(Base + H.SizesOffset);
+  ProcsPtr = reinterpret_cast<const std::uint32_t *>(Base + H.ProcsOffset);
+  ChoicesPtr = Base + H.ChoicesOffset;
+  Rows = H.ProcCount;
+  Cols = H.SizeCount;
+  Hash = H.ContentHash;
+
+  for (std::uint64_t I = 1; I < R; ++I)
+    if (ProcsPtr[I] <= ProcsPtr[I - 1])
+      return false;
+  for (std::uint64_t J = 1; J < C; ++J)
+    if (SizesPtr[J] <= SizesPtr[J - 1])
+      return false;
+  for (std::uint64_t K = 0; K != R * C; ++K)
+    if (ChoicesPtr[K] >= NumBcastAlgorithms)
+      return false;
+
+  // The checksum guards the bytes; the content hash pins the logical
+  // table, so a (hypothetical) re-layout bug cannot slip through.
+  Fnv Content;
+  Content.u64(R);
+  Content.u64(C);
+  for (std::uint64_t I = 0; I != R; ++I)
+    Content.u64(ProcsPtr[I]);
+  for (std::uint64_t J = 0; J != C; ++J)
+    Content.u64(SizesPtr[J]);
+  Content.bytes(ChoicesPtr, R * C);
+  if (Content.digest() != H.ContentHash)
+    return false;
+
+  // Lookup acceleration: dense proc -> row, log2 bucket -> column.
+  MinProc = ProcsPtr[0];
+  const unsigned ProcRange = ProcsPtr[Rows - 1] - MinProc;
+  if (ProcRange <= MaxDenseProcRange) {
+    RowOf.resize(static_cast<std::size_t>(ProcRange) + 1);
+    std::uint32_t Row = 0;
+    for (unsigned P = 0; P <= ProcRange; ++P) {
+      while (Row + 1 < Rows && ProcsPtr[Row + 1] <= MinProc + P)
+        ++Row;
+      RowOf[P] = Row;
+    }
+  }
+  ColOfBucket.assign(65, 0);
+  std::uint32_t Col = 0;
+  for (unsigned B = 0; B != 65; ++B) {
+    const std::uint64_t BucketFloor = B < 64 ? (std::uint64_t{1} << B)
+                                             : ~std::uint64_t{0};
+    while (Col + 1 < Cols && SizesPtr[Col + 1] <= BucketFloor)
+      ++Col;
+    ColOfBucket[B] = Col;
+  }
+  return true;
+}
+
+std::uint32_t DecisionTableImage::rowFor(unsigned NumProcs,
+                                         bool &Exact) const {
+  if (NumProcs <= MinProc) {
+    Exact = NumProcs == MinProc;
+    return 0;
+  }
+  std::uint32_t Row;
+  const unsigned Offset = NumProcs - MinProc;
+  if (!RowOf.empty()) {
+    Row = Offset < RowOf.size() ? RowOf[Offset]
+                                : static_cast<std::uint32_t>(Rows - 1);
+  } else {
+    // Sparse fallback: classic branch-light lower bound.
+    std::uint32_t Lo = 0, Hi = Rows;
+    while (Hi - Lo > 1) {
+      const std::uint32_t Mid = Lo + (Hi - Lo) / 2;
+      if (ProcsPtr[Mid] <= NumProcs)
+        Lo = Mid;
+      else
+        Hi = Mid;
+    }
+    Row = Lo;
+  }
+  Exact = ProcsPtr[Row] == NumProcs;
+  return Row;
+}
+
+std::uint32_t DecisionTableImage::colFor(std::uint64_t MessageBytes,
+                                         bool &Exact) const {
+  if (MessageBytes <= SizesPtr[0]) {
+    Exact = MessageBytes == SizesPtr[0];
+    return 0;
+  }
+  const unsigned Bucket =
+      static_cast<unsigned>(std::bit_width(MessageBytes)) - 1;
+  std::uint32_t Col = ColOfBucket[Bucket];
+  // Ripple forward over grid sizes that share the bucket (none for
+  // the paper's doubling grids).
+  while (Col + 1 < Cols && SizesPtr[Col + 1] <= MessageBytes)
+    ++Col;
+  Exact = SizesPtr[Col] == MessageBytes;
+  return Col;
+}
+
+TableLookup DecisionTableImage::lookup(unsigned NumProcs,
+                                       std::uint64_t MessageBytes) const {
+  TableLookup L;
+  if (!valid())
+    return L;
+  bool RowExact = false, ColExact = false;
+  const std::uint32_t Row = rowFor(NumProcs, RowExact);
+  const std::uint32_t Col = colFor(MessageBytes, ColExact);
+  L.Algorithm = choiceAt(Row, Col);
+  L.Exact = RowExact && ColExact;
+  L.Served = true;
+  return L;
+}
+
+bool DecisionTableImage::decode(DecisionTable &Out) const {
+  if (!valid())
+    return false;
+  DecisionTable T;
+  T.Procs.assign(ProcsPtr, ProcsPtr + Rows);
+  T.MessageSizes.assign(SizesPtr, SizesPtr + Cols);
+  T.Choice.resize(static_cast<std::size_t>(Rows) * Cols);
+  for (std::size_t K = 0; K != T.Choice.size(); ++K)
+    T.Choice[K] = static_cast<BcastAlgorithm>(ChoicesPtr[K]);
+  Out = std::move(T);
+  return true;
+}
+
+bool serve::readDecisionTableAnyFormat(const std::string &Path,
+                                       DecisionTable &Out) {
+  if (DecisionTableImage::isImageFile(Path)) {
+    DecisionTableImage Image;
+    return Image.loadFromFile(Path) && Image.decode(Out);
+  }
+  return readDecisionTableFile(Path, Out);
+}

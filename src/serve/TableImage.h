@@ -1,0 +1,190 @@
+//===- serve/TableImage.h - Binary mmap'd decision tables -------*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compact binary, mmap-able form of a DecisionTable: the format
+/// the decision service (serve/DecisionService.h) answers lookups
+/// from. The text table the cache persists is the audited source of
+/// truth; an image is compiled from it (bit-identical content, see
+/// TestServe's round-trip checks) and laid out for lookup rather than
+/// for inspection:
+///
+///   offset  field
+///   ------  ------------------------------------------------------
+///       0   magic "MPICSTBL" (8 bytes)
+///       8   format version (u32), header bytes (u32)
+///      16   proc count R (u32), size count C (u32)
+///      24   sizes offset (u32), procs offset (u32)
+///      32   choices offset (u32), reserved 0 (u32)
+///      40   total image bytes (u64)
+///      48   content hash (u64): FNV-1a over the logical table
+///           (R, C, procs, sizes, choices) -- equal tables give equal
+///           hashes whatever their container format
+///      56   checksum (u64): FNV-1a over the whole image with this
+///           field zeroed; any torn or bit-flipped byte is rejected
+///           at load
+///      64   u64 sizes[C], ascending   (8-byte aligned)
+///           u32 procs[R], ascending   (4-byte aligned)
+///           u8  choices[R*C], row-major over (procs x sizes)
+///
+/// Multi-byte fields are native-endian (the image is a per-host
+/// serving artifact, not an interchange format; a foreign-endian file
+/// fails the version check and is rejected, never misread). Offsets
+/// are validated against the file length and alignment before any
+/// array is touched, so a truncated or hostile image cannot read out
+/// of bounds.
+///
+/// Loading mmaps the file read-only (falling back to a heap read when
+/// mmap is unavailable) and precomputes two direct-index tables: a
+/// dense proc -> row map and a log2(m)-bucket -> column map. A lookup
+/// is then two array indexations plus at most a short ripple within
+/// one bucket -- no branches over the grid, no allocation, nothing
+/// shared mutable -- which is what lets DecisionService answer
+/// millions of queries per second from concurrent readers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_SERVE_TABLEIMAGE_H
+#define MPICSEL_SERVE_TABLEIMAGE_H
+
+#include "model/DecisionCache.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpicsel {
+namespace serve {
+
+/// The 8 magic bytes opening every image file.
+inline constexpr char DecisionTableImageMagic[8] = {'M', 'P', 'I', 'C',
+                                                    'S', 'T', 'B', 'L'};
+
+/// Bump when the layout changes: old images then fail the version
+/// check instead of being misread.
+inline constexpr std::uint32_t DecisionTableImageVersion = 1;
+
+/// One lookup's answer.
+struct TableLookup {
+  BcastAlgorithm Algorithm = BcastAlgorithm::Binomial;
+  /// True when (P, m) hit a grid point exactly; false for off-grid
+  /// queries answered by clamping to the largest grid point <= the
+  /// query (the serving analogue of Open MPI's decision regions).
+  bool Exact = false;
+  /// False when no table is loaded/published; Algorithm then carries
+  /// the caller-visible default and must not be trusted.
+  bool Served = false;
+};
+
+/// A loaded, validated decision-table image. Owns either a mapping or
+/// a heap copy of the file bytes plus the lookup acceleration tables;
+/// immutable after load, so any number of threads may call lookup()
+/// concurrently with no synchronisation.
+class DecisionTableImage {
+public:
+  DecisionTableImage() = default;
+  ~DecisionTableImage();
+  DecisionTableImage(DecisionTableImage &&Other) noexcept;
+  DecisionTableImage &operator=(DecisionTableImage &&Other) noexcept;
+  DecisionTableImage(const DecisionTableImage &) = delete;
+  DecisionTableImage &operator=(const DecisionTableImage &) = delete;
+
+  /// Cheap sniff: does \p Path start with the image magic? Lets tools
+  /// accept text tables and binary images through one flag.
+  static bool isImageFile(const std::string &Path);
+
+  /// Maps and validates \p Path. Returns false (leaving the object
+  /// empty) on any defect: short file, bad magic/version, offsets out
+  /// of bounds or misaligned, unsorted keys, out-of-range choices, or
+  /// a checksum/content-hash mismatch.
+  bool loadFromFile(const std::string &Path);
+
+  /// Validates an in-memory image (copies the bytes).
+  bool loadFromBytes(const void *Data, std::size_t Size);
+
+  bool valid() const { return Base != nullptr; }
+  std::uint32_t procCount() const { return Rows; }
+  std::uint32_t sizeCount() const { return Cols; }
+  std::uint64_t imageBytes() const { return Bytes; }
+  /// FNV-1a over the logical table; equal to the hash
+  /// compileDecisionTableImage computes for the equivalent
+  /// DecisionTable.
+  std::uint64_t contentHash() const { return Hash; }
+
+  const std::uint32_t *procs() const { return ProcsPtr; }
+  const std::uint64_t *sizes() const { return SizesPtr; }
+
+  /// The grid cell at (row, col), row-major like DecisionTable::at.
+  BcastAlgorithm choiceAt(std::uint32_t Row, std::uint32_t Col) const {
+    return static_cast<BcastAlgorithm>(
+        ChoicesPtr[static_cast<std::size_t>(Row) * Cols + Col]);
+  }
+
+  /// Answers (P, m): the choice at the largest grid point <= the
+  /// query in each dimension (clamped up to the smallest grid point
+  /// for queries below the grid). Hot path: no allocation, no locks,
+  /// no system calls; safe to call from any thread.
+  TableLookup lookup(unsigned NumProcs, std::uint64_t MessageBytes) const;
+
+  /// Expands the image back into the text-side representation;
+  /// returns false when no image is loaded.
+  bool decode(DecisionTable &Out) const;
+
+private:
+  void reset();
+  bool validateAndIndex();
+  std::uint32_t rowFor(unsigned NumProcs, bool &Exact) const;
+  std::uint32_t colFor(std::uint64_t MessageBytes, bool &Exact) const;
+
+  const unsigned char *Base = nullptr; ///< image start (mapping or heap)
+  std::uint64_t Bytes = 0;
+  bool Mapped = false; ///< Base is an mmap'd region (else heap)
+
+  const std::uint64_t *SizesPtr = nullptr;
+  const std::uint32_t *ProcsPtr = nullptr;
+  const std::uint8_t *ChoicesPtr = nullptr;
+  std::uint32_t Rows = 0;
+  std::uint32_t Cols = 0;
+  std::uint64_t Hash = 0;
+
+  // Direct-index acceleration, built once at load. RowOf[p - MinProc]
+  // is the row of the largest grid proc <= p; ColOfBucket[b] is the
+  // column of the largest grid size <= 2^b (the ripple in colFor
+  // walks forward over grid sizes inside one bucket, which for the
+  // doubling grids the paper uses is zero steps).
+  std::vector<std::uint32_t> RowOf;
+  unsigned MinProc = 0;
+  std::vector<std::uint32_t> ColOfBucket;
+};
+
+/// Compiles \p T into image bytes (header + payload as documented
+/// above). The grid is sorted into the canonical ascending order if
+/// the input isn't, with choices permuted to match. Returns an empty
+/// vector for an unservable table (empty grid, mismatched choice
+/// count, dimensions past the format's u32 fields).
+std::vector<unsigned char> compileDecisionTableImage(const DecisionTable &T);
+
+/// The content hash an image of \p T would carry; exposed so callers
+/// can correlate text and binary artifacts without compiling.
+std::uint64_t decisionTableContentHash(const DecisionTable &T);
+
+/// Compiles and writes \p T to \p Path via the established temp +
+/// rename discipline: a concurrent loadFromFile sees the old image or
+/// the new one, never a torn write.
+bool writeDecisionTableImageFile(const std::string &Path,
+                                 const DecisionTable &T);
+
+/// Reads a decision table from \p Path whichever container it is in:
+/// binary image (detected by magic) or the cache's text format. The
+/// modellint --table/--diff flags go through this, so audited text
+/// and served binary tables are interchangeable evidence.
+bool readDecisionTableAnyFormat(const std::string &Path, DecisionTable &Out);
+
+} // namespace serve
+} // namespace mpicsel
+
+#endif // MPICSEL_SERVE_TABLEIMAGE_H

@@ -15,7 +15,11 @@
 // Models come from either a fresh (optionally cached) calibration of
 // a named platform or a `--models` cache-entry file; `--table` audits
 // an explicit table file against them, and `--diff-old/--diff-new`
-// structurally compares two table files instead. A clean audit prints
+// structurally compares two table files instead. Table files may be
+// the cache's text format or a binary DecisionTableImage (detected by
+// magic), so audited text and served binary tables are provably the
+// same table: `--diff-old table.txt --diff-new table.img` with zero
+// changed cells is the equivalence certificate. A clean audit prints
 // one summary line and exits 0; any violation lists its finding and
 // makes the exit status 1 (warnings are listed but do not gate), so
 // the tool can guard CI. Usage errors exit 2.
@@ -31,6 +35,7 @@
 #include "cluster/Platform.h"
 #include "model/DecisionCache.h"
 #include "obs/Journal.h"
+#include "serve/TableImage.h"
 #include "stat/ParallelSweep.h"
 #include "support/CommandLine.h"
 #include "support/Format.h"
@@ -135,6 +140,7 @@ int main(int Argc, char **Argv) {
   std::string ModelsFile;
   std::string TableFile;
   std::string DumpTable;
+  std::string EmitImage;
   std::string DiffOld;
   std::string DiffNew;
   std::string ProcsFlag;
@@ -168,9 +174,17 @@ int main(int Argc, char **Argv) {
               "write the decision table built over the audit grid to "
               "this file",
               DumpTable);
-  Cli.addFlag("diff-old", "structural table diff: the 'before' file",
+  Cli.addFlag("emit-image",
+              "write the same table as a binary decision-table image "
+              "(the serving format) to this file",
+              EmitImage);
+  Cli.addFlag("diff-old",
+              "structural table diff: the 'before' file (text or "
+              "binary image)",
               DiffOld);
-  Cli.addFlag("diff-new", "structural table diff: the 'after' file",
+  Cli.addFlag("diff-new",
+              "structural table diff: the 'after' file (text or "
+              "binary image)",
               DiffNew);
   Cli.addFlag("procs",
               "comma-separated communicator sizes of the audit grid "
@@ -205,12 +219,12 @@ int main(int Argc, char **Argv) {
       return 2;
     }
     DecisionTable Old, New;
-    if (!readDecisionTableFile(DiffOld, Old)) {
+    if (!serve::readDecisionTableAnyFormat(DiffOld, Old)) {
       std::fprintf(stderr, "error: cannot read table file '%s'\n",
                    DiffOld.c_str());
       return 2;
     }
-    if (!readDecisionTableFile(DiffNew, New)) {
+    if (!serve::readDecisionTableAnyFormat(DiffNew, New)) {
       std::fprintf(stderr, "error: cannot read table file '%s'\n",
                    DiffNew.c_str());
       return 2;
@@ -303,9 +317,15 @@ int main(int Argc, char **Argv) {
                  DumpTable.c_str());
     return 2;
   }
+  if (!EmitImage.empty() &&
+      !serve::writeDecisionTableImageFile(EmitImage, Built)) {
+    std::fprintf(stderr, "error: cannot write table image to '%s'\n",
+                 EmitImage.c_str());
+    return 2;
+  }
   if (!TableFile.empty()) {
     DecisionTable T;
-    if (!readDecisionTableFile(TableFile, T)) {
+    if (!serve::readDecisionTableAnyFormat(TableFile, T)) {
       std::fprintf(stderr, "error: cannot parse table file '%s'\n",
                    TableFile.c_str());
       return 2;
