@@ -98,8 +98,8 @@ CalibratedModels fixedModels() {
 /// The pre-serve client hot path: linear scan for the largest grid
 /// point <= the query in each dimension (clamping up from below the
 /// grid). The oracle every served answer is differenced against.
-BcastAlgorithm scanLookup(const DecisionTable &T, unsigned NumProcs,
-                          std::uint64_t MessageBytes) {
+unsigned scanLookup(const DecisionTable &T, unsigned NumProcs,
+                    std::uint64_t MessageBytes) {
   std::size_t Row = 0;
   for (std::size_t I = 1; I < T.Procs.size(); ++I)
     if (T.Procs[I] <= NumProcs)
@@ -114,7 +114,7 @@ BcastAlgorithm scanLookup(const DecisionTable &T, unsigned NumProcs,
 struct Query {
   unsigned NumProcs;
   std::uint64_t MessageBytes;
-  BcastAlgorithm Expected;
+  unsigned Expected;
 };
 
 /// Deterministic mixed query stream: 3/4 exact grid points, 1/4
@@ -251,7 +251,7 @@ int main(int Argc, char **Argv) {
   banner("Differential vs the scan oracle");
   std::size_t Mismatches = 0;
   for (const Query &Q : Queries)
-    if (Service.lookup(Q.NumProcs, Q.MessageBytes).Algorithm != Q.Expected)
+    if (Service.lookup(Q.NumProcs, Q.MessageBytes).Choice != Q.Expected)
       ++Mismatches;
   // Exact grid coverage: all (P, m) cells, which must also be exact
   // hits.
@@ -260,7 +260,7 @@ int main(int Argc, char **Argv) {
     for (std::size_t J = 0; J != Table.MessageSizes.size(); ++J) {
       const serve::TableLookup L =
           Service.lookup(Table.Procs[I], Table.MessageSizes[J]);
-      if (L.Algorithm != Table.at(I, J))
+      if (L.Choice != Table.at(I, J))
         ++Mismatches;
       if (!L.Exact)
         ++InexactOnGrid;
@@ -268,7 +268,7 @@ int main(int Argc, char **Argv) {
   std::vector<serve::TableQuery> BatchQ;
   for (const Query &Q : Queries)
     BatchQ.push_back({Q.NumProcs, Q.MessageBytes});
-  std::vector<BcastAlgorithm> BatchOut(BatchQ.size());
+  std::vector<unsigned> BatchOut(BatchQ.size());
   Service.lookupBatch(BatchQ.data(), BatchQ.size(), BatchOut.data());
   std::size_t BatchMismatches = 0;
   for (std::size_t I = 0; I != Queries.size(); ++I)
@@ -361,9 +361,8 @@ int main(int Argc, char **Argv) {
     const std::uint64_t Start = nowNs();
     for (std::size_t I = 0; I != BlockLookups; ++I) {
       const Query &Q = Queries[Cursor];
-      const BcastAlgorithm A =
-          scanLookup(Table, Q.NumProcs, Q.MessageBytes);
-      ScanSink = ScanSink + static_cast<unsigned>(A);
+      const unsigned A = scanLookup(Table, Q.NumProcs, Q.MessageBytes);
+      ScanSink = ScanSink + A;
       if (++Cursor >= Queries.size())
         Cursor = 0;
     }
@@ -385,8 +384,7 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "error: cannot re-read %s\n", TextPath.c_str());
       return 1;
     }
-    const BcastAlgorithm A =
-        scanLookup(Reparsed, Q.NumProcs, Q.MessageBytes);
+    const unsigned A = scanLookup(Reparsed, Q.NumProcs, Q.MessageBytes);
     TextTotalNs += nowNs() - Start;
     gate(A == Q.Expected, "text re-parse answers match the oracle");
   }
@@ -427,7 +425,7 @@ int main(int Argc, char **Argv) {
           // Concurrent swaps republish the same logical table, so
           // the answer must still match the oracle -- a torn or
           // half-published image would diverge.
-          Bad += L.Algorithm != Q.Expected ? 1 : 0;
+          Bad += L.Choice != Q.Expected ? 1 : 0;
           if (++Pos >= Queries.size())
             Pos = 0;
         }

@@ -62,8 +62,8 @@ CalibrationOptions makeOptions(const Platform &Plat, bool Quick,
 /// The algorithm the clean table relies on most: the drift victim.
 BcastAlgorithm mostWinningAlgorithm(const DecisionTable &T) {
   std::array<unsigned, NumBcastAlgorithms> Wins{};
-  for (BcastAlgorithm Choice : T.Choice)
-    ++Wins[static_cast<unsigned>(Choice)];
+  for (unsigned Choice : T.Choice)
+    ++Wins[Choice];
   unsigned Best = 0;
   for (unsigned I = 1; I != NumBcastAlgorithms; ++I)
     if (Wins[I] > Wins[Best])

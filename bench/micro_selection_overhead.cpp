@@ -102,7 +102,7 @@ void BM_DecisionServiceBatch(benchmark::State &State) {
     Queries.push_back({90, MessageBytes});
     MessageBytes = MessageBytes >= (4u << 20) ? 8192 : MessageBytes * 2;
   }
-  std::vector<BcastAlgorithm> Choices(Queries.size());
+  std::vector<unsigned> Choices(Queries.size());
   for (auto _ : State) {
     benchmark::DoNotOptimize(
         S.lookupBatch(Queries.data(), Queries.size(), Choices.data()));

@@ -14,7 +14,9 @@
 #      --json, diffed against the committed bench/baselines/ records
 #      by scripts/bench_compare.py.
 #   4. modellint audit: quick cached calibrations of both paper
-#      platforms must pass the model/table audit with no violations.
+#      platforms must pass the model/table audit with no violations,
+#      and the allgather/allreduce tagged decision tables must pass
+#      the op-generic table audit (--collective sweep).
 #   5. AddressSanitizer + UBSan build (build-asan/) + full ctest.
 #   6. clang-tidy over the sources, if clang-tidy is installed.
 #
@@ -122,6 +124,17 @@ step "schedlint sweep ($THREADS job(s))"
 step "schedlint fault sweep (deadlock-freedom under hung messages)"
 ./build/tools/schedlint --jobs "$THREADS" --faults stall-storm
 
+# The symmetric collectives again under every registered fault
+# scenario (the stall-storm sweep above covers one). --algs keeps
+# this affordable: it exercises the filter and the op-generic sweep
+# without re-running the bcast grid per scenario.
+step "schedlint allgather/allreduce sweep under every fault scenario"
+for SCENARIO in clean noisy straggler-root degraded-link \
+  contaminated-calibration stall-storm; do
+  ./build/tools/schedlint --jobs "$THREADS" --algs allgather,allreduce \
+    --faults "$SCENARIO"
+done
+
 # Quick calibrations of both paper platforms must pass the model/table
 # audit with zero violations (exit 1 otherwise). --cache memoises the
 # calibration so re-runs of this script only pay the audit.
@@ -130,6 +143,17 @@ for PLATFORM in grisou gros; do
   MPICSEL_CACHE_DIR=build/modellint-cache ./build/tools/modellint \
     --quick --cache --platform "$PLATFORM" --jobs "$THREADS" \
     --json "build/modellint-$PLATFORM.json"
+done
+
+# The symmetric collectives' tagged decision tables must pass the same
+# op-generic shape/argmin/island audit on both platforms.
+step "modellint collective sweep (allgather/allreduce, both platforms)"
+for PLATFORM in grisou gros; do
+  for COLLECTIVE in allgather allreduce; do
+    ./build/tools/modellint --quick --collective "$COLLECTIVE" \
+      --platform "$PLATFORM" --jobs "$THREADS" \
+      --json "build/modellint-$PLATFORM-$COLLECTIVE.json"
+  done
 done
 
 # Observability must be a pure observer: the differential tests
@@ -163,6 +187,11 @@ if [ "$RUN_BENCH" -eq 1 ]; then
   # corrupted algorithm and the repair restores the clean table.
   ./build/bench/drift_recovery --quick --threads "$THREADS" \
     --json "$OUT/BENCH_drift_recovery.json" >/dev/null
+  # The allreduce/allgather selection gap vs Open MPI's fixed rules:
+  # the near-optimal counts and worst degradations are pinned by the
+  # committed baseline.
+  ./build/bench/extension_allreduce --quick \
+    --json "$OUT/BENCH_extension_allreduce.json" >/dev/null
   # micro_engine exits non-zero unless compiled replay is bit-identical
   # to the legacy interpreter and allocation-free after warm-up.
   ./build/bench/micro_engine --quick \
@@ -275,7 +304,8 @@ if [ "$RUN_TSAN" -eq 1 ]; then
   # journal/metrics shards, the audit sweep, and the threaded tools.
   step "threaded tests under TSan"
   ctest --test-dir build-tsan --output-on-failure \
-    -R "Parallel|Obs|Audit|Drift|Serve" --timeout "$CTEST_TIMEOUT"
+    -R "Parallel|Obs|Audit|Drift|Serve|Allgather|Allreduce" \
+    --timeout "$CTEST_TIMEOUT"
 
   step "threaded tools under TSan"
   ./build-tsan/tools/schedlint --jobs 4

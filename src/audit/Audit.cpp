@@ -384,6 +384,29 @@ AuditReport mpicsel::auditModels(const CalibratedModels &Models,
 AuditReport mpicsel::auditDecisionTable(const DecisionTable &T,
                                         const CalibratedModels &Models,
                                         const AuditOptions &Options) {
+  // The model set here is the bcast one, so a table of any other
+  // collective is a category error, not a near-miss.
+  if (T.Collective != CollectiveOp::Bcast) {
+    AuditReport R;
+    ++R.ChecksRun;
+    addFinding(R, AuditCheck::TableConsistency, AuditSeverity::Violation,
+               "table", 0, 0,
+               strFormat("table serves %s but is audited against the "
+                         "bcast model set",
+                         collectiveOpName(T.Collective)));
+    return R;
+  }
+  return auditDecisionTable(
+      T,
+      [&Models](unsigned Choice, unsigned P, std::uint64_t M) {
+        return Models.predict(static_cast<BcastAlgorithm>(Choice), P, M);
+      },
+      Options);
+}
+
+AuditReport mpicsel::auditDecisionTable(const DecisionTable &T,
+                                        const TableCostFn &Predict,
+                                        const AuditOptions &Options) {
   AuditReport R;
   ++R.ChecksRun;
   if (T.Procs.empty() || T.MessageSizes.empty()) {
@@ -410,13 +433,15 @@ AuditReport mpicsel::auditDecisionTable(const DecisionTable &T,
                          T.Procs.size(), T.MessageSizes.size()));
     return R; // Cell-level checks would index out of bounds.
   }
-  for (BcastAlgorithm A : T.Choice) {
+  const unsigned AlgCount = collectiveAlgorithmCount(T.Collective);
+  for (unsigned A : T.Choice) {
     ++R.ChecksRun;
-    if (static_cast<unsigned>(A) >= NumBcastAlgorithms) {
+    if (A >= AlgCount) {
       addFinding(R, AuditCheck::TableShape, AuditSeverity::Violation, "table",
                  0, 0,
-                 strFormat("choice value %u outside the algorithm registry",
-                           static_cast<unsigned>(A)));
+                 strFormat("choice value %u outside the %s algorithm "
+                           "registry",
+                           A, collectiveOpName(T.Collective)));
       return R;
     }
   }
@@ -428,20 +453,29 @@ AuditReport mpicsel::auditDecisionTable(const DecisionTable &T,
     const unsigned P = T.Procs[PI];
     for (std::size_t MI = 0; MI != T.MessageSizes.size(); ++MI) {
       const std::uint64_t M = T.MessageSizes[MI];
-      const BcastAlgorithm Chosen = T.at(PI, MI);
-      const double ChosenCost = Models.predict(Chosen, P, M);
-      const BcastAlgorithm Best = Models.selectBest(P, M);
-      const double BestCost = Models.predict(Best, P, M);
+      const unsigned Chosen = T.at(PI, MI);
+      const double ChosenCost = Predict(Chosen, P, M);
+      unsigned Best = 0;
+      double BestCost = Predict(0, P, M);
+      for (unsigned A = 1; A != AlgCount; ++A) {
+        const double Cost = Predict(A, P, M);
+        if (Cost < BestCost) {
+          Best = A;
+          BestCost = Cost;
+        }
+      }
       ++R.ChecksRun;
       if (!(ChosenCost <=
             BestCost * (1.0 + Options.ConsistencyTolerance)) ||
           !std::isfinite(ChosenCost))
-        addFinding(R, AuditCheck::TableConsistency, AuditSeverity::Violation,
-                   "table", P, M,
+        addFinding(R, AuditCheck::TableConsistency,
+                   AuditSeverity::Violation, "table", P, M,
                    strFormat("table picks %s (%.4e s) but the models' "
                              "argmin is %s (%.4e s)",
-                             bcastAlgorithmName(Chosen), ChosenCost,
-                             bcastAlgorithmName(Best), BestCost));
+                             collectiveAlgorithmName(T.Collective, Chosen),
+                             ChosenCost,
+                             collectiveAlgorithmName(T.Collective, Best),
+                             BestCost));
     }
   }
 
@@ -468,8 +502,8 @@ AuditReport mpicsel::auditDecisionTable(const DecisionTable &T,
                      "table", P, T.MessageSizes[RunStart],
                      strFormat("%zu-cell island of %s inside a %s band "
                                "(narrower than %u)",
-                               Width, bcastAlgorithmName(T.at(PI, RunStart)),
-                               bcastAlgorithmName(T.at(PI, RunStart - 1)),
+                               Width, T.nameAt(PI, RunStart),
+                               T.nameAt(PI, RunStart - 1),
                                Options.MinIslandWidth));
         RunStart = RunEnd + 1;
       }
@@ -485,6 +519,14 @@ AuditReport mpicsel::auditDecisionTable(const DecisionTable &T,
 TableDiff mpicsel::diffDecisionTables(const DecisionTable &Before,
                                       const DecisionTable &After) {
   TableDiff D;
+  D.Collective = Before.Collective;
+  if (Before.Collective != After.Collective) {
+    D.GridMismatch =
+        strFormat("tables serve different collectives (%s vs %s)",
+                  collectiveOpName(Before.Collective),
+                  collectiveOpName(After.Collective));
+    return D;
+  }
   if (Before.Procs != After.Procs) {
     D.GridMismatch = strFormat("communicator grids differ (%zu vs %zu "
                                "entries)",
@@ -525,8 +567,8 @@ std::string TableDiff::str() const {
   for (const TableCellDiff &C : Changed)
     Out += strFormat("  P=%u m=%llu: %s -> %s\n", C.NumProcs,
                      static_cast<unsigned long long>(C.MessageBytes),
-                     bcastAlgorithmName(C.Before),
-                     bcastAlgorithmName(C.After));
+                     collectiveAlgorithmName(Collective, C.Before),
+                     collectiveAlgorithmName(Collective, C.After));
   return Out;
 }
 

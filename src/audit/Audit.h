@@ -43,6 +43,7 @@
 #include "model/DecisionCache.h"
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -144,19 +145,36 @@ AuditReport auditDecisionTable(const DecisionTable &T,
                                const CalibratedModels &Models,
                                const AuditOptions &Options = {});
 
-/// One changed cell of a decision-table diff.
+/// Predicted cost of algorithm ordinal \p Choice (of the audited
+/// table's collective, see coll/Collective.h) at (\p Procs, \p Bytes).
+using TableCostFn =
+    std::function<double(unsigned Choice, unsigned Procs,
+                         std::uint64_t Bytes)>;
+
+/// The op-generic core of the table audit: the same shape, argmin-
+/// consistency and island checks, against any collective's cost
+/// oracle. The bcast overload above delegates here.
+AuditReport auditDecisionTable(const DecisionTable &T,
+                               const TableCostFn &Predict,
+                               const AuditOptions &Options = {});
+
+/// One changed cell of a decision-table diff. Before/After are
+/// algorithm ordinals of the diff's collective (TableDiff::Collective).
 struct TableCellDiff {
   unsigned NumProcs = 0;
   std::uint64_t MessageBytes = 0;
-  BcastAlgorithm Before = BcastAlgorithm::Linear;
-  BcastAlgorithm After = BcastAlgorithm::Linear;
+  unsigned Before = 0;
+  unsigned After = 0;
 };
 
 /// Structural comparison of two decision tables over the same grid.
 struct TableDiff {
   /// False when the grids differ; GridMismatch then says how, and
-  /// Changed is meaningless.
+  /// Changed is meaningless. Tables of different collectives are
+  /// never comparable.
   bool Comparable = false;
+  /// The collective both tables serve (meaningful when Comparable).
+  CollectiveOp Collective = CollectiveOp::Bcast;
   std::string GridMismatch;
   std::vector<TableCellDiff> Changed;
   /// Cells compared (grid size) when comparable.

@@ -1,0 +1,223 @@
+//===- coll/Allgather.cpp - Allgather algorithm schedules ------------------===//
+
+#include "coll/Allgather.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace mpicsel;
+
+const char *mpicsel::allgatherAlgorithmName(AllgatherAlgorithm Alg) {
+  switch (Alg) {
+  case AllgatherAlgorithm::Ring:
+    return "ring";
+  case AllgatherAlgorithm::RecursiveDoubling:
+    return "recursive_doubling";
+  case AllgatherAlgorithm::NeighborExchange:
+    return "neighbor_exchange";
+  }
+  MPICSEL_UNREACHABLE("unknown allgather algorithm");
+}
+
+std::optional<AllgatherAlgorithm>
+mpicsel::parseAllgatherAlgorithm(const std::string &Name) {
+  for (AllgatherAlgorithm Alg : AllAllgatherAlgorithms)
+    if (Name == allgatherAlgorithmName(Alg))
+      return Alg;
+  return std::nullopt;
+}
+
+bool mpicsel::allgatherAlgorithmApplies(AllgatherAlgorithm Algorithm,
+                                        unsigned RankCount) {
+  switch (Algorithm) {
+  case AllgatherAlgorithm::Ring:
+    return true;
+  case AllgatherAlgorithm::RecursiveDoubling:
+    return (RankCount & (RankCount - 1)) == 0;
+  case AllgatherAlgorithm::NeighborExchange:
+    return RankCount % 2 == 0;
+  }
+  MPICSEL_UNREACHABLE("unknown allgather algorithm");
+}
+
+namespace {
+
+std::vector<OpId> firstDeps(std::span<const OpId> Entry, unsigned Rank) {
+  if (Entry.empty() || Entry[Rank] == InvalidOpId)
+    return {};
+  return {Entry[Rank]};
+}
+
+/// Ring allgather: P-1 rounds; each rank forwards the block received
+/// in the previous round to (rank+1) while receiving the next one
+/// from (rank-1). Round k ops depend on the round k-1 join, which
+/// enforces "forward only what has arrived".
+std::vector<OpId> appendRingAllgather(ScheduleBuilder &B,
+                                      const AllgatherConfig &Config,
+                                      std::span<const OpId> Entry) {
+  const unsigned P = B.rankCount();
+  B.reserveOps(static_cast<std::size_t>(P - 1) * P * 3);
+  std::vector<OpId> Current(P, InvalidOpId);
+  if (!Entry.empty())
+    Current.assign(Entry.begin(), Entry.end());
+  for (unsigned Round = 0; Round + 1 != P; ++Round) {
+    std::vector<OpId> Next(P, InvalidOpId);
+    for (unsigned Rank = 0; Rank != P; ++Rank) {
+      unsigned SendPeer = (Rank + 1) % P;
+      unsigned RecvPeer = (Rank + P - 1) % P;
+      std::vector<OpId> Deps;
+      if (Current[Rank] != InvalidOpId)
+        Deps.push_back(Current[Rank]);
+      OpId Send = B.addSend(Rank, SendPeer, Config.BlockBytes, Config.Tag,
+                            Deps);
+      OpId Recv = B.addRecv(Rank, RecvPeer, Config.BlockBytes, Config.Tag,
+                            Deps);
+      Next[Rank] = B.addJoin(Rank, std::vector<OpId>{Send, Recv});
+    }
+    Current = std::move(Next);
+  }
+  return Current;
+}
+
+/// Recursive-doubling allgather (power-of-two P): round k exchanges
+/// the 2^k blocks accumulated so far with the rank at XOR-distance
+/// 2^k, doubling the held data each round.
+std::vector<OpId> appendRdAllgather(ScheduleBuilder &B,
+                                    const AllgatherConfig &Config,
+                                    std::span<const OpId> Entry) {
+  const unsigned P = B.rankCount();
+  assert((P & (P - 1)) == 0 && "recursive doubling needs a power of two");
+  std::size_t Rounds = 0;
+  for (unsigned Distance = 1; Distance < P; Distance <<= 1)
+    ++Rounds;
+  B.reserveOps(Rounds * P * 3);
+  std::vector<OpId> Current(P, InvalidOpId);
+  if (!Entry.empty())
+    Current.assign(Entry.begin(), Entry.end());
+  for (unsigned Distance = 1; Distance < P; Distance <<= 1) {
+    const std::uint64_t Bytes =
+        static_cast<std::uint64_t>(Distance) * Config.BlockBytes;
+    std::vector<OpId> Next(P, InvalidOpId);
+    for (unsigned Rank = 0; Rank != P; ++Rank) {
+      unsigned Peer = Rank ^ Distance;
+      std::vector<OpId> Deps;
+      if (Current[Rank] != InvalidOpId)
+        Deps.push_back(Current[Rank]);
+      OpId Send = B.addSend(Rank, Peer, Bytes, Config.Tag, Deps);
+      OpId Recv = B.addRecv(Rank, Peer, Bytes, Config.Tag, Deps);
+      Next[Rank] = B.addJoin(Rank, std::vector<OpId>{Send, Recv});
+    }
+    Current = std::move(Next);
+  }
+  return Current;
+}
+
+/// Neighbor-exchange allgather (even P): round 0 swaps one block with
+/// neighbor[0], then P/2 - 1 rounds swap two blocks with alternating
+/// neighbours. Even ranks pair right first, odd ranks left first, as
+/// in Open MPI.
+std::vector<OpId> appendNeighborAllgather(ScheduleBuilder &B,
+                                          const AllgatherConfig &Config,
+                                          std::span<const OpId> Entry) {
+  const unsigned P = B.rankCount();
+  assert(P % 2 == 0 && "neighbor exchange needs an even communicator");
+  const unsigned Rounds = P / 2;
+  B.reserveOps(static_cast<std::size_t>(Rounds) * P * 3);
+  std::vector<OpId> Current(P, InvalidOpId);
+  if (!Entry.empty())
+    Current.assign(Entry.begin(), Entry.end());
+  for (unsigned Round = 0; Round != Rounds; ++Round) {
+    const std::uint64_t Bytes =
+        (Round == 0 ? 1 : 2) * Config.BlockBytes;
+    std::vector<OpId> Next(P, InvalidOpId);
+    for (unsigned Rank = 0; Rank != P; ++Rank) {
+      // neighbor[0] is rank+1 for even ranks, rank-1 for odd ones;
+      // neighbor[1] the other way round. Rounds alternate starting
+      // with neighbor[0].
+      bool First = Round % 2 == 0;
+      bool Even = Rank % 2 == 0;
+      unsigned Peer = (Even == First) ? (Rank + 1) % P
+                                      : (Rank + P - 1) % P;
+      std::vector<OpId> Deps;
+      if (Current[Rank] != InvalidOpId)
+        Deps.push_back(Current[Rank]);
+      OpId Send = B.addSend(Rank, Peer, Bytes, Config.Tag, Deps);
+      OpId Recv = B.addRecv(Rank, Peer, Bytes, Config.Tag, Deps);
+      Next[Rank] = B.addJoin(Rank, std::vector<OpId>{Send, Recv});
+    }
+    Current = std::move(Next);
+  }
+  return Current;
+}
+
+} // namespace
+
+std::vector<OpId> mpicsel::appendAllgather(ScheduleBuilder &B,
+                                           const AllgatherConfig &Config,
+                                           std::span<const OpId> Entry) {
+  const unsigned P = B.rankCount();
+  assert(Config.BlockBytes >= 1 && "empty allgather block");
+  assert((Entry.empty() || Entry.size() == P) &&
+         "entry array must cover every rank");
+
+  if (P == 1) {
+    std::vector<OpId> Exit(1);
+    Exit[0] = B.addJoin(0, firstDeps(Entry, 0));
+    return Exit;
+  }
+  AllgatherAlgorithm Alg = Config.Algorithm;
+  if (!allgatherAlgorithmApplies(Alg, P))
+    Alg = AllgatherAlgorithm::Ring;
+  switch (Alg) {
+  case AllgatherAlgorithm::Ring:
+    return appendRingAllgather(B, Config, Entry);
+  case AllgatherAlgorithm::RecursiveDoubling:
+    return appendRdAllgather(B, Config, Entry);
+  case AllgatherAlgorithm::NeighborExchange:
+    return appendNeighborAllgather(B, Config, Entry);
+  }
+  MPICSEL_UNREACHABLE("unknown allgather algorithm");
+}
+
+ScheduleContract mpicsel::allgatherContract(const AllgatherConfig &Config,
+                                            unsigned RankCount) {
+  ScheduleContract C = ScheduleContract::unchecked(
+      strFormat("allgather(%s, b=%s)",
+                allgatherAlgorithmName(Config.Algorithm),
+                formatBytes(Config.BlockBytes).c_str()),
+      RankCount);
+  if (RankCount == 1) {
+    C.RecvBytes[0] = C.SentBytes[0] = 0;
+    C.NetBytes[0] = 0;
+    C.RecvMsgs[0] = C.SentMsgs[0] = 0;
+    return C;
+  }
+  AllgatherAlgorithm Alg = Config.Algorithm;
+  if (!allgatherAlgorithmApplies(Alg, RankCount))
+    Alg = AllgatherAlgorithm::Ring;
+  std::uint32_t Msgs = 0;
+  switch (Alg) {
+  case AllgatherAlgorithm::Ring:
+    Msgs = RankCount - 1;
+    break;
+  case AllgatherAlgorithm::RecursiveDoubling:
+    for (unsigned Distance = 1; Distance < RankCount; Distance <<= 1)
+      ++Msgs;
+    break;
+  case AllgatherAlgorithm::NeighborExchange:
+    Msgs = RankCount / 2;
+    break;
+  }
+  const std::uint64_t Total =
+      static_cast<std::uint64_t>(RankCount - 1) * Config.BlockBytes;
+  for (unsigned Rank = 0; Rank != RankCount; ++Rank) {
+    C.RecvBytes[Rank] = Total;
+    C.SentBytes[Rank] = Total;
+    C.NetBytes[Rank] = 0;
+    C.RecvMsgs[Rank] = Msgs;
+    C.SentMsgs[Rank] = Msgs;
+  }
+  return C;
+}

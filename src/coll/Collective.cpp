@@ -1,0 +1,76 @@
+//===- coll/Collective.cpp - Collective-operation registry -----------------===//
+
+#include "coll/Collective.h"
+
+#include "coll/Algorithms.h"
+#include "coll/Allgather.h"
+#include "coll/Allreduce.h"
+#include "coll/Reduce.h"
+#include "coll/Scatter.h"
+#include "support/Error.h"
+
+using namespace mpicsel;
+
+const char *mpicsel::collectiveOpName(CollectiveOp Op) {
+  switch (Op) {
+  case CollectiveOp::Bcast:
+    return "bcast";
+  case CollectiveOp::Scatter:
+    return "scatter";
+  case CollectiveOp::Reduce:
+    return "reduce";
+  case CollectiveOp::Allgather:
+    return "allgather";
+  case CollectiveOp::Allreduce:
+    return "allreduce";
+  }
+  MPICSEL_UNREACHABLE("unknown collective operation");
+}
+
+std::optional<CollectiveOp>
+mpicsel::parseCollectiveOp(const std::string &Name) {
+  for (CollectiveOp Op : AllCollectiveOps)
+    if (Name == collectiveOpName(Op))
+      return Op;
+  return std::nullopt;
+}
+
+unsigned mpicsel::collectiveAlgorithmCount(CollectiveOp Op) {
+  switch (Op) {
+  case CollectiveOp::Bcast:
+    return NumBcastAlgorithms;
+  case CollectiveOp::Scatter:
+    return NumScatterAlgorithms;
+  case CollectiveOp::Reduce:
+    return NumReduceAlgorithms;
+  case CollectiveOp::Allgather:
+    return NumAllgatherAlgorithms;
+  case CollectiveOp::Allreduce:
+    return NumAllreduceAlgorithms;
+  }
+  MPICSEL_UNREACHABLE("unknown collective operation");
+}
+
+const char *mpicsel::collectiveAlgorithmName(CollectiveOp Op, unsigned Alg) {
+  switch (Op) {
+  case CollectiveOp::Bcast:
+    return bcastAlgorithmName(static_cast<BcastAlgorithm>(Alg));
+  case CollectiveOp::Scatter:
+    return scatterAlgorithmName(static_cast<ScatterAlgorithm>(Alg));
+  case CollectiveOp::Reduce:
+    return reduceAlgorithmName(static_cast<ReduceAlgorithm>(Alg));
+  case CollectiveOp::Allgather:
+    return allgatherAlgorithmName(static_cast<AllgatherAlgorithm>(Alg));
+  case CollectiveOp::Allreduce:
+    return allreduceAlgorithmName(static_cast<AllreduceAlgorithm>(Alg));
+  }
+  MPICSEL_UNREACHABLE("unknown collective operation");
+}
+
+std::optional<unsigned>
+mpicsel::parseCollectiveAlgorithm(CollectiveOp Op, const std::string &Name) {
+  for (unsigned Alg = 0; Alg != collectiveAlgorithmCount(Op); ++Alg)
+    if (Name == collectiveAlgorithmName(Op, Alg))
+      return Alg;
+  return std::nullopt;
+}

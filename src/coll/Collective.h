@@ -1,0 +1,80 @@
+//===- coll/Collective.h - Collective-operation registry --------*- C++ -*-===//
+//
+// Part of the mpicsel project: model-based selection of MPI collective
+// algorithms (reproduction of Nuriyev & Lastovetsky, PaCT 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The registry of collective operations the pipeline knows about,
+/// and the one place the accepted spellings are documented. Decision
+/// caches, table images, audits, and schedlint `--algs` filters all
+/// resolve names through this header so a tag mismatch is impossible.
+///
+/// Accepted spellings (exact match; trailing garbage rejected):
+///
+///   op          algorithms
+///   ----------  ----------------------------------------------------
+///   bcast       linear, chain, k_chain, binary, split_binary,
+///               binomial
+///   scatter     linear, binomial
+///   reduce      linear, chain, binomial
+///   allgather   ring, recursive_doubling, neighbor_exchange
+///   allreduce   recursive_doubling, ring, reduce_bcast
+///
+/// Numeric algorithm ids are the per-op enum ordinals; they are what
+/// decision tables and serve/TableImage store, validated against
+/// collectiveAlgorithmCount().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPICSEL_COLL_COLLECTIVE_H
+#define MPICSEL_COLL_COLLECTIVE_H
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mpicsel {
+
+/// A collective operation with its own algorithm registry. The
+/// ordinal is a stable serialization tag (decision-table text format
+/// v2, TableImage header); append only.
+enum class CollectiveOp : unsigned {
+  Bcast = 0,
+  Scatter,
+  Reduce,
+  Allgather,
+  Allreduce,
+};
+
+inline constexpr unsigned NumCollectiveOps = 5;
+
+inline constexpr std::array<CollectiveOp, NumCollectiveOps>
+    AllCollectiveOps = {CollectiveOp::Bcast, CollectiveOp::Scatter,
+                        CollectiveOp::Reduce, CollectiveOp::Allgather,
+                        CollectiveOp::Allreduce};
+
+/// Short stable name ("bcast", "scatter", "reduce", "allgather",
+/// "allreduce").
+const char *collectiveOpName(CollectiveOp Op);
+
+/// Inverse of collectiveOpName. Exact match only.
+std::optional<CollectiveOp> parseCollectiveOp(const std::string &Name);
+
+/// Number of algorithms registered for \p Op (e.g. 6 for bcast).
+unsigned collectiveAlgorithmCount(CollectiveOp Op);
+
+/// Name of algorithm ordinal \p Alg of \p Op; \p Alg must be <
+/// collectiveAlgorithmCount(Op).
+const char *collectiveAlgorithmName(CollectiveOp Op, unsigned Alg);
+
+/// Parses an algorithm name of \p Op into its ordinal. Exact match
+/// only: trailing garbage is rejected.
+std::optional<unsigned> parseCollectiveAlgorithm(CollectiveOp Op,
+                                                 const std::string &Name);
+
+} // namespace mpicsel
+
+#endif // MPICSEL_COLL_COLLECTIVE_H

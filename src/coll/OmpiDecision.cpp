@@ -44,3 +44,36 @@ BcastDecision mpicsel::ompiBcastDecisionFixed(unsigned CommunicatorSize,
   // Pipeline with 8 KB segments.
   return {BcastAlgorithm::Chain, 1024ull << 3};
 }
+
+AllreduceAlgorithm
+mpicsel::ompiAllreduceDecisionFixed(unsigned CommunicatorSize,
+                                    std::uint64_t MessageBytes) {
+  // Thresholds from ompi_coll_tuned_allreduce_intra_dec_fixed: small
+  // messages or small communicators use recursive doubling, the rest
+  // the ring (Open MPI segments the ring above 512 KB; both map to
+  // the one ring implemented here).
+  constexpr std::uint64_t SmallMessageSize = 10000;
+  if (MessageBytes < SmallMessageSize || CommunicatorSize <= 4)
+    return AllreduceAlgorithm::RecursiveDoubling;
+  return AllreduceAlgorithm::Ring;
+}
+
+AllgatherAlgorithm
+mpicsel::ompiAllgatherDecisionFixed(unsigned CommunicatorSize,
+                                    std::uint64_t BlockBytes) {
+  // Thresholds from ompi_coll_tuned_allgather_intra_dec_fixed, with
+  // total_dsize = P * BlockBytes. two_proc maps to one neighbor
+  // exchange and bruck to the ring.
+  constexpr std::uint64_t SmallTotalSize = 50000;
+  if (CommunicatorSize == 2)
+    return AllgatherAlgorithm::NeighborExchange;
+  const std::uint64_t Total =
+      static_cast<std::uint64_t>(CommunicatorSize) * BlockBytes;
+  const bool PowerOfTwo =
+      (CommunicatorSize & (CommunicatorSize - 1)) == 0;
+  if (Total < SmallTotalSize)
+    return PowerOfTwo ? AllgatherAlgorithm::RecursiveDoubling
+                      : AllgatherAlgorithm::Ring;
+  return CommunicatorSize % 2 == 0 ? AllgatherAlgorithm::NeighborExchange
+                                   : AllgatherAlgorithm::Ring;
+}

@@ -25,6 +25,8 @@
 #define MPICSEL_COLL_OMPIDECISION_H
 
 #include "coll/Algorithms.h"
+#include "coll/Allgather.h"
+#include "coll/Allreduce.h"
 
 #include <cstdint>
 
@@ -49,6 +51,31 @@ struct BcastDecision {
 ///   otherwise                         -> pipeline (chain), 8 KB
 BcastDecision ompiBcastDecisionFixed(unsigned CommunicatorSize,
                                      std::uint64_t MessageBytes);
+
+/// The Open MPI 3.1 fixed decision function for MPI_Allreduce
+/// (`ompi_coll_tuned_allreduce_intra_dec_fixed`), projected onto the
+/// algorithms implemented here:
+///   message < 10000 B or P <= 4      -> recursive doubling
+///   otherwise                        -> ring
+/// (Open MPI's large-message "segmented ring" maps to the plain ring;
+/// the non-commutative fallback is not modelled.)
+AllreduceAlgorithm ompiAllreduceDecisionFixed(unsigned CommunicatorSize,
+                                              std::uint64_t MessageBytes);
+
+/// The Open MPI 3.1 fixed decision function for MPI_Allgather
+/// (`ompi_coll_tuned_allgather_intra_dec_fixed`), projected onto the
+/// algorithms implemented here (\p BlockBytes is the per-rank
+/// contribution, so the total data size is P * BlockBytes):
+///   P == 2                           -> neighbor exchange
+///                                       (Open MPI's two_proc special
+///                                        case is one pairwise swap)
+///   total < 50000 B                  -> recursive doubling if P is a
+///                                       power of two, else ring
+///                                       (Open MPI's bruck)
+///   otherwise                        -> neighbor exchange if P is
+///                                       even, else ring
+AllgatherAlgorithm ompiAllgatherDecisionFixed(unsigned CommunicatorSize,
+                                              std::uint64_t BlockBytes);
 
 } // namespace mpicsel
 

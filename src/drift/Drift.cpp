@@ -48,11 +48,24 @@ namespace {
 /// floor(log2 m): the m-bucket of a cell. The paper's message sweep
 /// doubles, so every calibrated size owns a distinct bucket.
 unsigned sizeBucket(std::uint64_t MessageBytes) {
+  // m = 0 has no log2; it clamps to bucket 0 explicitly so a
+  // zero-byte residual lands in the smallest cell instead of relying
+  // on the loop below happening to not run.
+  if (MessageBytes == 0)
+    return 0;
   unsigned Bucket = 0;
   while (MessageBytes >>= 1)
     ++Bucket;
   return Bucket;
 }
+
+} // namespace
+
+unsigned mpicsel::driftSizeBucket(std::uint64_t MessageBytes) {
+  return sizeBucket(MessageBytes);
+}
+
+namespace {
 
 /// Symmetric relative error: 0 when the prediction is exact, 1 when
 /// it is off by 2x in either direction. Degenerate inputs (zero,
@@ -477,8 +490,9 @@ DriftRepairReport mpicsel::repairDriftedCells(
   if (Cache) {
     Report.ModelsKey = DecisionCache::calibrationKey(Plat, Options);
     Cache->storeModels(Report.ModelsKey, Models);
-    Report.TableKey = DecisionCache::tableKey(Report.ModelsKey, Table.Procs,
-                                              Table.MessageSizes);
+    Report.TableKey =
+        DecisionCache::tableKey(Report.ModelsKey, Table.Procs,
+                                Table.MessageSizes, Table.Collective);
     Cache->storeTable(Report.TableKey, Table);
   }
   // Hand the repaired table to the serving layer (when one is

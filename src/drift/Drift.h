@@ -142,6 +142,12 @@ struct DriftStats {
   unsigned Cells = 0;
 };
 
+/// The m-bucket of a residual cell: floor(log2 MessageBytes), with
+/// m = 0 clamping to bucket 0 (there is no log2 of zero; a zero-byte
+/// probe belongs in the smallest cell). Exposed so the clamp is
+/// pinned by tests rather than implied by a loop's non-execution.
+unsigned driftSizeBucket(std::uint64_t MessageBytes);
+
 /// The drift sentinel: a mutex-guarded residual accumulator fed by
 /// model/Runner's replay path (via the process-global install below)
 /// or directly through observePair(). One instance watches one model

@@ -4,6 +4,8 @@
 
 #include "audit/Audit.h"
 #include "fault/Fault.h"
+#include "model/AllgatherSelection.h"
+#include "model/AllreduceSelection.h"
 #include "obs/Journal.h"
 #include "obs/Metrics.h"
 #include "support/Format.h"
@@ -20,8 +22,9 @@
 using namespace mpicsel;
 
 /// Bump when the entry format or the set of hashed inputs changes:
-/// old entries then simply never match again.
-static constexpr unsigned FormatVersion = 1;
+/// old entries then simply never match again. Version 2 tags decision
+/// tables with their collective.
+static constexpr unsigned FormatVersion = 2;
 
 //===----------------------------------------------------------------------===//
 // Content hashing
@@ -156,9 +159,11 @@ std::string DecisionCache::calibrationKey(const Platform &P,
 std::string
 DecisionCache::tableKey(const std::string &ModelsKey,
                         const std::vector<unsigned> &Procs,
-                        const std::vector<std::uint64_t> &MessageSizes) {
+                        const std::vector<std::uint64_t> &MessageSizes,
+                        CollectiveOp Collective) {
   ContentHasher H;
   H.u64(FormatVersion);
+  H.u64(static_cast<std::uint64_t>(Collective));
   H.text(ModelsKey);
   H.u64(Procs.size());
   for (unsigned P : Procs)
@@ -316,6 +321,8 @@ bool parseModels(std::string Text, CalibratedModels &Out) {
 
 std::string renderTable(const DecisionTable &T) {
   std::string Out = strFormat("mpicsel-table %u\n", FormatVersion);
+  Out += strFormat("collective %u\n",
+                   static_cast<unsigned>(T.Collective));
   Out += strFormat("procs %zu", T.Procs.size());
   for (unsigned P : T.Procs)
     Out += strFormat(" %u", P);
@@ -323,8 +330,8 @@ std::string renderTable(const DecisionTable &T) {
   for (std::uint64_t M : T.MessageSizes)
     Out += strFormat(" %llu", static_cast<unsigned long long>(M));
   Out += strFormat("\nchoices %zu", T.Choice.size());
-  for (BcastAlgorithm A : T.Choice)
-    Out += strFormat(" %u", static_cast<unsigned>(A));
+  for (unsigned A : T.Choice)
+    Out += strFormat(" %u", A);
   Out += "\nend\n";
   return Out;
 }
@@ -336,6 +343,11 @@ bool parseTable(std::string Text, DecisionTable &Out) {
       Version != FormatVersion)
     return false;
   DecisionTable T;
+  std::uint64_t Collective = 0;
+  if (!R.expect("collective") || !R.u64(Collective) ||
+      Collective >= NumCollectiveOps)
+    return false;
+  T.Collective = static_cast<CollectiveOp>(Collective);
   std::uint64_t Count = 0;
   if (!R.expect("procs") || !R.u64(Count) || Count > 1000000)
     return false;
@@ -356,11 +368,12 @@ bool parseTable(std::string Text, DecisionTable &Out) {
       Count != T.Procs.size() * T.MessageSizes.size())
     return false;
   T.Choice.resize(Count);
-  for (BcastAlgorithm &A : T.Choice) {
+  const unsigned AlgCount = collectiveAlgorithmCount(T.Collective);
+  for (unsigned &A : T.Choice) {
     std::uint64_t V = 0;
-    if (!R.u64(V) || V >= NumBcastAlgorithms)
+    if (!R.u64(V) || V >= AlgCount)
       return false;
-    A = static_cast<BcastAlgorithm>(V);
+    A = static_cast<unsigned>(V);
   }
   if (!R.expect("end"))
     return false;
@@ -597,12 +610,43 @@ mpicsel::buildDecisionTable(const CalibratedModels &Models,
                             std::vector<unsigned> Procs,
                             std::vector<std::uint64_t> MessageSizes) {
   DecisionTable T;
+  T.Collective = CollectiveOp::Bcast;
   T.Procs = std::move(Procs);
   T.MessageSizes = std::move(MessageSizes);
   T.Choice.reserve(T.Procs.size() * T.MessageSizes.size());
   for (unsigned P : T.Procs)
     for (std::uint64_t M : T.MessageSizes)
-      T.Choice.push_back(Models.selectBest(P, M));
+      T.Choice.push_back(static_cast<unsigned>(Models.selectBest(P, M)));
+  return T;
+}
+
+DecisionTable
+mpicsel::buildAllgatherDecisionTable(const AllgatherModels &Models,
+                                     std::vector<unsigned> Procs,
+                                     std::vector<std::uint64_t> BlockSizes) {
+  DecisionTable T;
+  T.Collective = CollectiveOp::Allgather;
+  T.Procs = std::move(Procs);
+  T.MessageSizes = std::move(BlockSizes);
+  T.Choice.reserve(T.Procs.size() * T.MessageSizes.size());
+  for (unsigned P : T.Procs)
+    for (std::uint64_t M : T.MessageSizes)
+      T.Choice.push_back(static_cast<unsigned>(Models.selectBest(P, M)));
+  return T;
+}
+
+DecisionTable
+mpicsel::buildAllreduceDecisionTable(const AllreduceModels &Models,
+                                     std::vector<unsigned> Procs,
+                                     std::vector<std::uint64_t> MessageSizes) {
+  DecisionTable T;
+  T.Collective = CollectiveOp::Allreduce;
+  T.Procs = std::move(Procs);
+  T.MessageSizes = std::move(MessageSizes);
+  T.Choice.reserve(T.Procs.size() * T.MessageSizes.size());
+  for (unsigned P : T.Procs)
+    for (std::uint64_t M : T.MessageSizes)
+      T.Choice.push_back(static_cast<unsigned>(Models.selectBest(P, M)));
   return T;
 }
 

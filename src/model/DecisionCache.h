@@ -28,6 +28,7 @@
 #ifndef MPICSEL_MODEL_DECISIONCACHE_H
 #define MPICSEL_MODEL_DECISIONCACHE_H
 
+#include "coll/Collective.h"
 #include "model/Calibration.h"
 
 #include <cstdint>
@@ -53,13 +54,23 @@ struct DecisionCacheStats {
 /// decision tables). Cheap to rebuild from CalibratedModels; cached so
 /// repeated tool invocations and exports skip even that.
 struct DecisionTable {
+  /// Which collective's algorithm registry the ordinals in Choice
+  /// index (coll/Collective.h). Tables of different collectives are
+  /// never comparable, whatever their grids.
+  CollectiveOp Collective = CollectiveOp::Bcast;
   std::vector<unsigned> Procs;
   std::vector<std::uint64_t> MessageSizes;
-  /// Row-major over (Procs x MessageSizes).
-  std::vector<BcastAlgorithm> Choice;
+  /// Row-major over (Procs x MessageSizes); each entry is an
+  /// algorithm ordinal of Collective, always <
+  /// collectiveAlgorithmCount(Collective).
+  std::vector<unsigned> Choice;
 
-  BcastAlgorithm at(std::size_t ProcIndex, std::size_t SizeIndex) const {
+  unsigned at(std::size_t ProcIndex, std::size_t SizeIndex) const {
     return Choice[ProcIndex * MessageSizes.size() + SizeIndex];
+  }
+  /// The registered name of the cell at (row, col).
+  const char *nameAt(std::size_t ProcIndex, std::size_t SizeIndex) const {
+    return collectiveAlgorithmName(Collective, at(ProcIndex, SizeIndex));
   }
 };
 
@@ -67,6 +78,21 @@ struct DecisionTable {
 DecisionTable buildDecisionTable(const CalibratedModels &Models,
                                  std::vector<unsigned> Procs,
                                  std::vector<std::uint64_t> MessageSizes);
+
+struct AllgatherModels;
+struct AllreduceModels;
+
+/// The same flattening for the symmetric collectives: selectBest of
+/// the calibrated allgather/allreduce models over the grid, tagged
+/// with the matching CollectiveOp.
+DecisionTable
+buildAllgatherDecisionTable(const AllgatherModels &Models,
+                            std::vector<unsigned> Procs,
+                            std::vector<std::uint64_t> BlockSizes);
+DecisionTable
+buildAllreduceDecisionTable(const AllreduceModels &Models,
+                            std::vector<unsigned> Procs,
+                            std::vector<std::uint64_t> MessageSizes);
 
 /// A directory of memoised calibration results and decision tables.
 class DecisionCache {
@@ -96,10 +122,12 @@ public:
                                     const CalibrationOptions &Options);
 
   /// The key of a decision table derived from the models behind
-  /// \p ModelsKey over the given grid.
+  /// \p ModelsKey over the given grid. The collective tag is part of
+  /// the key: same grids for different collectives never collide.
   static std::string tableKey(const std::string &ModelsKey,
                               const std::vector<unsigned> &Procs,
-                              const std::vector<std::uint64_t> &MessageSizes);
+                              const std::vector<std::uint64_t> &MessageSizes,
+                              CollectiveOp Collective = CollectiveOp::Bcast);
 
   /// Loads the entry of \p Key into \p Out. Returns false (and leaves
   /// \p Out untouched) when the entry is absent, unreadable or

@@ -85,8 +85,9 @@ enum class Gauge : unsigned {
   PoolThreads,  ///< widest thread pool constructed
   SweepThreads, ///< widest parallel sweep fan-out requested
   PeakRssKiB,   ///< highest resident-set size observed (KiB, see obs/Rss.h)
-  ServeStalenessMs, ///< longest-lived decision image at the moment it was
-                    ///< swapped out (ms); 0 while the first image serves
+  ServeStalenessMs, ///< oldest served decision image observed (ms): recorded
+                    ///< at swap-out and sampled on the lookup path, so it
+                    ///< advances even while the first image serves
   NumGauges     ///< sentinel: number of gauges
 };
 

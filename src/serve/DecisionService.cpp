@@ -139,6 +139,30 @@ bool DecisionService::publishFile(const std::string &Path,
   return readDecisionTableFile(Path, T) && publishTable(T, Origin);
 }
 
+namespace {
+
+/// Samples the served image's age on a fixed fraction of lookups, so
+/// serve.staleness_ms is observable from the very first lookup --
+/// publishImage only measures the *outgoing* image, which leaves the
+/// gauge blind until the first swap. A relaxed tick counter plus one
+/// steady_clock read every SampleEvery-th call keeps the hot path
+/// free of allocation and locks; the first lookup always samples.
+constexpr std::uint64_t StalenessSampleEvery = 256;
+
+void sampleServedStaleness(std::chrono::steady_clock::time_point Since) {
+  static std::atomic<std::uint64_t> Ticks{0};
+  if (Ticks.fetch_add(1, std::memory_order_relaxed) %
+          StalenessSampleEvery !=
+      0)
+    return;
+  const auto AgeMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - Since);
+  obs::gaugeMax(obs::Gauge::ServeStalenessMs,
+                static_cast<std::uint64_t>(AgeMs.count()));
+}
+
+} // namespace
+
 TableLookup DecisionService::lookup(unsigned NumProcs,
                                     std::uint64_t MessageBytes) const {
   obs::bump(obs::Counter::ServeLookups);
@@ -146,6 +170,7 @@ TableLookup DecisionService::lookup(unsigned NumProcs,
   const Published *Image = Current.load(std::memory_order_acquire);
   if (!Image)
     return TableLookup{};
+  sampleServedStaleness(Image->Since);
   TableLookup L = Image->Image.lookup(NumProcs, MessageBytes);
   if (L.Exact)
     obs::bump(obs::Counter::ServeHits);
@@ -154,16 +179,17 @@ TableLookup DecisionService::lookup(unsigned NumProcs,
 
 std::size_t DecisionService::lookupBatch(const TableQuery *Queries,
                                          std::size_t Count,
-                                         BcastAlgorithm *Choices) const {
+                                         unsigned *Choices) const {
   detail::EpochPin Pin;
   const Published *Image = Current.load(std::memory_order_acquire);
   if (!Image)
     return 0;
+  sampleServedStaleness(Image->Since);
   std::size_t ExactHits = 0;
   for (std::size_t I = 0; I != Count; ++I) {
     const TableLookup L =
         Image->Image.lookup(Queries[I].NumProcs, Queries[I].MessageBytes);
-    Choices[I] = L.Algorithm;
+    Choices[I] = L.Choice;
     ExactHits += L.Exact ? 1 : 0;
   }
   obs::bump(obs::Counter::ServeLookups, Count);

@@ -195,11 +195,12 @@ public:
 
   /// Answers \p Count queries under a single epoch pin -- the sweep
   /// clients' API, and the cheapest per-query path. All answers come
-  /// from one consistent image. Writes one algorithm per query to
-  /// \p Choices and returns the number answered exactly on-grid
-  /// (0 with \p Choices untouched when nothing is published).
+  /// from one consistent image. Writes one algorithm ordinal (of the
+  /// served image's collective) per query to \p Choices and returns
+  /// the number answered exactly on-grid (0 with \p Choices untouched
+  /// when nothing is published).
   std::size_t lookupBatch(const TableQuery *Queries, std::size_t Count,
-                          BcastAlgorithm *Choices) const;
+                          unsigned *Choices) const;
 
   /// Images published over this service's lifetime.
   std::uint64_t swapCount() const {

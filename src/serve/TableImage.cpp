@@ -60,6 +60,7 @@ private:
 /// The canonical (ascending-grid) form every image stores, whatever
 /// order the source table's rows and columns came in.
 struct CanonicalTable {
+  CollectiveOp Collective = CollectiveOp::Bcast;
   std::vector<std::uint32_t> Procs;
   std::vector<std::uint64_t> Sizes;
   std::vector<std::uint8_t> Choices; ///< row-major over (Procs x Sizes)
@@ -96,10 +97,12 @@ bool canonicalize(const DecisionTable &T, CanonicalTable &Out) {
                          std::greater_equal<std::uint64_t>()) !=
           Out.Sizes.end())
     return false;
+  Out.Collective = T.Collective;
+  const unsigned AlgCount = collectiveAlgorithmCount(T.Collective);
   for (std::size_t I = 0; I != R; ++I)
     for (std::size_t J = 0; J != C; ++J) {
-      const BcastAlgorithm A = T.at(RowOrder[I], ColOrder[J]);
-      if (static_cast<unsigned>(A) >= NumBcastAlgorithms)
+      const unsigned A = T.at(RowOrder[I], ColOrder[J]);
+      if (A >= AlgCount)
         return false;
       Out.Choices[I * C + J] = static_cast<std::uint8_t>(A);
     }
@@ -108,6 +111,7 @@ bool canonicalize(const DecisionTable &T, CanonicalTable &Out) {
 
 std::uint64_t canonicalHash(const CanonicalTable &T) {
   Fnv H;
+  H.u64(static_cast<std::uint64_t>(T.Collective));
   H.u64(T.Procs.size());
   H.u64(T.Sizes.size());
   for (std::uint32_t P : T.Procs)
@@ -133,7 +137,7 @@ struct ImageHeader {
   std::uint32_t SizesOffset;
   std::uint32_t ProcsOffset;
   std::uint32_t ChoicesOffset;
-  std::uint32_t Reserved;
+  std::uint32_t Collective;
   std::uint64_t TotalBytes;
   std::uint64_t ContentHash;
   std::uint64_t Checksum;
@@ -183,6 +187,7 @@ serve::compileDecisionTableImage(const DecisionTable &T) {
   H.SizesOffset = static_cast<std::uint32_t>(SizesOff);
   H.ProcsOffset = static_cast<std::uint32_t>(ProcsOff);
   H.ChoicesOffset = static_cast<std::uint32_t>(ChoicesOff);
+  H.Collective = static_cast<std::uint32_t>(Canon.Collective);
   H.TotalBytes = Total;
   H.ContentHash = canonicalHash(Canon);
 
@@ -254,6 +259,7 @@ DecisionTableImage::operator=(DecisionTableImage &&Other) noexcept {
   Rows = Other.Rows;
   Cols = Other.Cols;
   Hash = Other.Hash;
+  Collective = Other.Collective;
   RowOf = std::move(Other.RowOf);
   MinProc = Other.MinProc;
   ColOfBucket = std::move(Other.ColOfBucket);
@@ -277,6 +283,7 @@ void DecisionTableImage::reset() {
   ChoicesPtr = nullptr;
   Rows = Cols = 0;
   Hash = 0;
+  Collective = CollectiveOp::Bcast;
   RowOf.clear();
   MinProc = 0;
   ColOfBucket.clear();
@@ -352,7 +359,7 @@ bool DecisionTableImage::validateAndIndex() {
   std::memcpy(&H, Base, sizeof(H));
   if (std::memcmp(H.Magic, DecisionTableImageMagic, sizeof(H.Magic)) != 0 ||
       H.Version != DecisionTableImageVersion || H.HeaderSize != HeaderBytes ||
-      H.Reserved != 0)
+      H.Collective >= NumCollectiveOps)
     return false;
   // A truncated or padded file disagrees with its own header; both
   // are rejected before any payload pointer is formed.
@@ -379,6 +386,7 @@ bool DecisionTableImage::validateAndIndex() {
   Rows = H.ProcCount;
   Cols = H.SizeCount;
   Hash = H.ContentHash;
+  Collective = static_cast<CollectiveOp>(H.Collective);
 
   for (std::uint64_t I = 1; I < R; ++I)
     if (ProcsPtr[I] <= ProcsPtr[I - 1])
@@ -386,13 +394,15 @@ bool DecisionTableImage::validateAndIndex() {
   for (std::uint64_t J = 1; J < C; ++J)
     if (SizesPtr[J] <= SizesPtr[J - 1])
       return false;
+  const unsigned AlgCount = collectiveAlgorithmCount(Collective);
   for (std::uint64_t K = 0; K != R * C; ++K)
-    if (ChoicesPtr[K] >= NumBcastAlgorithms)
+    if (ChoicesPtr[K] >= AlgCount)
       return false;
 
   // The checksum guards the bytes; the content hash pins the logical
   // table, so a (hypothetical) re-layout bug cannot slip through.
   Fnv Content;
+  Content.u64(static_cast<std::uint64_t>(Collective));
   Content.u64(R);
   Content.u64(C);
   for (std::uint64_t I = 0; I != R; ++I)
@@ -456,7 +466,11 @@ std::uint32_t DecisionTableImage::rowFor(unsigned NumProcs,
 
 std::uint32_t DecisionTableImage::colFor(std::uint64_t MessageBytes,
                                          bool &Exact) const {
-  if (MessageBytes <= SizesPtr[0]) {
+  // m = 0 must clamp to column 0 explicitly: bit_width(0) is 0, so
+  // the bucket expression below would underflow to UINT_MAX. The
+  // same branch also answers every query at or below the smallest
+  // grid size.
+  if (MessageBytes == 0 || MessageBytes <= SizesPtr[0]) {
     Exact = MessageBytes == SizesPtr[0];
     return 0;
   }
@@ -479,7 +493,9 @@ TableLookup DecisionTableImage::lookup(unsigned NumProcs,
   bool RowExact = false, ColExact = false;
   const std::uint32_t Row = rowFor(NumProcs, RowExact);
   const std::uint32_t Col = colFor(MessageBytes, ColExact);
-  L.Algorithm = choiceAt(Row, Col);
+  L.Collective = Collective;
+  L.Choice = choiceAt(Row, Col);
+  L.Algorithm = static_cast<BcastAlgorithm>(L.Choice);
   L.Exact = RowExact && ColExact;
   L.Served = true;
   return L;
@@ -489,11 +505,12 @@ bool DecisionTableImage::decode(DecisionTable &Out) const {
   if (!valid())
     return false;
   DecisionTable T;
+  T.Collective = Collective;
   T.Procs.assign(ProcsPtr, ProcsPtr + Rows);
   T.MessageSizes.assign(SizesPtr, SizesPtr + Cols);
   T.Choice.resize(static_cast<std::size_t>(Rows) * Cols);
   for (std::size_t K = 0; K != T.Choice.size(); ++K)
-    T.Choice[K] = static_cast<BcastAlgorithm>(ChoicesPtr[K]);
+    T.Choice[K] = ChoicesPtr[K];
   Out = std::move(T);
   return true;
 }

@@ -19,11 +19,13 @@
 ///       8   format version (u32), header bytes (u32)
 ///      16   proc count R (u32), size count C (u32)
 ///      24   sizes offset (u32), procs offset (u32)
-///      32   choices offset (u32), reserved 0 (u32)
+///      32   choices offset (u32), collective tag (u32, a
+///           CollectiveOp ordinal; images of different collectives
+///           never alias)
 ///      40   total image bytes (u64)
 ///      48   content hash (u64): FNV-1a over the logical table
-///           (R, C, procs, sizes, choices) -- equal tables give equal
-///           hashes whatever their container format
+///           (collective, R, C, procs, sizes, choices) -- equal
+///           tables give equal hashes whatever their container format
 ///      56   checksum (u64): FNV-1a over the whole image with this
 ///           field zeroed; any torn or bit-flipped byte is rejected
 ///           at load
@@ -65,11 +67,21 @@ inline constexpr char DecisionTableImageMagic[8] = {'M', 'P', 'I', 'C',
                                                     'S', 'T', 'B', 'L'};
 
 /// Bump when the layout changes: old images then fail the version
-/// check instead of being misread.
-inline constexpr std::uint32_t DecisionTableImageVersion = 1;
+/// check instead of being misread. Version 2 repurposed the reserved
+/// header word as the collective tag.
+inline constexpr std::uint32_t DecisionTableImageVersion = 2;
 
 /// One lookup's answer.
 struct TableLookup {
+  /// The collective the serving table is for; answers for a
+  /// non-bcast table are read through Choice.
+  CollectiveOp Collective = CollectiveOp::Bcast;
+  /// The chosen algorithm ordinal of Collective; always equals
+  /// static_cast<unsigned>(Algorithm) when Collective is bcast.
+  unsigned Choice = static_cast<unsigned>(BcastAlgorithm::Binomial);
+  /// The bcast view of Choice -- meaningful only when Collective is
+  /// bcast (the legacy serving path); other collectives' callers
+  /// must read Choice.
   BcastAlgorithm Algorithm = BcastAlgorithm::Binomial;
   /// True when (P, m) hit a grid point exactly; false for off-grid
   /// queries answered by clamping to the largest grid point <= the
@@ -107,6 +119,8 @@ public:
   bool loadFromBytes(const void *Data, std::size_t Size);
 
   bool valid() const { return Base != nullptr; }
+  /// The collective this image's choices belong to.
+  CollectiveOp collective() const { return Collective; }
   std::uint32_t procCount() const { return Rows; }
   std::uint32_t sizeCount() const { return Cols; }
   std::uint64_t imageBytes() const { return Bytes; }
@@ -118,10 +132,10 @@ public:
   const std::uint32_t *procs() const { return ProcsPtr; }
   const std::uint64_t *sizes() const { return SizesPtr; }
 
-  /// The grid cell at (row, col), row-major like DecisionTable::at.
-  BcastAlgorithm choiceAt(std::uint32_t Row, std::uint32_t Col) const {
-    return static_cast<BcastAlgorithm>(
-        ChoicesPtr[static_cast<std::size_t>(Row) * Cols + Col]);
+  /// The grid cell at (row, col), row-major like DecisionTable::at:
+  /// an algorithm ordinal of collective().
+  unsigned choiceAt(std::uint32_t Row, std::uint32_t Col) const {
+    return ChoicesPtr[static_cast<std::size_t>(Row) * Cols + Col];
   }
 
   /// Answers (P, m): the choice at the largest grid point <= the
@@ -150,6 +164,7 @@ private:
   std::uint32_t Rows = 0;
   std::uint32_t Cols = 0;
   std::uint64_t Hash = 0;
+  CollectiveOp Collective = CollectiveOp::Bcast;
 
   // Direct-index acceleration, built once at load. RowOf[p - MinProc]
   // is the row of the largest grid proc <= p; ColOfBucket[b] is the

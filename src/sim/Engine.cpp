@@ -160,11 +160,13 @@ private:
   std::unordered_map<std::uint64_t, MatchChannel> Channels;
 
   // Per (src, dst, tag) channel monotonic clocks enforcing MPI's
-  // non-overtaking guarantee under message-delay faults: a stalled
-  // message holds up everything behind it on its channel instead of
-  // being overtaken (which would mismatch the FIFO pairing). Only
-  // consulted when faults are active -- the fault-free path cannot
-  // reorder and stays bit-identical.
+  // non-overtaking guarantee: a delayed message holds up everything
+  // behind it on its channel instead of being overtaken (which would
+  // mismatch the FIFO pairing). Arrival order needs the clamp even
+  // fault-free -- latency noise can reorder same-channel messages of
+  // different sizes. Availability stays FIFO by construction there
+  // (the drain channel serializes same-channel messages), so its
+  // clamp is only consulted under faults.
   std::unordered_map<std::uint64_t, double> ChannelLastArrival;
   std::unordered_map<std::uint64_t, double> ChannelLastAvail;
 
@@ -254,8 +256,22 @@ void Executor::onTxAcquire(OpId Id, double Now) {
     push(Arrival, EventKind::MsgArrival, Id);
     return;
   }
-  LastByteArrival[Id] = TxDone + Latency;
-  push(TxStart + Latency, EventKind::MsgArrival, Id);
+  // Latency noise alone can invert same-channel first-byte order: a
+  // short message injected right behind a long one may draw a smaller
+  // latency and overtake it, which the strict arrival-order matcher
+  // would pair with the wrong receive. Enforce non-overtaking here
+  // too; the non-inverting case keeps the exact pre-clamp arithmetic
+  // so unaffected runs stay bit-identical.
+  const double Arrival = TxStart + Latency;
+  double &Prev = ChannelLastArrival[channelKey(O.Rank, O.Peer, O.Tag)];
+  if (Arrival >= Prev) {
+    Prev = Arrival;
+    LastByteArrival[Id] = TxDone + Latency;
+    push(Arrival, EventKind::MsgArrival, Id);
+    return;
+  }
+  LastByteArrival[Id] = Prev + (TxDone - TxStart);
+  push(Prev, EventKind::MsgArrival, Id);
 }
 
 void Executor::onMsgArrival(OpId Id, double Now) {
@@ -715,8 +731,22 @@ private:
       pushEvent(Arrival, EventKind::MsgArrival, Id);
       return;
     }
-    RS.LastByteArrival[Id] = TxDone + Latency;
-    pushEvent(TxStart + Latency, EventKind::MsgArrival, Id);
+    // Latency noise alone can invert same-channel first-byte order: a
+    // short message injected right behind a long one may draw a smaller
+    // latency and overtake it, which the strict arrival-order matcher
+    // would pair with the wrong receive. Enforce non-overtaking here
+    // too; the non-inverting case keeps the exact pre-clamp arithmetic
+    // so unaffected runs stay bit-identical.
+    const double Arrival = TxStart + Latency;
+    double &Prev = RS.ChanLastArrival[O.Channel];
+    if (Arrival >= Prev) {
+      Prev = Arrival;
+      RS.LastByteArrival[Id] = TxDone + Latency;
+      pushEvent(Arrival, EventKind::MsgArrival, Id);
+      return;
+    }
+    RS.LastByteArrival[Id] = Prev + (TxDone - TxStart);
+    pushEvent(Prev, EventKind::MsgArrival, Id);
   }
 
   void onMsgArrival(OpId Id, double Now) {

@@ -371,18 +371,23 @@ bool Analyzer::reaches(OpId From, std::span<const OpId> Targets) {
   Stack.clear();
   Stack.push_back(From);
   VisitStamp[From] = Stamp;
+  // Breadth-first: typical proofs are a handful of edges long (the
+  // next round on the same rank), while the graph reachable from
+  // From can span the whole schedule. Depth-first would chase a FIFO
+  // or match chain to the far end of the pipeline and exhaust the
+  // budget before trying the short path.
+  std::size_t Head = 0;
   auto visit = [&](OpId Id) {
     if (VisitStamp[Id] == Stamp)
       return false;
     VisitStamp[Id] = Stamp;
     return true;
   };
-  while (!Stack.empty()) {
+  while (Head != Stack.size()) {
     if (Budget == 0)
       return false;
     --Budget;
-    OpId Id = Stack.back();
-    Stack.pop_back();
+    OpId Id = Stack[Head++];
 
     auto follow = [&](OpId Next) {
       if (isTarget(Next))
@@ -430,7 +435,9 @@ void Analyzer::warmChannel(Channel &C, std::size_t UpTo) {
   // query. Called on demand -- schedules without differing-size
   // concurrent messages never pay for this.
   UpTo = std::min(UpTo, C.FifoMemo.size());
-  for (std::size_t K = C.Warmed; K != UpTo; ++K) {
+  // The all-channel warm in checkAmbiguity may have pushed Warmed past
+  // this request already; K = Warmed > UpTo must not loop.
+  for (std::size_t K = C.Warmed; K < UpTo; ++K) {
     // Arrival order k < k+1 needs the sends posting-ordered;
     // completion order additionally needs the receives
     // posting-ordered (both then serialise through the same wire,

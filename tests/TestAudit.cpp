@@ -16,6 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "audit/Audit.h"
+#include "model/AllreduceSelection.h"
 #include "model/DecisionCache.h"
 
 #include <gtest/gtest.h>
@@ -88,6 +89,52 @@ TEST(Audit, CleanDecisionTableAuditsClean) {
                                        Options.MessageSizes);
   AuditReport Report = auditDecisionTable(T, cleanModels(), Options);
   EXPECT_EQ(Report.violations(), 0u) << Report.str();
+}
+
+TEST(Audit, TaggedAllreduceTableAuditsCleanGenerically) {
+  // The op-generic table audit: a tagged allreduce table built from
+  // the calibrated allreduce models' own selectBest must pass the
+  // same shape/argmin/island checks through a cost callback.
+  AllreduceCalibrationOptions CalOptions;
+  CalOptions.NumProcs = 12;
+  CalOptions.MessageSizes = {8192, 32768, 131072, 524288, 2097152};
+  CalOptions.Adaptive.MinReps = 3;
+  CalOptions.Adaptive.MaxReps = 8;
+  CalOptions.GammaOptions.Adaptive.MinReps = 3;
+  CalOptions.GammaOptions.Adaptive.MaxReps = 8;
+  const AllreduceModels Models =
+      calibrateAllreduce(smallCluster(), CalOptions);
+  AuditOptions Options = testOptions();
+  const DecisionTable T = buildAllreduceDecisionTable(
+      Models, Options.Procs, Options.MessageSizes);
+  EXPECT_EQ(T.Collective, CollectiveOp::Allreduce);
+  const TableCostFn Predict = [&Models](unsigned Choice, unsigned P,
+                                        std::uint64_t M) {
+    return Models.predict(static_cast<AllreduceAlgorithm>(Choice), P, M);
+  };
+  AuditReport Report = auditDecisionTable(T, Predict, Options);
+  EXPECT_EQ(Report.violations(), 0u) << Report.str();
+
+  // A swapped cell must fire the consistency check here exactly as it
+  // does for bcast tables.
+  DecisionTable Swapped = T;
+  Swapped.Choice[0] =
+      (Swapped.Choice[0] + 1) % NumAllreduceAlgorithms;
+  EXPECT_TRUE(fired(auditDecisionTable(Swapped, Predict, Options),
+                    AuditCheck::TableConsistency));
+}
+
+TEST(Audit, WrongCollectiveTableVsBcastModelsIsViolation) {
+  // Auditing a non-bcast table against the bcast model set is a
+  // category error the bcast overload must flag, not silently score
+  // with the wrong cost functions.
+  AuditOptions Options = testOptions();
+  DecisionTable T = buildDecisionTable(cleanModels(), Options.Procs,
+                                       Options.MessageSizes);
+  T.Collective = CollectiveOp::Allreduce;
+  AuditReport Report = auditDecisionTable(T, cleanModels(), Options);
+  EXPECT_EQ(Report.violations(), 1u) << Report.str();
+  EXPECT_TRUE(fired(Report, AuditCheck::TableConsistency));
 }
 
 TEST(Audit, ReportIsIdenticalForAnyThreadCount) {
@@ -221,7 +268,7 @@ TEST(Audit, SwappedTableCellFiresConsistency) {
     }
   }
   T.Choice[(T.Procs.size() - 1) * T.MessageSizes.size() +
-           (T.MessageSizes.size() - 1)] = Worst;
+           (T.MessageSizes.size() - 1)] = static_cast<unsigned>(Worst);
   AuditReport Report = auditDecisionTable(T, cleanModels(), Options);
   EXPECT_TRUE(fired(Report, AuditCheck::TableConsistency)) << Report.str();
   EXPECT_GT(Report.violations(), 0u);
@@ -245,7 +292,7 @@ TEST(Audit, MalformedTableShapesAreFlagged) {
 
   DecisionTable BadAlg = buildDecisionTable(M, Options.Procs,
                                             Options.MessageSizes);
-  BadAlg.Choice[0] = static_cast<BcastAlgorithm>(99);
+  BadAlg.Choice[0] = 99;
   EXPECT_TRUE(fired(auditDecisionTable(BadAlg, M, Options),
                     AuditCheck::TableShape));
 
@@ -261,8 +308,8 @@ TEST(Audit, NarrowCrossoverIslandIsWarned) {
   DecisionTable T;
   T.Procs = {4};
   T.MessageSizes = {8192, 16384, 32768, 65536, 131072};
-  T.Choice.assign(5, BcastAlgorithm::Binomial);
-  T.Choice[2] = BcastAlgorithm::Chain;
+  T.Choice.assign(5, static_cast<unsigned>(BcastAlgorithm::Binomial));
+  T.Choice[2] = static_cast<unsigned>(BcastAlgorithm::Chain);
   AuditOptions Options;
   Options.Procs = {4};
   Options.MessageSizes = T.MessageSizes;
@@ -287,9 +334,9 @@ TEST(Audit, DiffDetectsChangedCellsAndGridMismatch) {
   EXPECT_TRUE(diffDecisionTables(A, A).identical());
 
   DecisionTable B = A;
-  B.Choice[3] = B.Choice[3] == BcastAlgorithm::Chain
-                    ? BcastAlgorithm::Binomial
-                    : BcastAlgorithm::Chain;
+  B.Choice[3] = B.Choice[3] == static_cast<unsigned>(BcastAlgorithm::Chain)
+                    ? static_cast<unsigned>(BcastAlgorithm::Binomial)
+                    : static_cast<unsigned>(BcastAlgorithm::Chain);
   TableDiff Diff = diffDecisionTables(A, B);
   ASSERT_TRUE(Diff.Comparable);
   ASSERT_EQ(Diff.Changed.size(), 1u);
@@ -300,7 +347,7 @@ TEST(Audit, DiffDetectsChangedCellsAndGridMismatch) {
   DecisionTable C = A;
   C.Procs.push_back(C.Procs.back() * 2);
   for (std::size_t I = 0; I != C.MessageSizes.size(); ++I)
-    C.Choice.push_back(BcastAlgorithm::Linear);
+    C.Choice.push_back(static_cast<unsigned>(BcastAlgorithm::Linear));
   EXPECT_FALSE(diffDecisionTables(A, C).Comparable);
 }
 

@@ -10,11 +10,16 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "coll/Allgather.h"
+#include "coll/Allreduce.h"
 #include "coll/Barrier.h"
 #include "coll/Bcast.h"
+#include "coll/Collective.h"
 #include "coll/Gather.h"
 #include "coll/OmpiDecision.h"
 #include "coll/PointToPoint.h"
+#include "coll/Reduce.h"
+#include "coll/Scatter.h"
 #include "sim/Engine.h"
 
 #include <gtest/gtest.h>
@@ -427,4 +432,75 @@ TEST(Algorithms, PaperNamesAreUsed) {
                "split_binary");
   EXPECT_STREQ(bcastAlgorithmName(BcastAlgorithm::KChain), "k_chain");
   EXPECT_STREQ(bcastAlgorithmName(BcastAlgorithm::Binomial), "binomial");
+}
+
+//===----------------------------------------------------------------------===//
+// Collective-operation registry (coll/Collective.h)
+//===----------------------------------------------------------------------===//
+
+TEST(CollectiveRegistry, OpNamesRoundTrip) {
+  for (CollectiveOp Op : AllCollectiveOps) {
+    auto Parsed = parseCollectiveOp(collectiveOpName(Op));
+    ASSERT_TRUE(Parsed.has_value());
+    EXPECT_EQ(*Parsed, Op);
+  }
+  EXPECT_FALSE(parseCollectiveOp("").has_value());
+  EXPECT_FALSE(parseCollectiveOp("nonsense").has_value());
+  // Exact match only: prefixes with trailing garbage are rejected.
+  EXPECT_FALSE(parseCollectiveOp("bcastx").has_value());
+  EXPECT_FALSE(parseCollectiveOp("bcast ").has_value());
+  EXPECT_FALSE(parseCollectiveOp("allgather\n").has_value());
+}
+
+TEST(CollectiveRegistry, AlgorithmNamesRoundTripPerOp) {
+  for (CollectiveOp Op : AllCollectiveOps) {
+    const unsigned Count = collectiveAlgorithmCount(Op);
+    ASSERT_GT(Count, 0u);
+    for (unsigned I = 0; I != Count; ++I) {
+      auto Parsed =
+          parseCollectiveAlgorithm(Op, collectiveAlgorithmName(Op, I));
+      ASSERT_TRUE(Parsed.has_value());
+      EXPECT_EQ(*Parsed, I);
+    }
+    EXPECT_FALSE(parseCollectiveAlgorithm(Op, "").has_value());
+    EXPECT_FALSE(parseCollectiveAlgorithm(Op, "nonsense").has_value());
+    const std::string First = collectiveAlgorithmName(Op, 0);
+    EXPECT_FALSE(parseCollectiveAlgorithm(Op, First + "x").has_value());
+    EXPECT_FALSE(parseCollectiveAlgorithm(Op, First + " ").has_value());
+  }
+}
+
+// Decision tables and TableImages store per-op enum ordinals, so the
+// registry's numbering and spellings must agree with the per-op enums.
+TEST(CollectiveRegistry, RegistryAgreesWithPerOpEnums) {
+  EXPECT_EQ(collectiveAlgorithmCount(CollectiveOp::Bcast),
+            NumBcastAlgorithms);
+  EXPECT_EQ(collectiveAlgorithmCount(CollectiveOp::Scatter),
+            NumScatterAlgorithms);
+  EXPECT_EQ(collectiveAlgorithmCount(CollectiveOp::Reduce),
+            NumReduceAlgorithms);
+  EXPECT_EQ(collectiveAlgorithmCount(CollectiveOp::Allgather),
+            NumAllgatherAlgorithms);
+  EXPECT_EQ(collectiveAlgorithmCount(CollectiveOp::Allreduce),
+            NumAllreduceAlgorithms);
+  for (BcastAlgorithm Alg : AllBcastAlgorithms)
+    EXPECT_STREQ(collectiveAlgorithmName(CollectiveOp::Bcast,
+                                         static_cast<unsigned>(Alg)),
+                 bcastAlgorithmName(Alg));
+  for (ScatterAlgorithm Alg : AllScatterAlgorithms)
+    EXPECT_STREQ(collectiveAlgorithmName(CollectiveOp::Scatter,
+                                         static_cast<unsigned>(Alg)),
+                 scatterAlgorithmName(Alg));
+  for (ReduceAlgorithm Alg : AllReduceAlgorithms)
+    EXPECT_STREQ(collectiveAlgorithmName(CollectiveOp::Reduce,
+                                         static_cast<unsigned>(Alg)),
+                 reduceAlgorithmName(Alg));
+  for (AllgatherAlgorithm Alg : AllAllgatherAlgorithms)
+    EXPECT_STREQ(collectiveAlgorithmName(CollectiveOp::Allgather,
+                                         static_cast<unsigned>(Alg)),
+                 allgatherAlgorithmName(Alg));
+  for (AllreduceAlgorithm Alg : AllAllreduceAlgorithms)
+    EXPECT_STREQ(collectiveAlgorithmName(CollectiveOp::Allreduce,
+                                         static_cast<unsigned>(Alg)),
+                 allreduceAlgorithmName(Alg));
 }

@@ -14,6 +14,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "coll/Allgather.h"
+#include "coll/Allreduce.h"
 #include "coll/Barrier.h"
 #include "coll/Bcast.h"
 #include "coll/Gather.h"
@@ -119,6 +121,49 @@ std::vector<CatalogEntry> buildCatalogue() {
     C.BlockBytes = 4096;
     C.Synchronised = true;
     appendLinearGather(B, C);
+  });
+
+  for (AllgatherAlgorithm Alg : AllAllgatherAlgorithms)
+    Add(std::string("allgather_") + allgatherAlgorithmName(Alg), 16,
+        [&](ScheduleBuilder &B) {
+          AllgatherConfig C;
+          C.Algorithm = Alg;
+          C.BlockBytes = 4096 + 3;
+          appendAllgather(B, C);
+        });
+  // Odd rank count: recursive doubling and neighbor exchange take
+  // their ring-fallback paths.
+  Add("allgather_recursive_doubling_oddP", 13, [](ScheduleBuilder &B) {
+    AllgatherConfig C;
+    C.Algorithm = AllgatherAlgorithm::RecursiveDoubling;
+    C.BlockBytes = 8 * 1024;
+    appendAllgather(B, C);
+  });
+  // Even non-power-of-two: neighbor exchange runs natively.
+  Add("allgather_neighbor_exchange_P10", 10, [](ScheduleBuilder &B) {
+    AllgatherConfig C;
+    C.Algorithm = AllgatherAlgorithm::NeighborExchange;
+    C.BlockBytes = 8 * 1024;
+    appendAllgather(B, C);
+  });
+
+  for (AllreduceAlgorithm Alg : AllAllreduceAlgorithms)
+    Add(std::string("allreduce_") + allreduceAlgorithmName(Alg), 16,
+        [&](ScheduleBuilder &B) {
+          AllreduceConfig C;
+          C.Algorithm = Alg;
+          C.MessageBytes = 48 * 1024 + 5; // Uneven ring blocks.
+          C.SegmentBytes = 8 * 1024;
+          C.ComputeSecondsPerByte = 4e-10;
+          appendAllreduce(B, C);
+        });
+  // Non-power-of-two: recursive doubling runs its pre/post fold phase.
+  Add("allreduce_recursive_doubling_oddP", 13, [](ScheduleBuilder &B) {
+    AllreduceConfig C;
+    C.Algorithm = AllreduceAlgorithm::RecursiveDoubling;
+    C.MessageBytes = 32 * 1024;
+    C.ComputeSecondsPerByte = 4e-10;
+    appendAllreduce(B, C);
   });
 
   Add("barrier", 16, [](ScheduleBuilder &B) { appendBarrier(B, 0); });
@@ -250,10 +295,24 @@ TEST(CompiledSchedule, FaultScenariosBitIdenticalToLegacy) {
   RC.ComputeSecondsPerByte = 4e-10;
   appendReduce(ReduceB, RC);
 
+  ScheduleBuilder AllgatherB(16);
+  AllgatherConfig AGC;
+  AGC.Algorithm = AllgatherAlgorithm::Ring;
+  AGC.BlockBytes = 8 * 1024;
+  appendAllgather(AllgatherB, AGC);
+  ScheduleBuilder AllreduceB(13);
+  AllreduceConfig ARC;
+  ARC.Algorithm = AllreduceAlgorithm::RecursiveDoubling;
+  ARC.MessageBytes = 32 * 1024;
+  ARC.ComputeSecondsPerByte = 4e-10;
+  appendAllreduce(AllreduceB, ARC);
+
   std::vector<CompiledSchedule> Shapes;
   Shapes.push_back(compileSchedule(BcastB.take()));
   Shapes.push_back(compileSchedule(SplitB.take()));
   Shapes.push_back(compileSchedule(ReduceB.take()));
+  Shapes.push_back(compileSchedule(AllgatherB.take()));
+  Shapes.push_back(compileSchedule(AllreduceB.take()));
 
   Engine E;
   for (const FaultSchedule &Faults : faultScenarios())

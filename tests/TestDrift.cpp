@@ -533,3 +533,21 @@ TEST(DriftRepair, RepairedArtifactsLandInTheDecisionCache) {
   std::error_code Ignored;
   std::filesystem::remove_all(CacheDir, Ignored);
 }
+
+//===----------------------------------------------------------------------===//
+// Size bucketing
+//===----------------------------------------------------------------------===//
+
+// Residual cells bucket by floor(log2 m); bit_width(0) is 0, so an
+// m == 0 observation must clamp to bucket 0 instead of wrapping the
+// bucket index. Pins the edge case alongside the normal ladder.
+TEST(DriftSizeBucket, ZeroBytesClampsToBucketZero) {
+  EXPECT_EQ(driftSizeBucket(0), 0u);
+  EXPECT_EQ(driftSizeBucket(1), 0u);
+  EXPECT_EQ(driftSizeBucket(2), 1u);
+  EXPECT_EQ(driftSizeBucket(3), 1u);
+  EXPECT_EQ(driftSizeBucket(4), 2u);
+  EXPECT_EQ(driftSizeBucket(65535), 15u);
+  EXPECT_EQ(driftSizeBucket(65536), 16u);
+  EXPECT_EQ(driftSizeBucket(1u << 20), 20u);
+}

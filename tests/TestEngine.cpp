@@ -17,6 +17,7 @@
 #include "sim/Engine.h"
 
 #include "cluster/Platform.h"
+#include "coll/Allreduce.h"
 #include "mpi/Schedule.h"
 
 #include <gtest/gtest.h>
@@ -213,6 +214,31 @@ TEST(Engine, FifoMatchingWithinChannel) {
   ASSERT_TRUE(R.Completed);
   EXPECT_EQ(R.BytesReceived[1], 30u);
   EXPECT_GT(R.doneTime(R2), R.doneTime(R1));
+}
+
+TEST(Engine, NoiseCannotReorderSameChannelMessages) {
+  // Regression: on a noisy platform, a short message injected right
+  // behind a long one on the same (src, dst, tag) channel could draw a
+  // smaller latency and overtake it, and the strict arrival-order
+  // matcher then paired receives with wrong-size messages. Ring
+  // allreduce at P = 90 with m = 65536 carries 729- and 728-byte
+  // blocks on the same channels (65536 % 90 = 16); this exact seed
+  // produced an inversion before the fault-free non-overtaking clamp.
+  Platform P = makeGrisou();
+  ASSERT_GT(P.NoiseSigma, 0.0);
+  AllreduceConfig Config;
+  Config.Algorithm = AllreduceAlgorithm::Ring;
+  Config.MessageBytes = 65536;
+  ScheduleBuilder B(90);
+  appendAllreduce(B, Config);
+  const Schedule S = B.take();
+  const std::uint64_t Seed = 17909611376780542444ull;
+  const ExecutionResult Legacy = runScheduleLegacy(S, P, Seed);
+  ASSERT_TRUE(Legacy.Completed);
+  Engine E;
+  const ExecutionResult &Compiled = E.run(compileSchedule(S), P, Seed);
+  ASSERT_TRUE(Compiled.Completed);
+  EXPECT_EQ(Legacy.Makespan, Compiled.Makespan);
 }
 
 TEST(Engine, DeadlockIsReportedNotHung) {

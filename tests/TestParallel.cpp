@@ -317,7 +317,8 @@ TEST(DecisionCache, DecisionTableBuildAndRoundTrip) {
   ASSERT_EQ(T.Choice.size(), Procs.size() * Sizes.size());
   for (std::size_t PI = 0; PI != Procs.size(); ++PI)
     for (std::size_t SI = 0; SI != Sizes.size(); ++SI)
-      EXPECT_EQ(T.at(PI, SI), Models.selectBest(Procs[PI], Sizes[SI]));
+      EXPECT_EQ(T.at(PI, SI), static_cast<unsigned>(
+                                  Models.selectBest(Procs[PI], Sizes[SI])));
 
   DecisionCache Cache(freshCacheDir("table"));
   const std::string ModelsKey = DecisionCache::calibrationKey(Plat, Options);

@@ -26,6 +26,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -46,8 +47,8 @@ DecisionTable sampleTable() {
   T.MessageSizes = {8 * 1024, 64 * 1024, 512 * 1024, 4 * 1024 * 1024};
   for (std::size_t R = 0; R != T.Procs.size(); ++R)
     for (std::size_t C = 0; C != T.MessageSizes.size(); ++C)
-      T.Choice.push_back(static_cast<BcastAlgorithm>(
-          (R * 7 + C * 3) % NumBcastAlgorithms));
+      T.Choice.push_back(
+          static_cast<unsigned>((R * 7 + C * 3) % NumBcastAlgorithms));
   return T;
 }
 
@@ -57,15 +58,16 @@ DecisionTable uniformTable(BcastAlgorithm Alg) {
   DecisionTable T;
   T.Procs = {4, 8, 16};
   T.MessageSizes = {1024, 2048, 4096};
-  T.Choice.assign(T.Procs.size() * T.MessageSizes.size(), Alg);
+  T.Choice.assign(T.Procs.size() * T.MessageSizes.size(),
+                  static_cast<unsigned>(Alg));
   return T;
 }
 
 /// The reference semantics a served lookup must match: the choice at
 /// the largest grid point <= the query in each dimension, clamped up
 /// to the smallest grid point for below-grid queries.
-BcastAlgorithm scanLookup(const DecisionTable &T, unsigned P,
-                          std::uint64_t M, bool *Exact = nullptr) {
+unsigned scanLookup(const DecisionTable &T, unsigned P,
+                    std::uint64_t M, bool *Exact = nullptr) {
   std::size_t Row = 0;
   for (std::size_t R = 0; R != T.Procs.size(); ++R)
     if (T.Procs[R] <= P)
@@ -198,7 +200,7 @@ TEST(ServeImage, UnservableTablesAreRefused) {
   EXPECT_TRUE(compileDecisionTableImage(DupProcs).empty());
 
   DecisionTable BadChoice = sampleTable();
-  BadChoice.Choice[5] = static_cast<BcastAlgorithm>(NumBcastAlgorithms + 3);
+  BadChoice.Choice[5] = NumBcastAlgorithms + 3;
   EXPECT_TRUE(compileDecisionTableImage(BadChoice).empty());
 }
 
@@ -252,7 +254,7 @@ TEST(ServeImage, LookupMatchesScanOnAndOffTheGrid) {
     for (std::size_t C = 0; C != T.MessageSizes.size(); ++C) {
       const TableLookup L = Image.lookup(T.Procs[R], T.MessageSizes[C]);
       EXPECT_TRUE(L.Exact);
-      EXPECT_EQ(L.Algorithm, T.at(R, C));
+      EXPECT_EQ(L.Choice, T.at(R, C));
     }
 
   // A dense probe sweep around and beyond the grid: clamp-down in
@@ -268,11 +270,74 @@ TEST(ServeImage, LookupMatchesScanOnAndOffTheGrid) {
   for (unsigned P : ProcProbes)
     for (std::uint64_t M : SizeProbes) {
       bool WantExact = false;
-      const BcastAlgorithm Want = scanLookup(T, P, M, &WantExact);
+      const unsigned Want = scanLookup(T, P, M, &WantExact);
       const TableLookup L = Image.lookup(P, M);
-      EXPECT_EQ(L.Algorithm, Want) << "P=" << P << " m=" << M;
+      EXPECT_EQ(L.Choice, Want) << "P=" << P << " m=" << M;
       EXPECT_EQ(L.Exact, WantExact) << "P=" << P << " m=" << M;
     }
+}
+
+TEST(ServeImage, ZeroByteMessageClampsToTheSmallestColumn) {
+  const DecisionTable T = sampleTable();
+  const std::vector<unsigned char> Bytes = compileDecisionTableImage(T);
+  DecisionTableImage Image;
+  ASSERT_TRUE(Image.loadFromBytes(Bytes.data(), Bytes.size()));
+
+  // bit_width(0) is 0, so without an explicit clamp the log2 column
+  // bucket of m = 0 would underflow. Pin the answer: column 0 of the
+  // clamped row, inexact (the smallest grid size is 8 KiB, not 0).
+  const TableLookup L = Image.lookup(/*Procs=*/16, /*MessageBytes=*/0);
+  EXPECT_EQ(L.Choice, T.at(2, 0));
+  EXPECT_FALSE(L.Exact);
+  EXPECT_EQ(Image.lookup(1, 0).Choice, T.at(0, 0));
+}
+
+TEST(ServeImage, CollectiveTagRoundTripsAndKeysTheHash) {
+  DecisionTable Bcast = sampleTable();
+  for (unsigned &C : Bcast.Choice)
+    C %= 2; // valid ordinals for every registered collective
+  DecisionTable Allreduce = Bcast;
+  Allreduce.Collective = CollectiveOp::Allreduce;
+
+  // Same grids, same choices, different collective: the images and
+  // content hashes must never alias.
+  const std::vector<unsigned char> BcastBytes =
+      compileDecisionTableImage(Bcast);
+  const std::vector<unsigned char> AllreduceBytes =
+      compileDecisionTableImage(Allreduce);
+  ASSERT_FALSE(BcastBytes.empty());
+  ASSERT_FALSE(AllreduceBytes.empty());
+  EXPECT_NE(BcastBytes, AllreduceBytes);
+  EXPECT_NE(decisionTableContentHash(Bcast),
+            decisionTableContentHash(Allreduce));
+
+  DecisionTableImage Image;
+  ASSERT_TRUE(
+      Image.loadFromBytes(AllreduceBytes.data(), AllreduceBytes.size()));
+  EXPECT_EQ(Image.collective(), CollectiveOp::Allreduce);
+  const TableLookup L = Image.lookup(8, 64 * 1024);
+  EXPECT_EQ(L.Collective, CollectiveOp::Allreduce);
+  EXPECT_EQ(L.Choice, Allreduce.at(1, 1));
+
+  DecisionTable Back;
+  ASSERT_TRUE(Image.decode(Back));
+  EXPECT_EQ(Back.Collective, CollectiveOp::Allreduce);
+  EXPECT_TRUE(sameTable(Allreduce, Back));
+  EXPECT_EQ(compileDecisionTableImage(Back), AllreduceBytes);
+
+  // Choices are validated against the tagged collective's registry,
+  // not bcast's: ordinal 3 is fine for bcast but out of range for
+  // allreduce's three algorithms.
+  DecisionTable Bad = Allreduce;
+  Bad.Choice[0] = collectiveAlgorithmCount(CollectiveOp::Allreduce);
+  EXPECT_TRUE(compileDecisionTableImage(Bad).empty());
+
+  // The decision-cache key separates the collectives too.
+  EXPECT_NE(DecisionCache::tableKey("models", Bcast.Procs,
+                                    Bcast.MessageSizes, CollectiveOp::Bcast),
+            DecisionCache::tableKey("models", Bcast.Procs,
+                                    Bcast.MessageSizes,
+                                    CollectiveOp::Allreduce));
 }
 
 //===----------------------------------------------------------------------===//
@@ -290,9 +355,10 @@ TEST(ServeService, UnpublishedServiceFailsSoft) {
   EXPECT_FALSE(L.Exact);
 
   TableQuery Q{16, 64 * 1024};
-  BcastAlgorithm Choice = BcastAlgorithm::Linear;
+  unsigned Choice = static_cast<unsigned>(BcastAlgorithm::Linear);
   EXPECT_EQ(S.lookupBatch(&Q, 1, &Choice), 0u);
-  EXPECT_EQ(Choice, BcastAlgorithm::Linear) << "batch wrote on miss";
+  EXPECT_EQ(Choice, static_cast<unsigned>(BcastAlgorithm::Linear))
+      << "batch wrote on miss";
 
   // An invalid image is refused outright.
   EXPECT_FALSE(S.publishImage(DecisionTableImage(), "test"));
@@ -320,14 +386,14 @@ TEST(ServeService, ServedLookupsMatchTheTableAndCountHits) {
       const TableLookup L = S.lookup(T.Procs[R], T.MessageSizes[C]);
       EXPECT_TRUE(L.Served);
       EXPECT_TRUE(L.Exact);
-      EXPECT_EQ(L.Algorithm, T.at(R, C));
+      EXPECT_EQ(L.Choice, T.at(R, C));
       ++Exact;
     }
   for (unsigned P : {5u, 9u, 33u}) {
     const TableLookup L = S.lookup(P, 3000);
     EXPECT_TRUE(L.Served);
     EXPECT_FALSE(L.Exact);
-    EXPECT_EQ(L.Algorithm, scanLookup(T, P, 3000));
+    EXPECT_EQ(L.Choice, scanLookup(T, P, 3000));
   }
 
   // ...and the same 19 through the batch path, which must agree
@@ -338,7 +404,7 @@ TEST(ServeService, ServedLookupsMatchTheTableAndCountHits) {
       Queries.push_back({T.Procs[R], T.MessageSizes[C]});
   for (unsigned P : {5u, 9u, 33u})
     Queries.push_back({P, 3000});
-  std::vector<BcastAlgorithm> Choices(Queries.size());
+  std::vector<unsigned> Choices(Queries.size());
   EXPECT_EQ(S.lookupBatch(Queries.data(), Queries.size(), Choices.data()),
             Exact);
   for (std::size_t I = 0; I != Queries.size(); ++I)
@@ -353,6 +419,42 @@ TEST(ServeService, ServedLookupsMatchTheTableAndCountHits) {
                 Before.counter(obs::Counter::ServeHits),
             2u * Exact);
   obs::setMetricsEnabled(MetricsWere);
+}
+
+TEST(ServeService, ServesACollectiveTaggedImage) {
+  DecisionTable T = sampleTable();
+  for (unsigned &C : T.Choice)
+    C %= collectiveAlgorithmCount(CollectiveOp::Allgather);
+  T.Collective = CollectiveOp::Allgather;
+
+  DecisionService S;
+  ASSERT_TRUE(S.publishTable(T, "tagged"));
+  const TableLookup L = S.lookup(8, 64 * 1024);
+  EXPECT_TRUE(L.Served);
+  EXPECT_EQ(L.Collective, CollectiveOp::Allgather);
+  EXPECT_EQ(L.Choice, scanLookup(T, 8, 64 * 1024));
+}
+
+TEST(ServeService, StalenessIsObservableBeforeTheFirstSwap) {
+  DecisionService S;
+  ASSERT_TRUE(S.publishTable(sampleTable(), "staleness"));
+
+  const bool Was = obs::metricsEnabled();
+  obs::setMetricsEnabled(true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // Lookup-side sampling fires on a 1-in-N process-wide tick, so a
+  // full stride of lookups guarantees at least one lands on a sample
+  // point after the sleep.
+  for (unsigned I = 0; I != 257; ++I)
+    S.lookup(16, 64 * 1024);
+  const std::uint64_t StalenessMs =
+      obs::snapshotMetrics().gauge(obs::Gauge::ServeStalenessMs);
+  obs::setMetricsEnabled(Was);
+
+  // Only one image was ever published, so swap-out recording never
+  // ran; the gauge must still have seen the image's age.
+  EXPECT_EQ(S.swapCount(), 1u);
+  EXPECT_GE(StalenessMs, 25u);
 }
 
 TEST(ServeService, RepublishSwapsAtomicallyAndReclaims) {
@@ -393,7 +495,7 @@ TEST(ServeService, ConcurrentReadersOnlySeeFullyPublishedImages) {
     Readers.emplace_back([&] {
       std::vector<TableQuery> Queries = {{4, 1024}, {8, 2048},  {16, 4096},
                                          {5, 1500}, {16, 9999}, {100, 1}};
-      std::vector<BcastAlgorithm> Choices(Queries.size());
+      std::vector<unsigned> Choices(Queries.size());
       std::uint64_t Mine = 0;
       while (!Done.load(std::memory_order_acquire) || Mine < 2000) {
         const TableLookup L = S.lookup(8, 2048);
@@ -401,7 +503,7 @@ TEST(ServeService, ConcurrentReadersOnlySeeFullyPublishedImages) {
                           L.Algorithm != BcastAlgorithm::Binomial))
           Invalid.fetch_add(1, std::memory_order_relaxed);
         S.lookupBatch(Queries.data(), Queries.size(), Choices.data());
-        for (const BcastAlgorithm C : Choices)
+        for (const unsigned C : Choices)
           if (C != Choices[0])
             Invalid.fetch_add(1, std::memory_order_relaxed);
         Mine += 1 + Queries.size();
@@ -557,7 +659,7 @@ TEST(ServeHook, DriftRepairSwapsTheRepairedTableIn) {
   for (std::uint64_t M : Table.MessageSizes) {
     const TableLookup L = DecisionService::global().lookup(16, M);
     EXPECT_TRUE(L.Served);
-    EXPECT_EQ(L.Algorithm, scanLookup(Table, 16, M));
+    EXPECT_EQ(L.Choice, scanLookup(Table, 16, M));
   }
 }
 

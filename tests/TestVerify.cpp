@@ -22,6 +22,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "cluster/Platform.h"
+#include "coll/Allreduce.h"
 #include "coll/Barrier.h"
 #include "coll/Bcast.h"
 #include "coll/Gather.h"
@@ -430,4 +431,46 @@ TEST(VerifyPreflight, CompletingSchedulesPassPreflight) {
   ExecutionResult R = runSchedule(B.take(), makeTestPlatform(5));
   setPreflightVerification(Saved);
   EXPECT_TRUE(R.Completed) << R.Diagnostic;
+}
+
+//===----------------------------------------------------------------------===//
+// Regressions: shapes that once broke the analyzer itself.
+//===----------------------------------------------------------------------===//
+
+// P = 33 ring allreduce with m % P != 0 puts differing-size messages
+// on every neighbour channel, driving the ambiguity check through
+// warmChannel's bottom-up FIFO induction and long reachability
+// proofs. This shape previously (a) indexed one past the end of a
+// channel's message lists while warming its FIFO edges and (b)
+// exhausted the depth-first reachability budget chasing the pipeline
+// to its far end, reporting spurious AmbiguousMatch warnings on a
+// provably ordered schedule. Both stay fixed iff this is clean.
+TEST(VerifyRegression, RingAllreduceUnevenBlocksIsCleanAtScale) {
+  AllreduceConfig Config;
+  Config.Algorithm = AllreduceAlgorithm::Ring;
+  Config.MessageBytes = 33 * 120 + 7;
+  Config.ComputeSecondsPerByte = 1e-10;
+  ScheduleBuilder B(33);
+  appendAllreduce(B, Config);
+  Schedule S = B.take();
+  const ScheduleContract C = allreduceContract(Config, 33);
+  VerifyReport Report = verifySchedule(S, &C);
+  EXPECT_TRUE(Report.Findings.empty()) << Report.str();
+}
+
+// A long segmented chain whose remainder segment differs in size from
+// the rest: the ordering proof for that final pair must walk the
+// whole pipeline's FIFO chain. Breadth-first reachability proves it
+// within budget; the old depth-first walk did not.
+TEST(VerifyRegression, DeepSegmentedPipelineOrderingProvesWithinBudget) {
+  BcastConfig Config;
+  Config.Algorithm = BcastAlgorithm::Chain;
+  Config.MessageBytes = 1024 * 1024 + 13; // 129 segments, one short.
+  Config.SegmentBytes = 8 * 1024;
+  ScheduleBuilder B(8);
+  appendBcast(B, Config);
+  Schedule S = B.take();
+  const ScheduleContract C = bcastContract(Config, 8);
+  VerifyReport Report = verifySchedule(S, &C);
+  EXPECT_TRUE(Report.Findings.empty()) << Report.str();
 }

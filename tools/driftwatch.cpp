@@ -391,7 +391,8 @@ int diffTables(const std::string &OldPath, const std::string &NewPath,
   for (const TableCellDiff &C : Diff.Changed)
     std::printf("  P=%-4u m=%-10llu %s -> %s\n", C.NumProcs,
                 static_cast<unsigned long long>(C.MessageBytes),
-                bcastAlgorithmName(C.Before), bcastAlgorithmName(C.After));
+                collectiveAlgorithmName(Diff.Collective, C.Before),
+                collectiveAlgorithmName(Diff.Collective, C.After));
   if (JsonOut) {
     JsonObject D;
     D.set("old", OldPath);
@@ -402,8 +403,8 @@ int diffTables(const std::string &OldPath, const std::string &NewPath,
       JsonObject Cell;
       Cell.set("p", C.NumProcs);
       Cell.set("m", C.MessageBytes);
-      Cell.set("before", bcastAlgorithmName(C.Before));
-      Cell.set("after", bcastAlgorithmName(C.After));
+      Cell.set("before", collectiveAlgorithmName(Diff.Collective, C.Before));
+      Cell.set("after", collectiveAlgorithmName(Diff.Collective, C.After));
       Changed.push_back(std::move(Cell));
     }
     D.set("changed", Changed);

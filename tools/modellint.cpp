@@ -33,6 +33,9 @@
 #include "audit/Audit.h"
 #include "bench/BenchCommon.h"
 #include "cluster/Platform.h"
+#include "coll/Collective.h"
+#include "model/AllgatherSelection.h"
+#include "model/AllreduceSelection.h"
 #include "model/DecisionCache.h"
 #include "obs/Journal.h"
 #include "serve/TableImage.h"
@@ -44,6 +47,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -110,8 +114,8 @@ bool writeReportJson(const std::string &Path, const std::string &Subject,
       JsonObject Cell;
       Cell.set("p", C.NumProcs);
       Cell.set("m", C.MessageBytes);
-      Cell.set("before", bcastAlgorithmName(C.Before));
-      Cell.set("after", bcastAlgorithmName(C.After));
+      Cell.set("before", collectiveAlgorithmName(Diff->Collective, C.Before));
+      Cell.set("after", collectiveAlgorithmName(Diff->Collective, C.After));
       Changed.push_back(std::move(Cell));
     }
     D.set("changed", Changed);
@@ -135,6 +139,7 @@ bool writeReportJson(const std::string &Path, const std::string &Subject,
 
 int main(int Argc, char **Argv) {
   std::string PlatformName = "grisou";
+  std::string CollectiveFlag = "bcast";
   bool Quick = false;
   bool UseCache = false;
   std::string ModelsFile;
@@ -157,6 +162,12 @@ int main(int Argc, char **Argv) {
                   "guidelines, table consistency); exit 1 on violations.");
   Cli.addFlag("platform", "platform to calibrate: grisou or gros",
               PlatformName);
+  Cli.addFlag("collective",
+              "collective to audit, spelled as in coll/Collective.h: "
+              "bcast (default; the full model + table audit) or "
+              "allgather/allreduce (calibrate the platform's models "
+              "and audit the tagged decision table)",
+              CollectiveFlag);
   Cli.addFlag("quick", "fewer repetitions per calibration measurement",
               Quick);
   Cli.addFlag("cache",
@@ -262,6 +273,127 @@ int main(int Argc, char **Argv) {
                  "got '%s'\n",
                  ProcsFlag.c_str());
     return 2;
+  }
+
+  // Collective-sweep mode: like the diff mode, its own self-contained
+  // path. Calibrate the named symmetric collective's models on the
+  // platform and audit the tagged decision table they flatten to (the
+  // op-generic shape/argmin/island checks of audit/Audit.h); bcast
+  // falls through to the full model + table audit below.
+  const std::optional<CollectiveOp> Collective =
+      parseCollectiveOp(CollectiveFlag);
+  if (!Collective) {
+    std::fprintf(stderr,
+                 "error: --collective: unknown collective '%s' (accepted "
+                 "spellings: coll/Collective.h)\n",
+                 CollectiveFlag.c_str());
+    return 2;
+  }
+  if (*Collective != CollectiveOp::Bcast) {
+    if (*Collective != CollectiveOp::Allgather &&
+        *Collective != CollectiveOp::Allreduce) {
+      std::fprintf(stderr,
+                   "error: --collective %s has no calibration pipeline "
+                   "(supported: bcast, allgather, allreduce)\n",
+                   collectiveOpName(*Collective));
+      return 2;
+    }
+    if (!ModelsFile.empty() || !TableFile.empty() || UseCache) {
+      std::fprintf(stderr,
+                   "error: --collective %s calibrates the platform "
+                   "afresh; --models, --table and --cache apply to the "
+                   "bcast audit only\n",
+                   collectiveOpName(*Collective));
+      return 2;
+    }
+    if (PlatformName != "grisou" && PlatformName != "gros") {
+      std::fprintf(stderr,
+                   "error: unknown platform '%s' (expected 'grisou' or "
+                   "'gros')\n",
+                   PlatformName.c_str());
+      return 2;
+    }
+    // This tool *is* the audit; silence the calibrateCached hook.
+    setenv("MPICSEL_AUDIT", "off", /*overwrite=*/1);
+    const Platform P = platformByName(PlatformName);
+    if (Options.Procs.empty())
+      for (unsigned Procs = 2; Procs <= P.maxProcs(); Procs *= 2)
+        Options.Procs.push_back(Procs);
+    const auto SweepStart = std::chrono::steady_clock::now();
+    DecisionTable Built;
+    TableCostFn Predict;
+    if (*Collective == CollectiveOp::Allgather) {
+      AllgatherCalibrationOptions CalOptions;
+      if (Quick) {
+        CalOptions.Adaptive.MinReps = 3;
+        CalOptions.Adaptive.MaxReps = 8;
+        CalOptions.GammaOptions.Adaptive.MinReps = 3;
+        CalOptions.GammaOptions.Adaptive.MaxReps = 8;
+      }
+      const AllgatherModels Models = calibrateAllgather(P, CalOptions);
+      Built = buildAllgatherDecisionTable(Models, Options.Procs,
+                                          Options.MessageSizes);
+      Predict = [Models](unsigned Choice, unsigned NumProcs,
+                         std::uint64_t Bytes) {
+        return Models.predict(static_cast<AllgatherAlgorithm>(Choice),
+                              NumProcs, Bytes);
+      };
+    } else {
+      AllreduceCalibrationOptions CalOptions;
+      if (Quick) {
+        CalOptions.Adaptive.MinReps = 3;
+        CalOptions.Adaptive.MaxReps = 8;
+        CalOptions.GammaOptions.Adaptive.MinReps = 3;
+        CalOptions.GammaOptions.Adaptive.MaxReps = 8;
+      }
+      const AllreduceModels Models = calibrateAllreduce(P, CalOptions);
+      Built = buildAllreduceDecisionTable(Models, Options.Procs,
+                                          Options.MessageSizes);
+      Predict = [Models](unsigned Choice, unsigned NumProcs,
+                         std::uint64_t Bytes) {
+        return Models.predict(static_cast<AllreduceAlgorithm>(Choice),
+                              NumProcs, Bytes);
+      };
+    }
+    AuditReport Report = auditDecisionTable(Built, Predict, Options);
+    if (!DumpTable.empty() && !writeDecisionTableFile(DumpTable, Built)) {
+      std::fprintf(stderr, "error: cannot write table to '%s'\n",
+                   DumpTable.c_str());
+      return 2;
+    }
+    if (!EmitImage.empty() &&
+        !serve::writeDecisionTableImageFile(EmitImage, Built)) {
+      std::fprintf(stderr, "error: cannot write table image to '%s'\n",
+                   EmitImage.c_str());
+      return 2;
+    }
+    const double Elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - SweepStart)
+                               .count();
+    const std::string Subject =
+        PlatformName + ":" + collectiveOpName(*Collective);
+    journalAuditReport(Report, Subject);
+    obs::Journal &J = obs::Journal::global();
+    if (J.enabled()) {
+      JsonObject Event = J.line("modellint");
+      Event.set("subject", Subject);
+      Event.set("checks", Report.ChecksRun);
+      Event.set("violations", Report.violations());
+      Event.set("warnings", Report.warnings());
+      Event.set("jobs", resolveSweepThreads(Options.Threads));
+      Event.set("seconds", Elapsed);
+      J.write(Event);
+    }
+    for (const AuditFinding &F : Report.Findings)
+      std::printf("%s\n", F.str().c_str());
+    std::printf("modellint: %s: %u check(s), %u violation(s), "
+                "%u warning(s), %.2fs\n",
+                Subject.c_str(), Report.ChecksRun, Report.violations(),
+                Report.warnings(), Elapsed);
+    if (!JsonPath.empty() &&
+        !writeReportJson(JsonPath, Subject, Report, nullptr))
+      return 2;
+    return Report.violations() == 0 ? 0 : 1;
   }
 
   // Obtain the models: an explicit entry file, or a (possibly cached)

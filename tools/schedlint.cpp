@@ -32,8 +32,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "coll/Allgather.h"
+#include "coll/Allreduce.h"
 #include "coll/Barrier.h"
 #include "coll/Bcast.h"
+#include "coll/Collective.h"
 #include "coll/Gather.h"
 #include "coll/Reduce.h"
 #include "coll/Scatter.h"
@@ -47,9 +50,11 @@
 #include "support/Table.h"
 #include "verify/Verifier.h"
 
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -147,6 +152,7 @@ int main(int Argc, char **Argv) {
   bool Csv = false;
   std::uint64_t MaxBytes = 16ull * 1024 * 1024;
   std::string ProcsFlag = "2,4,8,16,51";
+  std::string AlgsFlag;
   std::string FaultsFlag;
   std::int64_t Jobs = 1;
 
@@ -157,6 +163,12 @@ int main(int Argc, char **Argv) {
   Cli.addFlag("csv", "emit the table as CSV", Csv);
   Cli.addByteSizeFlag("max-bytes", "largest message size swept", MaxBytes);
   Cli.addFlag("procs", "comma-separated communicator sizes", ProcsFlag);
+  Cli.addFlag("algs",
+              "restrict the sweep to these collectives: comma-separated "
+              "'op' or 'op:algorithm' tokens spelled exactly as documented "
+              "in coll/Collective.h (unknown names are a usage error); "
+              "barrier and gather sweep only when no filter is given",
+              AlgsFlag);
   Cli.addFlag("faults",
               "also execute each schedule under this fault scenario "
               "(name[:seed]) and require deadlock-freedom",
@@ -217,6 +229,49 @@ int main(int Argc, char **Argv) {
     }
     FaultScenario = makeFaultScenario(Name, FaultSeed);
   }
+
+  // --algs filter: bit I of AlgsAllowed[op] says whether algorithm
+  // ordinal I of that registry collective is swept. Spellings resolve
+  // through coll/Collective.h -- the one place they are documented --
+  // and anything the registry parsers reject is a usage error.
+  std::array<std::uint32_t, NumCollectiveOps> AlgsAllowed;
+  AlgsAllowed.fill(AlgsFlag.empty() ? ~0u : 0u);
+  for (std::size_t Pos = 0; !AlgsFlag.empty() && Pos <= AlgsFlag.size();) {
+    std::size_t Comma = AlgsFlag.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = AlgsFlag.size();
+    const std::string Token = AlgsFlag.substr(Pos, Comma - Pos);
+    Pos = Comma + 1;
+    const std::size_t Colon = Token.find(':');
+    const std::optional<CollectiveOp> Op =
+        parseCollectiveOp(Token.substr(0, Colon));
+    std::optional<unsigned> Alg;
+    if (Op && Colon != std::string::npos)
+      Alg = parseCollectiveAlgorithm(*Op, Token.substr(Colon + 1));
+    if (!Op || (Colon != std::string::npos && !Alg)) {
+      std::fprintf(stderr,
+                   "error: --algs: unknown %s '%s'; accepted spellings "
+                   "(coll/Collective.h):\n",
+                   Op ? "algorithm" : "collective", Token.c_str());
+      for (CollectiveOp O : AllCollectiveOps) {
+        std::string Names;
+        for (unsigned I = 0; I != collectiveAlgorithmCount(O); ++I)
+          Names += std::string(I ? ", " : "") + collectiveAlgorithmName(O, I);
+        std::fprintf(stderr, "  %-10s %s\n", collectiveOpName(O),
+                     Names.c_str());
+      }
+      return 2;
+    }
+    if (Alg)
+      AlgsAllowed[static_cast<unsigned>(*Op)] |= 1u << *Alg;
+    else
+      AlgsAllowed[static_cast<unsigned>(*Op)] =
+          (1u << collectiveAlgorithmCount(*Op)) - 1;
+  }
+  const bool SweepAllOps = AlgsFlag.empty();
+  const auto Sweeps = [&AlgsAllowed](CollectiveOp Op, unsigned Ordinal) {
+    return ((AlgsAllowed[static_cast<unsigned>(Op)] >> Ordinal) & 1u) != 0;
+  };
 
   std::vector<unsigned> Procs;
   for (std::size_t Pos = 0; Pos <= ProcsFlag.size();) {
@@ -280,15 +335,18 @@ int main(int Argc, char **Argv) {
         if (!FaultScenario.empty())
           SW.Faults = &FaultScenario;
         if (C.Barrier) {
-          checkOne(SW, C.P, barrierContract(C.P),
-                   strFormat("lint|barrier|P=%u", C.P),
-                   [&](ScheduleBuilder &B) { appendBarrier(B, /*Tag=*/0); });
+          if (SweepAllOps)
+            checkOne(SW, C.P, barrierContract(C.P),
+                     strFormat("lint|barrier|P=%u", C.P),
+                     [&](ScheduleBuilder &B) { appendBarrier(B, /*Tag=*/0); });
           return SW;
         }
         const unsigned P = C.P;
         const std::uint64_t M = C.M;
         for (std::uint64_t Seg : Segments) {
           for (BcastAlgorithm Alg : AllBcastAlgorithms) {
+            if (!Sweeps(CollectiveOp::Bcast, static_cast<unsigned>(Alg)))
+              continue;
             BcastConfig Config;
             Config.Algorithm = Alg;
             Config.MessageBytes = M;
@@ -300,6 +358,8 @@ int main(int Argc, char **Argv) {
                      [&](ScheduleBuilder &B) { appendBcast(B, Config); });
           }
           for (ReduceAlgorithm Alg : AllReduceAlgorithms) {
+            if (!Sweeps(CollectiveOp::Reduce, static_cast<unsigned>(Alg)))
+              continue;
             ReduceConfig Config;
             Config.Algorithm = Alg;
             Config.MessageBytes = M;
@@ -313,6 +373,8 @@ int main(int Argc, char **Argv) {
         }
         // Unsegmented collectives: sweep message sizes only.
         for (bool Sync : {false, true}) {
+          if (!SweepAllOps)
+            break;
           GatherConfig Config;
           Config.BlockBytes = M;
           Config.Synchronised = Sync;
@@ -322,6 +384,8 @@ int main(int Argc, char **Argv) {
                    [&](ScheduleBuilder &B) { appendLinearGather(B, Config); });
         }
         for (ScatterAlgorithm Alg : AllScatterAlgorithms) {
+          if (!Sweeps(CollectiveOp::Scatter, static_cast<unsigned>(Alg)))
+            continue;
           ScatterConfig Config;
           Config.Algorithm = Alg;
           Config.BlockBytes = M;
@@ -330,6 +394,30 @@ int main(int Argc, char **Argv) {
                              static_cast<int>(Alg), P,
                              (unsigned long long)M),
                    [&](ScheduleBuilder &B) { appendScatter(B, Config); });
+        }
+        for (AllgatherAlgorithm Alg : AllAllgatherAlgorithms) {
+          if (!Sweeps(CollectiveOp::Allgather, static_cast<unsigned>(Alg)))
+            continue;
+          AllgatherConfig Config;
+          Config.Algorithm = Alg;
+          Config.BlockBytes = M;
+          checkOne(SW, P, allgatherContract(Config, P),
+                   strFormat("lint|allgather|alg=%d|P=%u|m=%llu",
+                             static_cast<int>(Alg), P,
+                             (unsigned long long)M),
+                   [&](ScheduleBuilder &B) { appendAllgather(B, Config); });
+        }
+        for (AllreduceAlgorithm Alg : AllAllreduceAlgorithms) {
+          if (!Sweeps(CollectiveOp::Allreduce, static_cast<unsigned>(Alg)))
+            continue;
+          AllreduceConfig Config;
+          Config.Algorithm = Alg;
+          Config.MessageBytes = M;
+          checkOne(SW, P, allreduceContract(Config, P),
+                   strFormat("lint|allreduce|alg=%d|P=%u|m=%llu",
+                             static_cast<int>(Alg), P,
+                             (unsigned long long)M),
+                   [&](ScheduleBuilder &B) { appendAllreduce(B, Config); });
         }
         return SW;
       });
